@@ -1,0 +1,142 @@
+package mcpaxos
+
+// Benchmark harness: one benchmark per experiment (E1-E9), regenerating the
+// paper's quantitative claims. Custom metrics carry the paper-shaped
+// numbers (steps, quorum sizes, shares, collision fractions); ns/op mostly
+// reflects simulator speed and is not a claim of the paper.
+//
+// Run: go test -bench=. -benchmem
+// Tables: go run ./cmd/paxosbench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkE1StepsToLearn(b *testing.B) {
+	var last E1Result
+	for i := 0; i < b.N; i++ {
+		last = RunE1StepsToLearn(int64(i + 1))
+	}
+	b.ReportMetric(float64(last.Steps[ProtocolClassic]), "classic-steps")
+	b.ReportMetric(float64(last.Steps[ProtocolFast]), "fast-steps")
+	b.ReportMetric(float64(last.Steps[ProtocolMulti]), "multicoord-steps")
+	b.ReportMetric(float64(last.Steps[ProtocolGeneralized]), "generalized-steps")
+}
+
+func BenchmarkE2QuorumSizes(b *testing.B) {
+	ns := []int{3, 5, 7, 9, 11, 13}
+	var rows []E2Row
+	for i := 0; i < b.N; i++ {
+		rows = RunE2QuorumSizes(ns)
+	}
+	for _, r := range rows {
+		if r.N == 5 {
+			b.ReportMetric(float64(r.Classic), "n5-classic-quorum")
+			b.ReportMetric(float64(r.FastMajority), "n5-fast-quorum")
+		}
+	}
+}
+
+func BenchmarkE3Availability(b *testing.B) {
+	var rows []E3Row
+	for i := 0; i < b.N; i++ {
+		rows = RunE3Availability(int64(i + 1))
+	}
+	surviving := 0
+	for _, r := range rows {
+		if r.Kind == "multicoordinated(3)" && r.CoordCrashes == 1 && r.Progress && !r.RoundChanged {
+			surviving = 1
+		}
+	}
+	b.ReportMetric(float64(surviving), "mc-survives-1-crash")
+}
+
+func BenchmarkE4LoadBalance(b *testing.B) {
+	var r E4Result
+	for i := 0; i < b.N; i++ {
+		r = RunE4LoadBalance(int64(i+1), 3, 5, 120)
+	}
+	b.ReportMetric(r.MaxCoordShare, "mc-coord-share")
+	b.ReportMetric(r.MaxAccShare, "mc-acceptor-share")
+	b.ReportMetric(r.FastAccShare, "fast-acceptor-share")
+}
+
+func BenchmarkE5CollisionRecovery(b *testing.B) {
+	var rows []E5Row
+	for i := 0; i < b.N; i++ {
+		rows = RunE5CollisionRecovery(int64(i + 1))
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.TotalSteps), r.Scenario+"-steps")
+	}
+}
+
+func BenchmarkE6DiskWrites(b *testing.B) {
+	var r E6Result
+	for i := 0; i < b.N; i++ {
+		r = RunE6DiskWrites(int64(i+1), 20)
+	}
+	b.ReportMetric(r.WritesPerCommandPerAcceptor[ProtocolMulti], "mc-writes-per-cmd")
+	b.ReportMetric(r.WritesPerCommandPerAcceptor[ProtocolFast], "fast-writes-per-cmd")
+	b.ReportMetric(float64(r.RecoveryWrites), "recovery-writes")
+}
+
+func BenchmarkE7ConflictSweep(b *testing.B) {
+	rhos := []float64{0, 0.5, 1}
+	var rows []E7Row
+	for i := 0; i < b.N; i++ {
+		rows = RunE7ConflictSweep(int64(i+1), rhos, 6)
+	}
+	for _, r := range rows {
+		name := fmt.Sprintf("%s-rho%.0f%%-collisions", r.Protocol, r.ConflictRate*100)
+		b.ReportMetric(r.CollisionFrac, name)
+	}
+}
+
+func BenchmarkE8LeaderFailover(b *testing.B) {
+	var r E8Result
+	for i := 0; i < b.N; i++ {
+		r = RunE8LeaderFailover(int64(i + 1))
+	}
+	b.ReportMetric(float64(r.ClassicGap), "classic-failover-gap")
+	b.ReportMetric(float64(r.MultiGap), "mc-failover-gap")
+	b.ReportMetric(float64(r.BaselineGap), "baseline-gap")
+}
+
+func BenchmarkAblationCoordQuorum(b *testing.B) {
+	var rows []AblationCoordRow
+	for i := 0; i < b.N; i++ {
+		rows = RunAblationCoordQuorum(int64(i+1), []int{1, 3, 5})
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Steps), fmt.Sprintf("nc%d-steps", r.NCoords))
+		b.ReportMetric(float64(r.ToleratedCrashes), fmt.Sprintf("nc%d-tolerated", r.NCoords))
+	}
+}
+
+func BenchmarkAblationRndPersistence(b *testing.B) {
+	var rows []AblationRndRow
+	for i := 0; i < b.N; i++ {
+		rows = RunAblationRndPersistence(int64(i+1), 10)
+	}
+	for _, r := range rows {
+		name := "volatile-rnd-writes"
+		if r.PersistRnd {
+			name = "persist-rnd-writes"
+		}
+		b.ReportMetric(r.WritesPerAcceptor, name)
+	}
+}
+
+func BenchmarkE9SpontaneousOrder(b *testing.B) {
+	jitters := []int64{0, 3, 6}
+	var rows []E9Row
+	for i := 0; i < b.N; i++ {
+		rows = RunE9SpontaneousOrder(int64(i+1), jitters, 8)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.FastCollisionFrac, fmt.Sprintf("fast-j%d-collisions", r.Jitter))
+		b.ReportMetric(r.MultiCollisionFrac, fmt.Sprintf("mc-j%d-collisions", r.Jitter))
+	}
+}

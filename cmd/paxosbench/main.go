@@ -1,0 +1,155 @@
+// Command paxosbench regenerates every experiment table of EXPERIMENTS.md:
+// the quantitative claims of the Multicoordinated Paxos paper, measured on
+// the deterministic simulator.
+//
+// Usage:
+//
+//	paxosbench [-seed N] [-exp all|e1|...|e9] [-trials N] [-commands N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcpaxos"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	exp := flag.String("exp", "all", "experiment to run: all or e1..e9")
+	trials := flag.Int("trials", 20, "trials per sample point (E7, E9)")
+	commands := flag.Int("commands", 200, "commands per run (E4, E6)")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+	if run("e1") {
+		e1(*seed)
+		any = true
+	}
+	if run("e2") {
+		e2()
+		any = true
+	}
+	if run("e3") {
+		e3(*seed)
+		any = true
+	}
+	if run("e4") {
+		e4(*seed, *commands)
+		any = true
+	}
+	if run("e5") {
+		e5(*seed)
+		any = true
+	}
+	if run("e6") {
+		e6(*seed, *commands)
+		any = true
+	}
+	if run("e7") {
+		e7(*seed, *trials)
+		any = true
+	}
+	if run("e8") {
+		e8(*seed)
+		any = true
+	}
+	if run("e9") {
+		e9(*seed, *trials)
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or e1..e9)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func e1(seed int64) {
+	header("E1: communication steps to learn (stable run, phase 1 pre-executed)")
+	for _, row := range mcpaxos.FormatE1(mcpaxos.RunE1StepsToLearn(seed)) {
+		fmt.Println("  " + row)
+	}
+}
+
+func e2() {
+	header("E2: acceptor quorum sizes (Section 2.2)")
+	fmt.Println("  n   classic(=multicoord)  fast(majority-classic)  balanced(E=F)")
+	for _, r := range mcpaxos.RunE2QuorumSizes([]int{3, 5, 7, 9, 11, 13}) {
+		fmt.Printf("  %-3d %-21d %-23d %d\n", r.N, r.Classic, r.FastMajority, r.Balanced)
+	}
+}
+
+func e3(seed int64) {
+	header("E3: availability under coordinator crashes (Section 4.1)")
+	fmt.Println("  round kind            crashes  progress  round-change")
+	for _, r := range mcpaxos.RunE3Availability(seed) {
+		fmt.Printf("  %-21s %-8d %-9v %v\n", r.Kind, r.CoordCrashes, r.Progress, r.RoundChanged)
+	}
+}
+
+func e4(seed int64, commands int) {
+	header("E4: load balance via quorum selection (Section 4.1)")
+	r := mcpaxos.RunE4LoadBalance(seed, 3, 5, commands)
+	fmt.Printf("  %d coordinators, %d acceptors, %d commands\n", r.NCoords, r.NAcceptors, r.Commands)
+	fmt.Printf("  multicoord max coordinator share: %.3f  (paper bound 1/2+1/nc = %.3f)\n",
+		r.MaxCoordShare, r.CoordBound)
+	fmt.Printf("  multicoord max acceptor share:    %.3f  (paper bound 1/2+1/n  = %.3f)\n",
+		r.MaxAccShare, r.AccBound)
+	fmt.Printf("  fast rounds max acceptor share:   %.3f  (paper: > 3/4)\n", r.FastAccShare)
+}
+
+func e5(seed int64) {
+	header("E5: collision recovery cost (Sections 2.2, 4.2)")
+	fmt.Println("  scenario              total-steps  extra-steps  acceptor-disk-writes")
+	for _, r := range mcpaxos.RunE5CollisionRecovery(seed) {
+		fmt.Printf("  %-21s %-12d %-12d %d\n", r.Scenario, r.TotalSteps, r.ExtraSteps, r.AcceptorWrites)
+	}
+	fmt.Println("  (paper: restart +4, coordinated +2, uncoordinated +1, multicoord +2;")
+	fmt.Println("   fast collisions waste acceptor disk writes, multicoordinated do not)")
+}
+
+func e6(seed int64, commands int) {
+	header("E6: disk writes (Sections 4.2, 4.4)")
+	r := mcpaxos.RunE6DiskWrites(seed, commands)
+	for _, p := range []mcpaxos.Protocol{mcpaxos.ProtocolClassic, mcpaxos.ProtocolMulti, mcpaxos.ProtocolFast} {
+		fmt.Printf("  %-18s %.3f writes/command/acceptor (paper: 1)\n",
+			p, r.WritesPerCommandPerAcceptor[p])
+	}
+	fmt.Printf("  coordinator writes: %d (paper: coordinators need no stable storage)\n",
+		r.CoordinatorWrites)
+	fmt.Printf("  extra writes per acceptor recovery: %d (paper: 1 incarnation write)\n",
+		r.RecoveryWrites)
+}
+
+func e7(seed int64, trials int) {
+	header("E7: conflict-rate sweep, collisions & latency (Sections 2.3, 3.3, 4.5)")
+	fmt.Println("  rho   protocol          collisions  mean-steps  learned")
+	rows := mcpaxos.RunE7ConflictSweep(seed, []float64{0, 0.25, 0.5, 0.75, 1}, trials)
+	for _, r := range rows {
+		fmt.Printf("  %-5.2f %-17s %-11.2f %-11.2f %.2f\n",
+			r.ConflictRate, r.Protocol, r.CollisionFrac, r.MeanSteps, r.Learned)
+	}
+}
+
+func e8(seed int64) {
+	header("E8: decision gap after coordinator failure (Sections 1, 4.1)")
+	r := mcpaxos.RunE8LeaderFailover(seed)
+	fmt.Printf("  steady-state inter-learn gap:          %d\n", r.BaselineGap)
+	fmt.Printf("  classic Paxos, leader crash:           %d (detect + elect + phase 1)\n", r.ClassicGap)
+	fmt.Printf("  multicoordinated, 1 coordinator crash: %d (no round change needed)\n", r.MultiGap)
+}
+
+func e9(seed int64, trials int) {
+	header("E9: spontaneous ordering vs message reordering (Section 4.5)")
+	fmt.Println("  jitter  fast-collisions  fast-steps  mc-collisions  mc-steps")
+	for _, r := range mcpaxos.RunE9SpontaneousOrder(seed, []int64{0, 1, 2, 4, 8}, trials) {
+		fmt.Printf("  %-7d %-16.2f %-11.2f %-14.2f %.2f\n",
+			r.Jitter, r.FastCollisionFrac, r.FastMeanSteps, r.MultiCollisionFrac, r.MultiMeanSteps)
+	}
+}

@@ -1,0 +1,66 @@
+// Bank: Generic Broadcast over Multicoordinated Paxos (Section 3.3 of the
+// paper). Deposits to different accounts commute and may be delivered in
+// different orders at different replicas; operations on the same account
+// are totally ordered. Replica states converge either way.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+
+	"mcpaxos/internal/core"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/genbcast"
+	"mcpaxos/internal/smr"
+)
+
+func main() {
+	g := genbcast.NewCluster(genbcast.Opts{
+		NCoords:    3,
+		NAcceptors: 5,
+		F:          2,
+		NLearners:  2,
+		NProposers: 2,
+		Seed:       7,
+		Conflict:   cstruct.KeyConflict, // same account ⇒ ordered
+	})
+
+	// Attach a bank replica to each learner.
+	replicas := make([]*smr.Replica, len(g.Cfg.Learners))
+	for i, id := range g.Cfg.Learners {
+		replicas[i] = smr.NewReplica(smr.NewBank())
+		l := core.NewLearner(g.Sim.Env(id), g.Cfg, replicas[i].UpdateFn())
+		g.Sim.Register(id, l)
+		g.Learners[i] = l
+	}
+	g.Start(0)
+
+	// Two clients issue concurrent traffic on different accounts
+	// (commuting) and the same account (ordered).
+	id := uint64(1)
+	for round := 0; round < 5; round++ {
+		g.Broadcast(0, smr.DepositCmd(id, "alice", 10))
+		id++
+		g.Broadcast(1, smr.DepositCmd(id, "bob", 20))
+		id++
+		g.Sim.Run()
+	}
+	g.Broadcast(0, smr.WithdrawCmd(id, "alice", 35))
+	id++
+	g.Sim.Run()
+
+	for i, r := range replicas {
+		bank := r.Machine().(*smr.Bank)
+		fmt.Printf("replica %d: alice=%d bob=%d (applied %d ops)\n",
+			i, bank.Balance("alice"), bank.Balance("bob"), r.Applied())
+	}
+	if replicas[0].Machine().Snapshot() == replicas[1].Machine().Snapshot() {
+		fmt.Println("replicas converged ✓")
+	} else {
+		fmt.Println("replicas diverged ✗")
+	}
+	if g.CheckPartialOrder() {
+		fmt.Println("conflicting operations delivered in one order everywhere ✓")
+	}
+}

@@ -1,0 +1,27 @@
+// Failover: the availability argument of the paper (Sections 1 and 4.1),
+// live. A steady command stream runs against Classic Paxos and against
+// Multicoordinated Paxos; at the same instant one coordinator crashes. The
+// classic deployment stalls until failure detection, election and a new
+// phase 1 complete; the multicoordinated one keeps deciding through the
+// surviving coordinator quorum.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+
+	"mcpaxos"
+)
+
+func main() {
+	r := mcpaxos.RunE8LeaderFailover(1)
+	fmt.Println("steady stream of commands, one coordinator crash at t=100:")
+	fmt.Printf("  steady-state gap between decisions:   %d time units\n", r.BaselineGap)
+	fmt.Printf("  Classic Paxos (leader crash):         %d time units without a decision\n", r.ClassicGap)
+	fmt.Printf("  Multicoordinated Paxos (1 of 3 down): %d time units without a decision\n", r.MultiGap)
+	fmt.Println()
+	if r.MultiGap < r.ClassicGap {
+		fmt.Println("multicoordinated rounds survive the crash without a round change ✓")
+	}
+}

@@ -1,0 +1,277 @@
+// Package abstract implements Abstract Multicoordinated Paxos — the
+// non-distributed specification of Appendix A.2 / B.2 of the paper — and a
+// bounded model checker for its invariants. The concrete protocol
+// (internal/core) implements this abstraction; checking the abstraction's
+// invariants over exhaustively enumerated small executions reproduces the
+// paper's correctness argument mechanically, in the spirit of its TLA+
+// appendix.
+//
+// State: the proposed-command set, a ballot array bA (per-acceptor current
+// ballot and per-ballot votes), the maxTried array, and per-learner learned
+// c-structs. Actions: Propose, JoinBallot, StartBallot, Suggest,
+// ClassicVote, FastVote, AbstractLearn. Invariants: the maxTried, bA and
+// learned invariants of Appendix A.2, plus the Generalized Consensus
+// properties they imply (Nontriviality, Stability, Consistency).
+package abstract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/quorum"
+)
+
+// Config fixes a small model: acceptors, ballots (index 0 is the initial
+// ballot at which every acceptor has accepted ⊥), the command universe and
+// the c-struct set.
+type Config struct {
+	NAcc int
+	F, E int
+	// Fast[i] reports whether ballot i is fast. Fast[0] is ignored
+	// (ballot 0 is the pre-accepted initial ballot).
+	Fast []bool
+	Cmds []cstruct.Cmd
+	Set  cstruct.Set
+	// NLearners ≥ 2 exercises the Consistency property.
+	NLearners int
+}
+
+// Validate checks the model configuration.
+func (c Config) Validate() error {
+	if _, err := quorum.NewAcceptorSystem(c.NAcc, c.F, c.E); err != nil {
+		return err
+	}
+	switch {
+	case len(c.Fast) < 2:
+		return fmt.Errorf("abstract: need at least one working ballot")
+	case len(c.Cmds) == 0:
+		return fmt.Errorf("abstract: need commands")
+	case c.Set == nil:
+		return fmt.Errorf("abstract: nil set")
+	case c.NLearners < 1:
+		return fmt.Errorf("abstract: need learners")
+	}
+	return nil
+}
+
+func (c Config) sys() quorum.AcceptorSystem {
+	return quorum.MustAcceptorSystem(c.NAcc, c.F, c.E)
+}
+
+// quorums enumerates the minimal quorums of ballot m.
+func (c Config) quorums(m int) [][]int {
+	fast := m < len(c.Fast) && c.Fast[m]
+	return c.sys().Quorums(fast)
+}
+
+// State is one global state of the abstract algorithm. Votes and maxTried
+// use nil for "none".
+type State struct {
+	PropCmd  []bool              // per command index: proposed?
+	MBal     []int               // per acceptor: current ballot index
+	Votes    [][]cstruct.CStruct // [acceptor][ballot]
+	MaxTried []cstruct.CStruct   // [ballot]
+	Learned  []cstruct.CStruct   // [learner]
+}
+
+// Init returns the initial state: every acceptor has accepted ⊥ at ballot
+// 0, maxTried[0] = ⊥, nothing proposed or learned.
+func (c Config) Init() *State {
+	s := &State{
+		PropCmd:  make([]bool, len(c.Cmds)),
+		MBal:     make([]int, c.NAcc),
+		Votes:    make([][]cstruct.CStruct, c.NAcc),
+		MaxTried: make([]cstruct.CStruct, len(c.Fast)),
+		Learned:  make([]cstruct.CStruct, c.NLearners),
+	}
+	for a := 0; a < c.NAcc; a++ {
+		s.Votes[a] = make([]cstruct.CStruct, len(c.Fast))
+		s.Votes[a][0] = c.Set.Bottom()
+	}
+	s.MaxTried[0] = c.Set.Bottom()
+	for l := range s.Learned {
+		s.Learned[l] = c.Set.Bottom()
+	}
+	return s
+}
+
+// clone deep-copies a state (c-structs are immutable and shared).
+func (s *State) clone() *State {
+	n := &State{
+		PropCmd:  append([]bool(nil), s.PropCmd...),
+		MBal:     append([]int(nil), s.MBal...),
+		Votes:    make([][]cstruct.CStruct, len(s.Votes)),
+		MaxTried: append([]cstruct.CStruct(nil), s.MaxTried...),
+		Learned:  append([]cstruct.CStruct(nil), s.Learned...),
+	}
+	for a := range s.Votes {
+		n.Votes[a] = append([]cstruct.CStruct(nil), s.Votes[a]...)
+	}
+	return n
+}
+
+// Key canonically encodes a state for deduplication.
+func (s *State) Key() string {
+	var b strings.Builder
+	for _, p := range s.PropCmd {
+		if p {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte('|')
+	for _, m := range s.MBal {
+		fmt.Fprintf(&b, "%d,", m)
+	}
+	b.WriteByte('|')
+	for _, row := range s.Votes {
+		for _, v := range row {
+			writeVal(&b, v)
+		}
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, v := range s.MaxTried {
+		writeVal(&b, v)
+	}
+	b.WriteByte('|')
+	for _, v := range s.Learned {
+		writeVal(&b, v)
+	}
+	return b.String()
+}
+
+func writeVal(b *strings.Builder, v cstruct.CStruct) {
+	if v == nil {
+		b.WriteString("-/")
+		return
+	}
+	b.WriteString(v.String())
+	b.WriteByte('/')
+}
+
+// ChosenAt reports whether v is chosen at ballot m (Definition 3).
+func (c Config) ChosenAt(s *State, v cstruct.CStruct, m int) bool {
+	for _, q := range c.quorums(m) {
+		all := true
+		for _, a := range q {
+			if s.Votes[a][m] == nil || !c.Set.Extends(v, s.Votes[a][m]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// Chosen reports whether v is chosen at any ballot.
+func (c Config) Chosen(s *State, v cstruct.CStruct) bool {
+	for m := range c.Fast {
+		if c.ChosenAt(s, v, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// ChoosableAt reports whether v is choosable at ballot m (Definition 4):
+// some m-quorum exists whose members with mbal > m all voted extensions of
+// v at m.
+func (c Config) ChoosableAt(s *State, v cstruct.CStruct, m int) bool {
+	for _, q := range c.quorums(m) {
+		ok := true
+		for _, a := range q {
+			if s.MBal[a] <= m {
+				continue // may still vote at m
+			}
+			if s.Votes[a][m] == nil || !c.Set.Extends(v, s.Votes[a][m]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SafeAt reports whether v is safe at ballot m (Definition 5): v extends
+// every c-struct choosable at any lower ballot.
+func (c Config) SafeAt(s *State, v cstruct.CStruct, m int) bool {
+	for k := 0; k < m; k++ {
+		for _, w := range c.AllCStructs() {
+			if c.ChoosableAt(s, w, k) && !c.Set.Extends(w, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllCStructs enumerates Str(Cmds): every c-struct constructible from the
+// command universe (deduplicated). Exponential; the universe is tiny.
+func (c Config) AllCStructs() []cstruct.CStruct {
+	var out []cstruct.CStruct
+	seen := func(v cstruct.CStruct) bool {
+		for _, o := range out {
+			if c.Set.Equal(v, o) {
+				return true
+			}
+		}
+		return false
+	}
+	var rec func(v cstruct.CStruct, used []bool)
+	rec = func(v cstruct.CStruct, used []bool) {
+		if !seen(v) {
+			out = append(out, v)
+		}
+		for i, cmd := range c.Cmds {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			rec(v.Append(cmd), used)
+			used[i] = false
+		}
+	}
+	rec(c.Set.Bottom(), make([]bool, len(c.Cmds)))
+	return out
+}
+
+// ProposedCStructs enumerates Str(propCmd): c-structs built only from
+// currently proposed commands.
+func (c Config) ProposedCStructs(s *State) []cstruct.CStruct {
+	var out []cstruct.CStruct
+	for _, v := range c.AllCStructs() {
+		if c.constructibleFromProposed(s, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (c Config) constructibleFromProposed(s *State, v cstruct.CStruct) bool {
+	for i, cmd := range c.Cmds {
+		if v.Contains(cmd) && !s.PropCmd[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cmdsSorted returns command indices in a stable order.
+func (c Config) cmdsSorted() []int {
+	idx := make([]int, len(c.Cmds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return c.Cmds[idx[i]].ID < c.Cmds[idx[j]].ID })
+	return idx
+}

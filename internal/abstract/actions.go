@@ -1,0 +1,130 @@
+package abstract
+
+// Step is one enabled action application.
+type Step struct {
+	Name string
+	Next *State
+}
+
+// Next enumerates every enabled action of Abstract Multicoordinated Paxos
+// from state s (Appendix A.2).
+func (c Config) Next(s *State) []Step {
+	var out []Step
+
+	// Propose(C): C not yet proposed.
+	for _, i := range c.cmdsSorted() {
+		if s.PropCmd[i] {
+			continue
+		}
+		n := s.clone()
+		n.PropCmd[i] = true
+		out = append(out, Step{Name: "Propose", Next: n})
+	}
+
+	// JoinBallot(a, m): mbal[a] < m.
+	for a := 0; a < c.NAcc; a++ {
+		for m := s.MBal[a] + 1; m < len(c.Fast); m++ {
+			n := s.clone()
+			n.MBal[a] = m
+			out = append(out, Step{Name: "JoinBallot", Next: n})
+		}
+	}
+
+	// StartBallot(m, w): maxTried[m] = none, w safe at m and proposed.
+	for m := 1; m < len(c.Fast); m++ {
+		if s.MaxTried[m] != nil {
+			continue
+		}
+		for _, w := range c.ProposedCStructs(s) {
+			if !c.SafeAt(s, w, m) {
+				continue
+			}
+			n := s.clone()
+			n.MaxTried[m] = w
+			out = append(out, Step{Name: "StartBallot", Next: n})
+		}
+	}
+
+	// Suggest(m, σ): maxTried[m] ≠ none, σ proposed. We enumerate
+	// single-command suffixes (longer σ are compositions of these).
+	for m := 1; m < len(c.Fast); m++ {
+		if s.MaxTried[m] == nil {
+			continue
+		}
+		for _, i := range c.cmdsSorted() {
+			if !s.PropCmd[i] {
+				continue
+			}
+			ext := s.MaxTried[m].Append(c.Cmds[i])
+			if c.Set.Equal(ext, s.MaxTried[m]) {
+				continue // no growth: skip stuttering
+			}
+			n := s.clone()
+			n.MaxTried[m] = ext
+			out = append(out, Step{Name: "Suggest", Next: n})
+		}
+	}
+
+	// ClassicVote(a, m, v): m ≥ mbal[a], v safe at m, v ⊑ maxTried[m],
+	// current vote none or ⊑ v.
+	for a := 0; a < c.NAcc; a++ {
+		for m := 1; m < len(c.Fast); m++ {
+			if m < s.MBal[a] || s.MaxTried[m] == nil {
+				continue
+			}
+			for _, v := range c.AllCStructs() {
+				if !c.Set.Extends(v, s.MaxTried[m]) {
+					continue
+				}
+				if cur := s.Votes[a][m]; cur != nil &&
+					(!c.Set.Extends(cur, v) || c.Set.Equal(cur, v)) {
+					continue
+				}
+				if !c.SafeAt(s, v, m) {
+					continue
+				}
+				n := s.clone()
+				n.Votes[a][m] = v
+				n.MBal[a] = m
+				out = append(out, Step{Name: "ClassicVote", Next: n})
+			}
+		}
+	}
+
+	// FastVote(a, C): C proposed, mbal[a] fast, vote at mbal[a] ≠ none.
+	for a := 0; a < c.NAcc; a++ {
+		m := s.MBal[a]
+		if m >= len(c.Fast) || !c.Fast[m] || s.Votes[a][m] == nil {
+			continue
+		}
+		for _, i := range c.cmdsSorted() {
+			if !s.PropCmd[i] {
+				continue
+			}
+			ext := s.Votes[a][m].Append(c.Cmds[i])
+			if c.Set.Equal(ext, s.Votes[a][m]) {
+				continue
+			}
+			n := s.clone()
+			n.Votes[a][m] = ext
+			out = append(out, Step{Name: "FastVote", Next: n})
+		}
+	}
+
+	// AbstractLearn(l, v): v chosen.
+	for l := 0; l < c.NLearners; l++ {
+		for _, v := range c.AllCStructs() {
+			if !c.Chosen(s, v) {
+				continue
+			}
+			merged, ok := c.Set.LUB(s.Learned[l], v)
+			if !ok || c.Set.Equal(merged, s.Learned[l]) {
+				continue
+			}
+			n := s.clone()
+			n.Learned[l] = merged
+			out = append(out, Step{Name: "AbstractLearn", Next: n})
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package abstract
+
+import "fmt"
+
+// CheckInvariants verifies the three inductive invariants of Appendix A.2
+// plus the Generalized Consensus safety properties they imply. It returns
+// the first violation found.
+func (c Config) CheckInvariants(s *State) error {
+	// maxTried invariant: every started ballot's maxTried is proposed and
+	// safe at its ballot.
+	for m, w := range s.MaxTried {
+		if w == nil {
+			continue
+		}
+		if !c.constructibleFromProposed(s, w) {
+			return fmt.Errorf("maxTried[%d]=%v not constructible from proposed commands", m, w)
+		}
+		if !c.SafeAt(s, w, m) {
+			return fmt.Errorf("maxTried[%d]=%v not safe", m, w)
+		}
+	}
+	// bA invariant: votes are safe; classic votes are bounded by maxTried;
+	// fast votes are proposed.
+	for a := range s.Votes {
+		for m, v := range s.Votes[a] {
+			if v == nil {
+				continue
+			}
+			if !c.SafeAt(s, v, m) {
+				return fmt.Errorf("vote bA[%d][%d]=%v not safe", a, m, v)
+			}
+			fast := m < len(c.Fast) && c.Fast[m]
+			if !fast {
+				if s.MaxTried[m] == nil || !c.Set.Extends(v, s.MaxTried[m]) {
+					return fmt.Errorf("classic vote bA[%d][%d]=%v exceeds maxTried[%d]=%v",
+						a, m, v, m, s.MaxTried[m])
+				}
+			}
+			if fast && !c.constructibleFromProposed(s, v) {
+				return fmt.Errorf("fast vote bA[%d][%d]=%v not proposed", a, m, v)
+			}
+		}
+	}
+	// learned invariant + Generalized Consensus properties.
+	for l, v := range s.Learned {
+		// Nontriviality: learned is constructible from proposed commands.
+		if !c.constructibleFromProposed(s, v) {
+			return fmt.Errorf("learned[%d]=%v not constructible from proposed commands", l, v)
+		}
+		// learned is (a lub of) chosen c-structs: it must itself be
+		// extended by the lub of all chosen values; equivalently every
+		// learned value is below some common upper bound of chosen values.
+		if v.Len() > 0 && !c.Chosen(s, v) {
+			// learned may be the lub of several chosen values, each
+			// individually chosen; check it is bounded by chosen content:
+			// every command in learned must appear in some chosen value.
+			for _, cmd := range v.Commands() {
+				found := false
+				for _, w := range c.AllCStructs() {
+					if w.Contains(cmd) && c.Chosen(s, w) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("learned[%d]=%v contains unchosen command %v", l, v, cmd)
+				}
+			}
+		}
+	}
+	// Consistency: learned values pairwise compatible.
+	for i := range s.Learned {
+		for j := i + 1; j < len(s.Learned); j++ {
+			if !c.Set.Compatible(s.Learned[i], s.Learned[j]) {
+				return fmt.Errorf("learned[%d]=%v incompatible with learned[%d]=%v",
+					i, s.Learned[i], j, s.Learned[j])
+			}
+		}
+	}
+	// Proposition 1 consequence: the set of chosen values is compatible.
+	var chosen []int
+	all := c.AllCStructs()
+	for i, v := range all {
+		if c.Chosen(s, v) {
+			chosen = append(chosen, i)
+		}
+	}
+	for x := 0; x < len(chosen); x++ {
+		for y := x + 1; y < len(chosen); y++ {
+			if !c.Set.Compatible(all[chosen[x]], all[chosen[y]]) {
+				return fmt.Errorf("chosen values incompatible: %v vs %v",
+					all[chosen[x]], all[chosen[y]])
+			}
+		}
+	}
+	return nil
+}
+
+// ExploreResult summarizes a bounded exhaustive exploration.
+type ExploreResult struct {
+	States      int
+	Transitions int
+	Depth       int
+	Truncated   bool
+}
+
+// Explore runs a breadth-first exhaustive exploration from Init up to
+// maxDepth action applications or maxStates distinct states, checking the
+// invariants at every reached state and checking Stability along every
+// transition (learned c-structs only ever grow). The first violation is
+// returned with a counterexample trace length.
+func (c Config) Explore(maxDepth, maxStates int) (ExploreResult, error) {
+	type qent struct {
+		s     *State
+		depth int
+	}
+	init := c.Init()
+	if err := c.CheckInvariants(init); err != nil {
+		return ExploreResult{}, fmt.Errorf("initial state: %w", err)
+	}
+	seen := map[string]struct{}{init.Key(): {}}
+	queue := []qent{{init, 0}}
+	res := ExploreResult{States: 1}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth >= maxDepth {
+			res.Truncated = true
+			continue
+		}
+		for _, step := range c.Next(cur.s) {
+			res.Transitions++
+			// Stability: learned only grows across any transition.
+			for l := range step.Next.Learned {
+				if !c.Set.Extends(cur.s.Learned[l], step.Next.Learned[l]) {
+					return res, fmt.Errorf("depth %d: %s shrank learned[%d]",
+						cur.depth+1, step.Name, l)
+				}
+			}
+			k := step.Next.Key()
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			if err := c.CheckInvariants(step.Next); err != nil {
+				return res, fmt.Errorf("depth %d after %s: %w", cur.depth+1, step.Name, err)
+			}
+			seen[k] = struct{}{}
+			res.States++
+			if cur.depth+1 > res.Depth {
+				res.Depth = cur.depth + 1
+			}
+			if res.States >= maxStates {
+				res.Truncated = true
+				return res, nil
+			}
+			queue = append(queue, qent{step.Next, cur.depth + 1})
+		}
+	}
+	return res, nil
+}
+
+// RandomWalk performs `walks` random executions of `steps` actions each,
+// checking invariants at every state. It covers deeper executions than the
+// exhaustive search can reach.
+func (c Config) RandomWalk(seed int64, walks, steps int) error {
+	rng := newSplitMix(uint64(seed))
+	for w := 0; w < walks; w++ {
+		s := c.Init()
+		for i := 0; i < steps; i++ {
+			next := c.Next(s)
+			if len(next) == 0 {
+				break
+			}
+			step := next[int(rng.next()%uint64(len(next)))]
+			for l := range step.Next.Learned {
+				if !c.Set.Extends(s.Learned[l], step.Next.Learned[l]) {
+					return fmt.Errorf("walk %d step %d: %s shrank learned[%d]", w, i, step.Name, l)
+				}
+			}
+			s = step.Next
+			if err := c.CheckInvariants(s); err != nil {
+				return fmt.Errorf("walk %d step %d after %s: %w", w, i, step.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// splitMix is a tiny deterministic PRNG so the walker does not depend on
+// math/rand ordering guarantees.
+type splitMix struct{ x uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{x: seed + 0x9e3779b97f4a7c15} }
+
+func (s *splitMix) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

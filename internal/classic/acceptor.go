@@ -1,0 +1,156 @@
+package classic
+
+import (
+	"fmt"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+	"mcpaxos/internal/storage"
+)
+
+// vote is an acceptor's accepted (round, value) pair for one instance.
+type vote struct {
+	vrnd ballot.Ballot
+	vval cstruct.Cmd
+}
+
+// Acceptor is a multi-instance Classic Paxos acceptor. Accepted votes are
+// written to stable storage before the 2b message is sent (they must survive
+// crashes, Section 4.4); the current round is volatile and is outrun on
+// recovery by bumping the MCount incarnation counter.
+type Acceptor struct {
+	env  node.Env
+	cfg  Config
+	disk *storage.Disk
+
+	rnd   ballot.Ballot // volatile: highest round heard of
+	votes map[uint64]vote
+}
+
+var _ node.Handler = (*Acceptor)(nil)
+var _ node.Recoverable = (*Acceptor)(nil)
+
+// NewAcceptor builds an acceptor bound to env and disk.
+func NewAcceptor(env node.Env, cfg Config, disk *storage.Disk) *Acceptor {
+	a := &Acceptor{env: env, cfg: cfg, disk: disk, votes: make(map[uint64]vote)}
+	a.restore()
+	// First start: persist the incarnation record once (the paper's "in the
+	// normal case, acceptors write on disk only once, when started").
+	if _, ok := disk.Get("mcount"); !ok {
+		disk.Put("mcount", uint32(0))
+	}
+	return a
+}
+
+// Rnd exposes the acceptor's current round, for tests.
+func (a *Acceptor) Rnd() ballot.Ballot { return a.rnd }
+
+// Vote exposes the acceptor's vote for an instance, for tests.
+func (a *Acceptor) Vote(inst uint64) (ballot.Ballot, cstruct.Cmd, bool) {
+	v, ok := a.votes[inst]
+	return v.vrnd, v.vval, ok
+}
+
+// OnMessage implements node.Handler.
+func (a *Acceptor) OnMessage(from msg.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case msg.P1a:
+		a.onP1a(from, mm)
+	case msg.P2a:
+		a.onP2a(from, mm)
+	}
+}
+
+// onP1a is action Phase1b: join round mm.Rnd if it is news, reporting every
+// past vote so the new leader can finish interrupted instances.
+func (a *Acceptor) onP1a(_ msg.NodeID, mm msg.P1a) {
+	if !a.rnd.Less(mm.Rnd) {
+		a.env.Send(mm.Coord, msg.Stale{Acc: a.env.ID(), Rnd: a.rnd, Got: mm.Rnd})
+		return
+	}
+	a.setRnd(mm.Rnd)
+	votes := make([]msg.InstVote, 0, len(a.votes))
+	for inst, v := range a.votes {
+		votes = append(votes, msg.InstVote{Inst: inst, VRnd: v.vrnd, VVal: wrap(v.vval)})
+	}
+	a.env.Send(mm.Coord, msg.P1bMulti{Rnd: mm.Rnd, Acc: a.env.ID(), Votes: votes})
+}
+
+// onP2a is action Phase2b: accept the value unless a higher round was heard
+// of, then notify every learner.
+func (a *Acceptor) onP2a(from msg.NodeID, mm msg.P2a) {
+	if mm.Rnd.Less(a.rnd) {
+		a.env.Send(from, msg.Stale{Inst: mm.Inst, Acc: a.env.ID(), Rnd: a.rnd, Got: mm.Rnd})
+		return
+	}
+	cmd, ok := unwrap(mm.Val)
+	if !ok {
+		return
+	}
+	if v, voted := a.votes[mm.Inst]; voted && v.vrnd.Equal(mm.Rnd) && !v.vval.Equal(cmd) {
+		// An acceptor accepts at most one value per round (Section 2.1.2).
+		return
+	}
+	a.setRnd(mm.Rnd)
+	v := vote{vrnd: mm.Rnd, vval: cmd}
+	a.votes[mm.Inst] = v
+	// The accept must hit stable storage before the 2b leaves (one
+	// synchronous write per accepted value, Section 4.4). The high-water
+	// mark rides along in the same write for recovery scans.
+	hi := mm.Inst
+	if rec, ok := a.disk.Get("maxinst"); ok && rec.(uint64) > hi {
+		hi = rec.(uint64)
+	}
+	a.disk.PutAll(map[string]any{voteKey(mm.Inst): v, "maxinst": hi})
+	for _, l := range a.cfg.Learners {
+		a.env.Send(l, msg.P2b{Inst: mm.Inst, Rnd: mm.Rnd, Acc: a.env.ID(), Val: wrap(cmd)})
+	}
+}
+
+// setRnd advances the volatile round. Following Section 4.4, plain round
+// changes are not persisted: recovery bumps MCount instead.
+func (a *Acceptor) setRnd(r ballot.Ballot) {
+	if a.rnd.Less(r) {
+		a.rnd = r
+	}
+}
+
+// OnRecover implements node.Recoverable: volatile state is rebuilt from the
+// journal and the incarnation counter is bumped with one disk write so that
+// the recovered acceptor's round dominates anything it may have promised
+// before the crash (Section 4.4).
+func (a *Acceptor) OnRecover() {
+	a.rnd = ballot.Zero
+	a.votes = make(map[uint64]vote)
+	a.restore()
+	mc := uint32(0)
+	if rec, ok := a.disk.Get("mcount"); ok {
+		mc = rec.(uint32)
+	}
+	mc++
+	a.disk.Put("mcount", mc)
+	a.rnd = ballot.Max(a.rnd, ballot.Ballot{MCount: mc})
+}
+
+func (a *Acceptor) restore() {
+	rec, ok := a.disk.Get("maxinst")
+	if !ok {
+		return
+	}
+	hi := rec.(uint64)
+	for inst := uint64(0); inst <= hi; inst++ {
+		rec, ok := a.disk.Get(voteKey(inst))
+		if !ok {
+			continue
+		}
+		v := rec.(vote)
+		a.votes[inst] = v
+		if a.rnd.Less(v.vrnd) {
+			a.rnd = v.vrnd
+		}
+	}
+}
+
+func voteKey(inst uint64) string { return fmt.Sprintf("vote/%d", inst) }

@@ -1,0 +1,62 @@
+// Package classic implements Classic Paxos (Lamport, "Paxos Made Simple")
+// as described in Section 2.1 of the Multicoordinated Paxos paper. It is the
+// three-communication-step, single-leader baseline: proposals reach the
+// leader, which runs phase 2 against a majority of acceptors; learners learn
+// from a quorum of matching 2b votes.
+//
+// The implementation is multi-instance (one consensus instance per slot of a
+// replicated command log) with the standard "phase 1 a priori" optimization:
+// the leader runs a single phase 1 covering every instance, so in stable
+// runs each command costs exactly three message delays: propose → 2a → 2b.
+package classic
+
+import (
+	"fmt"
+
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/quorum"
+)
+
+// Config describes a Classic Paxos deployment.
+type Config struct {
+	// Coords lists the coordinator processes (potential leaders).
+	Coords []msg.NodeID
+	// Acceptors lists the acceptor processes.
+	Acceptors []msg.NodeID
+	// Learners lists the learner processes.
+	Learners []msg.NodeID
+	// Quorums is the acceptor quorum system; classic Paxos only uses its
+	// classic (n−F) size.
+	Quorums quorum.AcceptorSystem
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case len(c.Coords) == 0:
+		return fmt.Errorf("classic: no coordinators")
+	case len(c.Acceptors) != c.Quorums.N():
+		return fmt.Errorf("classic: %d acceptors but quorum system expects %d",
+			len(c.Acceptors), c.Quorums.N())
+	case len(c.Learners) == 0:
+		return fmt.Errorf("classic: no learners")
+	}
+	return nil
+}
+
+// single-value helpers shared by the single-value protocols.
+
+var svSet = cstruct.SingleValueSet{}
+
+// wrap lifts a command into a single-value c-struct.
+func wrap(c cstruct.Cmd) cstruct.CStruct { return cstruct.NewSingleValue(c) }
+
+// unwrap extracts the command of a single-value c-struct.
+func unwrap(v cstruct.CStruct) (cstruct.Cmd, bool) {
+	sv, ok := v.(cstruct.SingleValue)
+	if !ok {
+		return cstruct.Cmd{}, false
+	}
+	return sv.Value()
+}

@@ -1,0 +1,239 @@
+package classic
+
+import (
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 3, F: 1, Seed: 1})
+	if err := cl.Cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := cl.Cfg
+	bad.Coords = nil
+	if err := bad.Validate(); err == nil {
+		t.Errorf("config without coordinators must be rejected")
+	}
+	bad = cl.Cfg
+	bad.Learners = nil
+	if err := bad.Validate(); err == nil {
+		t.Errorf("config without learners must be rejected")
+	}
+	bad = cl.Cfg
+	bad.Acceptors = bad.Acceptors[:2]
+	if err := bad.Validate(); err == nil {
+		t.Errorf("acceptor/quorum mismatch must be rejected")
+	}
+}
+
+func TestSingleDecision(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 3, F: 1, Seed: 1})
+	cl.Lead(0)
+	cl.Prop.Propose(cstruct.Cmd{ID: 7})
+	cl.Sim.Run()
+	got, ok := cl.Learners[0].Learned(0)
+	if !ok || got.ID != 7 {
+		t.Fatalf("instance 0: learned %v/%v, want command 7", got, ok)
+	}
+}
+
+func TestThreeCommunicationSteps(t *testing.T) {
+	// E1 shape: with phase 1 pre-executed, propose→learn takes exactly 3
+	// message delays (propose, 2a, 2b) — Section 2.1.2.
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 5, F: 2, Seed: 1})
+	cl.Lead(0)
+	start := cl.Sim.Now()
+	cl.Prop.Propose(cstruct.Cmd{ID: 1})
+	cl.Sim.Run()
+	lt, ok := cl.LearnTime[0]
+	if !ok {
+		t.Fatalf("nothing learned")
+	}
+	if steps := lt - start; steps != 3 {
+		t.Errorf("learned in %d steps, want 3", steps)
+	}
+}
+
+func TestManyInstancesInOrder(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 3, F: 1, Seed: 1})
+	cl.Lead(0)
+	const n = 50
+	for i := 0; i < n; i++ {
+		cl.Prop.Propose(cstruct.Cmd{ID: uint64(1000 + i)})
+	}
+	cl.Sim.Run()
+	if cl.Learners[0].LearnedCount() != n {
+		t.Fatalf("learned %d instances, want %d", cl.Learners[0].LearnedCount(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := cl.Learners[0].Learned(uint64(i))
+		if !ok || got.ID != uint64(1000+i) {
+			t.Errorf("instance %d: got %v/%v", i, got, ok)
+		}
+	}
+}
+
+func TestAllLearnersAgree(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 3, NLearners: 3, F: 1, Seed: 1})
+	cl.Lead(0)
+	for i := 0; i < 10; i++ {
+		cl.Prop.Propose(cstruct.Cmd{ID: uint64(10 + i)})
+	}
+	cl.Sim.Run()
+	for inst := uint64(0); inst < 10; inst++ {
+		ref, ok := cl.Learners[0].Learned(inst)
+		if !ok {
+			t.Fatalf("learner 0 missing instance %d", inst)
+		}
+		for li, l := range cl.Learners[1:] {
+			got, ok := l.Learned(inst)
+			if !ok || !got.Equal(ref) {
+				t.Errorf("learner %d instance %d: got %v/%v want %v", li+1, inst, got, ok, ref)
+			}
+		}
+	}
+}
+
+func TestProposalBeforeLeadershipIsQueued(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 3, F: 1, Seed: 1})
+	cl.Prop.Propose(cstruct.Cmd{ID: 3})
+	cl.Sim.Run() // proposal reaches coordinator before any round exists
+	if cl.Learners[0].LearnedCount() != 0 {
+		t.Fatalf("nothing should be learned without a leader")
+	}
+	cl.Lead(0)
+	cl.Sim.Run()
+	if got, ok := cl.Learners[0].Learned(0); !ok || got.ID != 3 {
+		t.Fatalf("queued proposal not decided after leadership: %v/%v", got, ok)
+	}
+}
+
+func TestDuplicateProposalsDecideOnce(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 3, F: 1, Seed: 1})
+	cl.Lead(0)
+	cmd := cstruct.Cmd{ID: 9}
+	cl.Prop.Propose(cmd)
+	cl.Sim.Run()
+	cl.Prop.Propose(cmd) // client retransmission
+	cl.Sim.Run()
+	if n := cl.Learners[0].LearnedCount(); n != 1 {
+		t.Fatalf("duplicate proposal created %d instances, want 1", n)
+	}
+}
+
+func TestLeaderChangeAdoptsAcceptedValues(t *testing.T) {
+	// Coordinator 0 gets command A accepted, then coordinator 1 takes over:
+	// it must re-propose A, not lose it.
+	cl := NewCluster(ClusterOpts{NCoords: 2, NAcceptors: 3, F: 1, Seed: 1})
+	cl.Lead(0)
+	cl.Prop.Propose(cstruct.Cmd{ID: 11})
+	cl.Sim.Run()
+	if _, ok := cl.Learners[0].Learned(0); !ok {
+		t.Fatalf("setup: command not decided under leader 0")
+	}
+	cl.Coords[1].BecomeLeader()
+	cl.Sim.Run()
+	got, ok := cl.Learners[0].Learned(0)
+	if !ok || got.ID != 11 {
+		t.Fatalf("new leader lost the decided value: %v/%v", got, ok)
+	}
+	if !cl.Coords[1].Leading() {
+		t.Errorf("coordinator 1 should have completed phase 1")
+	}
+}
+
+func TestCompetingLeadersStaySafe(t *testing.T) {
+	// Two coordinators alternate leadership while commands flow; no two
+	// learners may ever disagree on an instance (Consistency).
+	cl := NewCluster(ClusterOpts{NCoords: 2, NAcceptors: 5, NLearners: 2, F: 2, Seed: 1})
+	for round := 0; round < 6; round++ {
+		cl.Coords[round%2].BecomeLeader()
+		cl.Prop.Propose(cstruct.Cmd{ID: uint64(100 + round)})
+		cl.Sim.Run()
+	}
+	for inst := uint64(0); inst < 6; inst++ {
+		a, okA := cl.Learners[0].Learned(inst)
+		b, okB := cl.Learners[1].Learned(inst)
+		if okA && okB && !a.Equal(b) {
+			t.Fatalf("instance %d: learners disagree: %v vs %v", inst, a, b)
+		}
+	}
+}
+
+func TestAcceptorCrashRecoveryKeepsVotes(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 3, F: 1, Seed: 1})
+	cl.Lead(0)
+	cl.Prop.Propose(cstruct.Cmd{ID: 21})
+	cl.Sim.Run()
+
+	// Crash and recover acceptor 0; its vote must survive on disk.
+	accID := cl.Cfg.Acceptors[0]
+	cl.Sim.Crash(accID)
+	cl.Sim.Recover(accID)
+	vrnd, vval, ok := cl.Accs[0].Vote(0)
+	if !ok || vval.ID != 21 {
+		t.Fatalf("vote lost across recovery: %v %v %v", vrnd, vval, ok)
+	}
+	// Recovery bumps the incarnation: the acceptor's round now dominates
+	// the old leader's round, forcing a new round for future instances.
+	if !cl.Coords[0].Rnd().Less(cl.Accs[0].Rnd()) {
+		t.Errorf("recovered acceptor round %v must outrun old leader round %v",
+			cl.Accs[0].Rnd(), cl.Coords[0].Rnd())
+	}
+}
+
+func TestStaleTriggersHigherRound(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 2, NAcceptors: 3, F: 1, Seed: 1})
+	cl.Lead(0)
+	cl.Lead(1) // now acceptors are at coordinator 1's round
+	r0 := cl.Coords[0].Rnd()
+	// Coordinator 0 tries to act with its stale round: acceptors answer
+	// Stale and coordinator 0 must outbid.
+	cl.Prop.Propose(cstruct.Cmd{ID: 31})
+	cl.Sim.Run()
+	if !r0.Less(cl.Coords[0].Rnd()) && !cl.Coords[0].Leading() {
+		t.Errorf("coordinator 0 must either regain leadership or raise its round")
+	}
+	// Whatever happened, the command must be decided exactly once.
+	if got, ok := cl.Learners[0].Learned(0); !ok || got.ID != 31 {
+		t.Fatalf("command lost during leader contention: %v/%v", got, ok)
+	}
+}
+
+func TestLossyNetworkWithRetransmission(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 3, F: 1, Seed: 42, RetryEvery: 20})
+	cl.Sim.SetDrop(sim.DropProb(0.2))
+	cl.Coords[0].BecomeLeader()
+	cl.Sim.RunUntil(1_000)
+	const n = 20
+	for i := 0; i < n; i++ {
+		cl.Prop.Propose(cstruct.Cmd{ID: uint64(500 + i)})
+	}
+	cl.Sim.RunUntil(5_000)
+	if got := cl.Learners[0].LearnedCount(); got != n {
+		t.Fatalf("lossy run learned %d/%d instances", got, n)
+	}
+}
+
+func TestDiskWritesOnePerAcceptedValue(t *testing.T) {
+	// E6 shape: in stable runs each acceptor performs exactly one write per
+	// accepted value, plus the single startup write (Section 4.4).
+	cl := NewCluster(ClusterOpts{NCoords: 1, NAcceptors: 3, F: 1, Seed: 1})
+	cl.Lead(0)
+	for _, d := range cl.Disks {
+		d.ResetWrites()
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		cl.Prop.Propose(cstruct.Cmd{ID: uint64(700 + i)})
+	}
+	cl.Sim.Run()
+	for i, d := range cl.Disks {
+		if got := d.Writes(); got != n {
+			t.Errorf("acceptor %d: %d writes for %d accepted values", i, got, n)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package classic
+
+import (
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/quorum"
+	"mcpaxos/internal/sim"
+	"mcpaxos/internal/storage"
+)
+
+// Cluster wires a full Classic Paxos deployment into a simulator: a set of
+// coordinators, acceptors with their disks, learners, and one proposer. It
+// is the building block of tests and experiments.
+type Cluster struct {
+	Sim      *sim.Sim
+	Cfg      Config
+	Coords   []*Coordinator
+	Accs     []*Acceptor
+	Disks    []*storage.Disk
+	Learners []*Learner
+	Prop     *Proposer
+
+	// LearnTime records, per instance, the simulated time at which learner
+	// 0 learned it.
+	LearnTime map[uint64]int64
+	// LearnedCmds records, per instance, the command learner 0 learned.
+	LearnedCmds map[uint64]cstruct.Cmd
+}
+
+// ClusterOpts parameterizes NewCluster.
+type ClusterOpts struct {
+	NCoords    int
+	NAcceptors int
+	NLearners  int
+	F          int
+	Seed       int64
+	RetryEvery int64 // 0 disables retransmission
+}
+
+// NewCluster builds and registers a deployment. Node IDs are assigned as:
+// proposer 1, coordinators 100+i, acceptors 200+i, learners 300+i.
+func NewCluster(o ClusterOpts) *Cluster {
+	if o.NLearners == 0 {
+		o.NLearners = 1
+	}
+	s := sim.New(o.Seed)
+	cfg := Config{Quorums: quorum.MustAcceptorSystem(o.NAcceptors, o.F, 0)}
+	for i := 0; i < o.NCoords; i++ {
+		cfg.Coords = append(cfg.Coords, msg.NodeID(100+i))
+	}
+	for i := 0; i < o.NAcceptors; i++ {
+		cfg.Acceptors = append(cfg.Acceptors, msg.NodeID(200+i))
+	}
+	for i := 0; i < o.NLearners; i++ {
+		cfg.Learners = append(cfg.Learners, msg.NodeID(300+i))
+	}
+
+	cl := &Cluster{
+		Sim:         s,
+		Cfg:         cfg,
+		LearnTime:   make(map[uint64]int64),
+		LearnedCmds: make(map[uint64]cstruct.Cmd),
+	}
+
+	for _, id := range cfg.Coords {
+		c := NewCoordinator(s.Env(id), cfg)
+		c.RetryEvery = o.RetryEvery
+		s.Register(id, c)
+		cl.Coords = append(cl.Coords, c)
+	}
+	for _, id := range cfg.Acceptors {
+		disk := &storage.Disk{}
+		a := NewAcceptor(s.Env(id), cfg, disk)
+		s.Register(id, a)
+		cl.Accs = append(cl.Accs, a)
+		cl.Disks = append(cl.Disks, disk)
+	}
+	for i, id := range cfg.Learners {
+		var fn LearnFn
+		if i == 0 {
+			fn = func(inst uint64, cmd cstruct.Cmd) {
+				cl.LearnTime[inst] = s.Now()
+				cl.LearnedCmds[inst] = cmd
+				// Quiesce retransmission, standing in for the learn
+				// notifications a deployment would deliver to clients.
+				cl.Prop.MarkLearned(cmd.ID)
+				for _, co := range cl.Coords {
+					co.MarkLearned(inst)
+				}
+			}
+		}
+		l := NewLearner(s.Env(id), cfg, fn)
+		s.Register(id, l)
+		cl.Learners = append(cl.Learners, l)
+	}
+	cl.Prop = NewProposer(s.Env(1), cfg)
+	cl.Prop.RetryEvery = o.RetryEvery
+	s.Register(1, cl.Prop)
+	return cl
+}
+
+// Lead runs phase 1 on coordinator i and drains the simulator, leaving the
+// cluster ready for three-step commands.
+func (cl *Cluster) Lead(i int) {
+	cl.Coords[i].BecomeLeader()
+	cl.Sim.Run()
+}
+
+// TotalDiskWrites sums the synchronous writes of every acceptor disk.
+func (cl *Cluster) TotalDiskWrites() uint64 {
+	var t uint64
+	for _, d := range cl.Disks {
+		t += d.Writes()
+	}
+	return t
+}

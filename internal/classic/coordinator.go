@@ -1,0 +1,237 @@
+package classic
+
+import (
+	"sort"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+)
+
+// Timer tags used by the coordinator.
+const (
+	timerRetry = 1
+)
+
+// Coordinator is a Classic Paxos coordinator. At most one coordinator
+// should believe itself leader at a time for liveness; safety holds
+// regardless (Section 2.1.2). Coordinators keep no stable state: a
+// recovered coordinator simply starts a fresh, higher round (Section 4.4).
+type Coordinator struct {
+	env node.Env
+	cfg Config
+
+	crnd    ballot.Ballot
+	leading bool // phase 1 completed for crnd
+	p1bs    map[msg.NodeID]msg.P1bMulti
+
+	nextInst uint64
+	// accepted values the new leader must re-propose, per instance.
+	proposals map[uint64]cstruct.Cmd // values sent in 2a for this round
+	byCmd     map[uint64]uint64      // command ID → instance (dedup)
+	pending   []cstruct.Cmd          // proposals queued until leadership
+
+	// RetryEvery > 0 enables periodic retransmission of unlearned 2a
+	// messages and of the current 1a while phase 1 is incomplete.
+	RetryEvery int64
+	learned    map[uint64]bool
+	// wantLead records whether this coordinator currently tries to lead;
+	// only aspiring leaders chase Stale rejections (Section 4.3 expects a
+	// single leader driving round changes).
+	wantLead bool
+}
+
+var _ node.Handler = (*Coordinator)(nil)
+var _ node.TimerHandler = (*Coordinator)(nil)
+
+// NewCoordinator builds a coordinator bound to env.
+func NewCoordinator(env node.Env, cfg Config) *Coordinator {
+	return &Coordinator{
+		env:       env,
+		cfg:       cfg,
+		p1bs:      make(map[msg.NodeID]msg.P1bMulti),
+		proposals: make(map[uint64]cstruct.Cmd),
+		byCmd:     make(map[uint64]uint64),
+		learned:   make(map[uint64]bool),
+	}
+}
+
+// Leading reports whether phase 1 has completed for the current round.
+func (c *Coordinator) Leading() bool { return c.leading }
+
+// Rnd returns the coordinator's current round.
+func (c *Coordinator) Rnd() ballot.Ballot { return c.crnd }
+
+// BecomeLeader starts phase 1 of a round higher than any this coordinator
+// has seen, claiming leadership (action Phase1a).
+func (c *Coordinator) BecomeLeader() {
+	c.wantLead = true
+	c.startRound(ballot.SingleScheme{}.Next(c.crnd, uint32(c.env.ID())))
+}
+
+// StepDown makes the coordinator stop acting as leader: it keeps queueing
+// proposals but no longer assigns instances or chases higher rounds.
+func (c *Coordinator) StepDown() {
+	c.wantLead = false
+	c.leading = false
+}
+
+// BecomeLeaderAt starts phase 1 at the given incarnation; used after
+// recovery to dominate pre-crash rounds.
+func (c *Coordinator) BecomeLeaderAt(mcount uint32) {
+	c.wantLead = true
+	c.startRound(ballot.SingleScheme{}.First(mcount, uint32(c.env.ID())))
+}
+
+func (c *Coordinator) startRound(r ballot.Ballot) {
+	if !c.crnd.Less(r) {
+		return
+	}
+	c.crnd = r
+	c.leading = false
+	c.p1bs = make(map[msg.NodeID]msg.P1bMulti)
+	c.proposals = make(map[uint64]cstruct.Cmd)
+	node.Broadcast(c.env, c.cfg.Acceptors, msg.P1a{Rnd: c.crnd, Coord: c.env.ID()})
+	c.armRetry()
+}
+
+// OnMessage implements node.Handler.
+func (c *Coordinator) OnMessage(_ msg.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case msg.Propose:
+		c.onPropose(mm)
+	case msg.P1bMulti:
+		c.onP1b(mm)
+	case msg.Stale:
+		c.onStale(mm)
+	case msg.P2b:
+		// Leaders may watch 2b traffic to garbage-collect retransmissions.
+		c.learned[mm.Inst] = true
+	}
+}
+
+// MarkLearned stops retransmission for an instance (driven by a colocated
+// learner in hosts that wire one).
+func (c *Coordinator) MarkLearned(inst uint64) { c.learned[inst] = true }
+
+func (c *Coordinator) onPropose(mm msg.Propose) {
+	if _, dup := c.byCmd[mm.Cmd.ID]; dup {
+		return
+	}
+	if !c.leading {
+		c.pending = append(c.pending, mm.Cmd)
+		return
+	}
+	c.assign(mm.Cmd)
+}
+
+// assign gives the command the next free instance and runs phase 2a.
+func (c *Coordinator) assign(cmd cstruct.Cmd) {
+	inst := c.nextInst
+	c.nextInst++
+	c.byCmd[cmd.ID] = inst
+	c.proposals[inst] = cmd
+	c.send2a(inst, cmd)
+	c.armRetry()
+}
+
+func (c *Coordinator) send2a(inst uint64, cmd cstruct.Cmd) {
+	node.Broadcast(c.env, c.cfg.Acceptors, msg.P2a{
+		Inst: inst, Rnd: c.crnd, Coord: c.env.ID(), Val: wrap(cmd),
+	})
+}
+
+// onP1b collects promises; once a classic quorum has joined the round the
+// coordinator adopts the constrained values (highest vrnd per instance,
+// Section 2.1.2's picking rule) and opens the floor for new proposals.
+func (c *Coordinator) onP1b(mm msg.P1bMulti) {
+	if c.leading || !mm.Rnd.Equal(c.crnd) {
+		return
+	}
+	c.p1bs[mm.Acc] = mm
+	if !c.cfg.Quorums.IsQuorum(len(c.p1bs), false) {
+		return
+	}
+	c.leading = true
+	// Pick, per instance, the vval of the highest vrnd reported.
+	type pick struct {
+		vrnd ballot.Ballot
+		cmd  cstruct.Cmd
+	}
+	picks := make(map[uint64]pick)
+	for _, p1b := range c.p1bs {
+		for _, v := range p1b.Votes {
+			cmd, ok := unwrap(v.VVal)
+			if !ok {
+				continue
+			}
+			cur, seen := picks[v.Inst]
+			if !seen || cur.vrnd.Less(v.VRnd) {
+				picks[v.Inst] = pick{vrnd: v.VRnd, cmd: cmd}
+			}
+		}
+	}
+	insts := make([]uint64, 0, len(picks))
+	for inst := range picks {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		p := picks[inst]
+		if inst >= c.nextInst {
+			c.nextInst = inst + 1
+		}
+		c.byCmd[p.cmd.ID] = inst
+		c.proposals[inst] = p.cmd
+		c.send2a(inst, p.cmd)
+	}
+	for _, cmd := range c.pending {
+		if _, dup := c.byCmd[cmd.ID]; !dup {
+			c.assign(cmd)
+		}
+	}
+	c.pending = nil
+}
+
+// onStale reacts to an acceptor whose round outruns ours: start a higher
+// round to regain the ability to get values accepted (Section 4.3).
+func (c *Coordinator) onStale(mm msg.Stale) {
+	if !c.wantLead {
+		return
+	}
+	if c.crnd.Less(mm.Rnd) {
+		next := ballot.SingleScheme{}.Next(mm.Rnd, uint32(c.env.ID()))
+		c.startRound(next)
+	}
+}
+
+func (c *Coordinator) armRetry() {
+	if c.RetryEvery > 0 {
+		c.env.SetTimer(c.RetryEvery, timerRetry)
+	}
+}
+
+// OnTimer implements node.TimerHandler: retransmit the in-flight stage, the
+// paper's answer to message loss (processes re-send their last message).
+// The timer quiesces once nothing is outstanding.
+func (c *Coordinator) OnTimer(tag int) {
+	if tag != timerRetry || c.RetryEvery <= 0 {
+		return
+	}
+	outstanding := false
+	if !c.leading {
+		node.Broadcast(c.env, c.cfg.Acceptors, msg.P1a{Rnd: c.crnd, Coord: c.env.ID()})
+		outstanding = true
+	} else {
+		for inst, cmd := range c.proposals {
+			if !c.learned[inst] {
+				c.send2a(inst, cmd)
+				outstanding = true
+			}
+		}
+	}
+	if outstanding {
+		c.armRetry()
+	}
+}

@@ -1,0 +1,86 @@
+package classic
+
+import (
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+)
+
+// LearnFn is invoked exactly once per learned instance.
+type LearnFn func(inst uint64, cmd cstruct.Cmd)
+
+// Learner is a multi-instance Classic Paxos learner: a value is learned for
+// an instance once a classic quorum of acceptors reports the same value in
+// the same round (action Learn, Section 2.1.2).
+type Learner struct {
+	env     node.Env
+	cfg     Config
+	onLearn LearnFn
+
+	// latest 2b per (instance, acceptor); higher rounds supersede.
+	votes   map[uint64]map[msg.NodeID]msg.P2b
+	learned map[uint64]cstruct.Cmd
+}
+
+var _ node.Handler = (*Learner)(nil)
+
+// NewLearner builds a learner delivering via fn (may be nil).
+func NewLearner(env node.Env, cfg Config, fn LearnFn) *Learner {
+	return &Learner{
+		env:     env,
+		cfg:     cfg,
+		onLearn: fn,
+		votes:   make(map[uint64]map[msg.NodeID]msg.P2b),
+		learned: make(map[uint64]cstruct.Cmd),
+	}
+}
+
+// Learned returns the learned command for an instance, if any.
+func (l *Learner) Learned(inst uint64) (cstruct.Cmd, bool) {
+	c, ok := l.learned[inst]
+	return c, ok
+}
+
+// LearnedCount returns how many instances have been learned.
+func (l *Learner) LearnedCount() int { return len(l.learned) }
+
+// OnMessage implements node.Handler.
+func (l *Learner) OnMessage(_ msg.NodeID, m msg.Message) {
+	mm, ok := m.(msg.P2b)
+	if !ok {
+		return
+	}
+	if _, done := l.learned[mm.Inst]; done {
+		return
+	}
+	byAcc, ok := l.votes[mm.Inst]
+	if !ok {
+		byAcc = make(map[msg.NodeID]msg.P2b)
+		l.votes[mm.Inst] = byAcc
+	}
+	if prev, seen := byAcc[mm.Acc]; seen && !prev.Rnd.Less(mm.Rnd) {
+		return
+	}
+	byAcc[mm.Acc] = mm
+
+	// Count acceptors that voted for the same value in mm.Rnd.
+	cmd, ok := unwrap(mm.Val)
+	if !ok {
+		return
+	}
+	n := 0
+	for _, v := range byAcc {
+		if v.Rnd.Equal(mm.Rnd) {
+			if c2, ok2 := unwrap(v.Val); ok2 && c2.Equal(cmd) {
+				n++
+			}
+		}
+	}
+	if l.cfg.Quorums.IsQuorum(n, false) {
+		l.learned[mm.Inst] = cmd
+		delete(l.votes, mm.Inst)
+		if l.onLearn != nil {
+			l.onLearn(mm.Inst, cmd)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package classic
+
+import (
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+)
+
+// Proposer is a Classic Paxos proposer: it forwards commands to every
+// coordinator (only the leader acts on them) and optionally retransmits
+// until told the command was learned.
+type Proposer struct {
+	env node.Env
+	cfg Config
+
+	// RetryEvery > 0 enables retransmission of unlearned proposals.
+	RetryEvery int64
+	inflight   map[uint64]cstruct.Cmd
+}
+
+var _ node.Handler = (*Proposer)(nil)
+var _ node.TimerHandler = (*Proposer)(nil)
+
+// NewProposer builds a proposer bound to env.
+func NewProposer(env node.Env, cfg Config) *Proposer {
+	return &Proposer{env: env, cfg: cfg, inflight: make(map[uint64]cstruct.Cmd)}
+}
+
+// Propose submits a command (action Propose).
+func (p *Proposer) Propose(cmd cstruct.Cmd) {
+	p.inflight[cmd.ID] = cmd
+	node.Broadcast(p.env, p.cfg.Coords, msg.Propose{Cmd: cmd})
+	if p.RetryEvery > 0 {
+		p.env.SetTimer(p.RetryEvery, timerRetry)
+	}
+}
+
+// MarkLearned stops retransmission of a command.
+func (p *Proposer) MarkLearned(cmdID uint64) { delete(p.inflight, cmdID) }
+
+// OnMessage implements node.Handler; proposers consume nothing.
+func (p *Proposer) OnMessage(msg.NodeID, msg.Message) {}
+
+// OnTimer implements node.TimerHandler.
+func (p *Proposer) OnTimer(tag int) {
+	if tag != timerRetry || p.RetryEvery <= 0 || len(p.inflight) == 0 {
+		return
+	}
+	for _, cmd := range p.inflight {
+		node.Broadcast(p.env, p.cfg.Coords, msg.Propose{Cmd: cmd})
+	}
+	p.env.SetTimer(p.RetryEvery, timerRetry)
+}

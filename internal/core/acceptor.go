@@ -1,0 +1,313 @@
+package core
+
+import (
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+	"mcpaxos/internal/quorum"
+	"mcpaxos/internal/storage"
+)
+
+// Acceptor is a Multicoordinated Paxos acceptor (Section 3.2). It accepts a
+// c-struct in round i only when a whole i-coordquorum forwarded compatible
+// values, merging their greatest lower bounds into its accepted value. In
+// fast rounds it extends its value directly with proposals. Accepted values
+// are persisted before the 2b leaves; the current round is volatile
+// (Section 4.4).
+type Acceptor struct {
+	env  node.Env
+	cfg  Config
+	disk *storage.Disk
+
+	rnd  ballot.Ballot
+	vrnd ballot.Ballot
+	vval cstruct.CStruct
+
+	// twoAs holds the latest 2a value per coordinator for round twoARnd.
+	twoARnd ballot.Ballot
+	twoAs   map[msg.NodeID]cstruct.CStruct
+
+	// proposals buffered for fast rounds.
+	proposals []cstruct.Cmd
+	proposed  map[uint64]bool
+
+	// promotions counts collision-triggered round jumps, for experiments.
+	promotions int
+
+	// PersistRnd disables the Section 4.4 optimization: the acceptor then
+	// writes its current round to disk on every round change, as a naive
+	// implementation would. Exists for the disk-write ablation.
+	PersistRnd bool
+}
+
+var _ node.Handler = (*Acceptor)(nil)
+var _ node.Recoverable = (*Acceptor)(nil)
+
+// NewAcceptor builds an acceptor bound to env and disk.
+func NewAcceptor(env node.Env, cfg Config, disk *storage.Disk) *Acceptor {
+	a := &Acceptor{
+		env:      env,
+		cfg:      cfg,
+		disk:     disk,
+		vval:     cfg.Set.Bottom(),
+		twoAs:    make(map[msg.NodeID]cstruct.CStruct),
+		proposed: make(map[uint64]bool),
+	}
+	a.restore()
+	if _, ok := disk.Get("mcount"); !ok {
+		disk.Put("mcount", uint32(0))
+	}
+	return a
+}
+
+// Rnd exposes the current round, for tests.
+func (a *Acceptor) Rnd() ballot.Ballot { return a.rnd }
+
+// VVal exposes the accepted c-struct, for tests.
+func (a *Acceptor) VVal() cstruct.CStruct { return a.vval }
+
+// VRnd exposes the round of the latest accept, for tests.
+func (a *Acceptor) VRnd() ballot.Ballot { return a.vrnd }
+
+// Promotions reports how many collision-triggered round changes this
+// acceptor initiated.
+func (a *Acceptor) Promotions() int { return a.promotions }
+
+// OnMessage implements node.Handler.
+func (a *Acceptor) OnMessage(from msg.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case msg.P1a:
+		a.onP1a(mm)
+	case msg.P2a:
+		a.onP2a(from, mm)
+	case msg.Propose:
+		a.onPropose(mm)
+	case msg.P2b:
+		a.onPeer2b(mm)
+	}
+}
+
+// onP1a is action Phase1b.
+func (a *Acceptor) onP1a(mm msg.P1a) {
+	if !a.rnd.Less(mm.Rnd) {
+		a.env.Send(mm.Coord, msg.Stale{Acc: a.env.ID(), Rnd: a.rnd, Got: mm.Rnd})
+		return
+	}
+	a.joinRound(mm.Rnd)
+}
+
+// joinRound sets rnd and sends the 1b to every coordinator of the round.
+func (a *Acceptor) joinRound(r ballot.Ballot) {
+	a.rnd = r
+	if a.PersistRnd {
+		a.disk.Put("rnd", r) // ablation: naive per-round-change write
+	}
+	if a.twoARnd.Less(r) {
+		a.twoARnd = r
+		a.twoAs = make(map[msg.NodeID]cstruct.CStruct)
+	}
+	out := msg.P1b{Rnd: r, Acc: a.env.ID(), VRnd: a.vrnd, VVal: a.vval}
+	node.Broadcast(a.env, a.cfg.RoundCoords(r), out)
+}
+
+// onP2a stores the coordinator's value, detects coordinator collisions
+// (incompatible values within one round, Section 4.2) and tries to accept.
+func (a *Acceptor) onP2a(from msg.NodeID, mm msg.P2a) {
+	if mm.Rnd.Less(a.rnd) {
+		a.env.Send(from, msg.Stale{Acc: a.env.ID(), Rnd: a.rnd, Got: mm.Rnd})
+		return
+	}
+	if mm.Val == nil {
+		return
+	}
+	if a.twoARnd.Less(mm.Rnd) {
+		a.twoARnd = mm.Rnd
+		a.twoAs = make(map[msg.NodeID]cstruct.CStruct)
+	} else if mm.Rnd.Less(a.twoARnd) {
+		return // stale 2a for a round we already left
+	}
+	// Keep only the longest value per coordinator (values grow in-round).
+	if prev, ok := a.twoAs[mm.Coord]; !ok || a.cfg.Set.Extends(prev, mm.Val) {
+		a.twoAs[mm.Coord] = mm.Val
+	}
+
+	// Collision detection: two coordinators of the same round with
+	// incompatible c-structs. With majority coordquorums any two
+	// coordinators share a quorum, so any incompatible pair is a collision.
+	if !a.cfg.Set.Compatible(valsOf(a.twoAs)...) {
+		a.promote(a.cfg.Scheme.Next(a.twoARnd, a.twoARnd.ID))
+		return
+	}
+	a.tryAccept(mm.Rnd)
+}
+
+// tryAccept is action Phase2bClassic: for every coordquorum fully heard
+// from, fold its glb into the accepted value.
+func (a *Acceptor) tryAccept(r ballot.Ballot) {
+	need := a.cfg.CoordQuorumSize(r)
+	if len(a.twoAs) < need {
+		return
+	}
+	coords := a.cfg.RoundCoords(r)
+	present := make([]msg.NodeID, 0, len(coords))
+	for _, co := range coords {
+		if _, ok := a.twoAs[co]; ok {
+			present = append(present, co)
+		}
+	}
+	if len(present) < need {
+		return
+	}
+	// u = ⊔ { ⊓ vals(L) : L coordquorum ⊆ present }. Quorum glbs are
+	// pairwise compatible (they share a coordinator), so the lub exists.
+	var candidates []cstruct.CStruct
+	for _, sub := range quorum.Subsets(len(present), need) {
+		vals := make([]cstruct.CStruct, 0, need)
+		for _, j := range sub {
+			vals = append(vals, a.twoAs[present[j]])
+		}
+		candidates = append(candidates, a.cfg.Set.GLB(vals...))
+	}
+	u, ok := a.cfg.Set.LUB(candidates...)
+	if !ok {
+		a.promote(a.cfg.Scheme.Next(r, r.ID))
+		return
+	}
+
+	var newv cstruct.CStruct
+	if a.vrnd.Equal(r) {
+		if !a.cfg.Set.Compatible(a.vval, u) {
+			// The coordquorum's agreed value contradicts what we already
+			// accepted this round: an in-round collision.
+			a.promote(a.cfg.Scheme.Next(r, r.ID))
+			return
+		}
+		merged, _ := a.cfg.Set.LUB(a.vval, u)
+		newv = merged
+	} else {
+		newv = u
+	}
+	if a.vrnd.Equal(r) && a.cfg.Set.Equal(newv, a.vval) {
+		// Nothing new to vote for: this is a (possibly retransmitted)
+		// duplicate 2a. Re-announce the vote so lost 2b messages are
+		// eventually replaced — the acceptor's "last message" resend.
+		node.Broadcast(a.env, a.cfg.Learners, msg.P2b{Rnd: r, Acc: a.env.ID(), Val: a.vval})
+		return
+	}
+	a.accept(r, newv)
+}
+
+// onPropose is action Phase2bFast: extend the accepted value directly when
+// the current round is fast and we already voted in it.
+func (a *Acceptor) onPropose(mm msg.Propose) {
+	if a.proposed[mm.Cmd.ID] {
+		return
+	}
+	a.proposed[mm.Cmd.ID] = true
+	a.proposals = append(a.proposals, mm.Cmd)
+	a.tryFastAppend()
+}
+
+func (a *Acceptor) tryFastAppend() {
+	if !a.cfg.Scheme.IsFast(a.rnd) || !a.rnd.Equal(a.vrnd) {
+		return
+	}
+	grew := false
+	for _, c := range a.proposals {
+		if !a.vval.Contains(c) {
+			a.vval = a.vval.Append(c)
+			grew = true
+		}
+	}
+	if grew {
+		a.accept(a.rnd, a.vval)
+	}
+}
+
+// accept persists and announces the vote.
+func (a *Acceptor) accept(r ballot.Ballot, v cstruct.CStruct) {
+	a.rnd = ballot.Max(a.rnd, r)
+	a.vrnd = r
+	a.vval = v
+	a.disk.Put("vote", acceptRecord{VRnd: r, VVal: v})
+	out := msg.P2b{Rnd: r, Acc: a.env.ID(), Val: v}
+	node.Broadcast(a.env, a.cfg.Learners, out)
+	if a.cfg.Exchange2b {
+		for _, p := range a.cfg.Acceptors {
+			if p != a.env.ID() {
+				a.env.Send(p, out)
+			}
+		}
+	}
+	// After accepting in a fast round, drain any buffered proposals.
+	if a.cfg.Scheme.IsFast(r) {
+		a.tryFastAppend()
+	}
+}
+
+// onPeer2b detects fast-round collisions acceptor-side when Exchange2b is
+// on: incompatible accepted c-structs within the same round promote
+// everyone to the successor round (Section 4.2).
+func (a *Acceptor) onPeer2b(mm msg.P2b) {
+	if !a.cfg.Exchange2b || !mm.Rnd.Equal(a.rnd) || mm.Val == nil {
+		return
+	}
+	if !a.vrnd.Equal(a.rnd) {
+		return
+	}
+	if !a.cfg.Set.Compatible(a.vval, mm.Val) {
+		a.promote(a.cfg.Scheme.Next(a.rnd, a.rnd.ID))
+	}
+}
+
+// promote acts as if a 1a for round j had been received (Section 4.2's
+// collision escape): join j and send the 1b to j's coordinators.
+func (a *Acceptor) promote(j ballot.Ballot) {
+	if !a.rnd.Less(j) {
+		return
+	}
+	a.promotions++
+	a.joinRound(j)
+}
+
+// OnRecover implements node.Recoverable (Section 4.4): reload the accepted
+// value, bump the incarnation with one disk write, keep rnd volatile.
+func (a *Acceptor) OnRecover() {
+	a.rnd, a.vrnd = ballot.Zero, ballot.Zero
+	a.vval = a.cfg.Set.Bottom()
+	a.twoARnd = ballot.Zero
+	a.twoAs = make(map[msg.NodeID]cstruct.CStruct)
+	a.proposals = nil
+	a.proposed = make(map[uint64]bool)
+	a.restore()
+	mc := uint32(0)
+	if rec, ok := a.disk.Get("mcount"); ok {
+		mc = rec.(uint32)
+	}
+	mc++
+	a.disk.Put("mcount", mc)
+	a.rnd = ballot.Max(a.rnd, ballot.Ballot{MCount: mc})
+}
+
+func (a *Acceptor) restore() {
+	if rec, ok := a.disk.Get("vote"); ok {
+		v := rec.(acceptRecord)
+		a.vrnd, a.vval = v.VRnd, v.VVal
+		a.rnd = ballot.Max(a.rnd, v.VRnd)
+	}
+}
+
+// acceptRecord is the stable accept record.
+type acceptRecord struct {
+	VRnd ballot.Ballot
+	VVal cstruct.CStruct
+}
+
+func valsOf(m map[msg.NodeID]cstruct.CStruct) []cstruct.CStruct {
+	out := make([]cstruct.CStruct, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/quorum"
+	"mcpaxos/internal/sim"
+	"mcpaxos/internal/storage"
+)
+
+// Cluster wires a Multicoordinated Paxos deployment into a simulator.
+type Cluster struct {
+	Sim      *sim.Sim
+	Cfg      Config
+	Coords   []*Coordinator
+	Accs     []*Acceptor
+	Disks    []*storage.Disk
+	Learners []*Learner
+	Props    []*Proposer
+
+	// LearnTimes maps command ID → simulated time learner 0 first learned
+	// a c-struct containing it.
+	LearnTimes map[uint64]int64
+}
+
+// ClusterOpts parameterizes NewCluster.
+type ClusterOpts struct {
+	NCoords    int
+	NAcceptors int
+	NLearners  int
+	NProposers int
+	F, E       int
+	Seed       int64
+	Scheme     ballot.Scheme
+	Set        cstruct.Set
+	Exchange2b bool
+	Balance    bool
+	// RetryEvery > 0 enables retransmission at proposers and coordinators.
+	RetryEvery int64
+}
+
+// NewCluster builds and registers a deployment: proposers 1+i, coordinators
+// 100+i, acceptors 200+i, learners 300+i.
+func NewCluster(o ClusterOpts) *Cluster {
+	if o.NLearners == 0 {
+		o.NLearners = 1
+	}
+	if o.NProposers == 0 {
+		o.NProposers = 1
+	}
+	if o.Scheme == nil {
+		o.Scheme = ballot.MultiScheme{}
+	}
+	if o.Set == nil {
+		o.Set = cstruct.SingleValueSet{}
+	}
+	s := sim.New(o.Seed)
+	cfg := Config{
+		Quorums:    quorum.MustAcceptorSystem(o.NAcceptors, o.F, o.E),
+		CoordQ:     quorum.MustCoordSystem(o.NCoords),
+		Scheme:     o.Scheme,
+		Set:        o.Set,
+		Exchange2b: o.Exchange2b,
+	}
+	for i := 0; i < o.NCoords; i++ {
+		cfg.Coords = append(cfg.Coords, msg.NodeID(100+i))
+	}
+	for i := 0; i < o.NAcceptors; i++ {
+		cfg.Acceptors = append(cfg.Acceptors, msg.NodeID(200+i))
+	}
+	for i := 0; i < o.NLearners; i++ {
+		cfg.Learners = append(cfg.Learners, msg.NodeID(300+i))
+	}
+
+	cl := &Cluster{Sim: s, Cfg: cfg, LearnTimes: make(map[uint64]int64)}
+	for _, id := range cfg.Coords {
+		c := NewCoordinator(s.Env(id), cfg)
+		c.RetryEvery = o.RetryEvery
+		s.Register(id, c)
+		cl.Coords = append(cl.Coords, c)
+	}
+	for _, id := range cfg.Acceptors {
+		disk := &storage.Disk{}
+		a := NewAcceptor(s.Env(id), cfg, disk)
+		s.Register(id, a)
+		cl.Accs = append(cl.Accs, a)
+		cl.Disks = append(cl.Disks, disk)
+	}
+	for i, id := range cfg.Learners {
+		var fn UpdateFn
+		if i == 0 {
+			fn = func(_ cstruct.CStruct, fresh []cstruct.Cmd) {
+				for _, c := range fresh {
+					if _, ok := cl.LearnTimes[c.ID]; !ok {
+						cl.LearnTimes[c.ID] = s.Now()
+					}
+					// Quiesce retransmission, standing in for the learn
+					// notifications a deployment would send back.
+					for _, p := range cl.Props {
+						p.MarkLearned(c.ID)
+					}
+					for _, co := range cl.Coords {
+						co.MarkLearned(c.ID)
+					}
+				}
+			}
+		}
+		l := NewLearner(s.Env(id), cfg, fn)
+		s.Register(id, l)
+		cl.Learners = append(cl.Learners, l)
+	}
+	for i := 0; i < o.NProposers; i++ {
+		id := msg.NodeID(1 + i)
+		p := NewProposer(s.Env(id), cfg, o.Seed+int64(i))
+		p.Balance = o.Balance
+		p.RetryEvery = o.RetryEvery
+		s.Register(id, p)
+		cl.Props = append(cl.Props, p)
+	}
+	return cl
+}
+
+// Start has coordinator i begin the scheme's first round and drains the
+// simulator: the cluster is then ready for steady-state commands.
+func (cl *Cluster) Start(i int) {
+	cl.Coords[i].StartRound(cl.Cfg.Scheme.First(0, uint32(cl.Cfg.Coords[i])))
+	cl.Sim.Run()
+}
+
+// TotalDiskWrites sums the synchronous writes of every acceptor disk.
+func (cl *Cluster) TotalDiskWrites() uint64 {
+	var t uint64
+	for _, d := range cl.Disks {
+		t += d.Writes()
+	}
+	return t
+}
+
+// Agreement checks Consistency across all learners: every pair of learned
+// c-structs must be compatible.
+func (cl *Cluster) Agreement() bool {
+	for i := range cl.Learners {
+		for j := i + 1; j < len(cl.Learners); j++ {
+			if !cl.Cfg.Set.Compatible(cl.Learners[i].Learned(), cl.Learners[j].Learned()) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+// Package core implements Multicoordinated Paxos, the contribution of
+// Camargos, Schmidt and Pedone (TR 2007/02 / PODC 2007): a Generalized
+// Consensus protocol whose classic rounds may have multiple coordinators.
+// Acceptors accept a value only once a quorum of the round's coordinators
+// has forwarded it, so a single coordinator crash neither stalls the round
+// nor forces a round change — the availability argument of Section 4.1 —
+// while latency and acceptor quorum sizes stay those of classic rounds
+// (three communication steps, n−F acceptors).
+//
+// The engine is the generalized algorithm of Section 3.2, parameterized by a
+// c-struct set:
+//
+//   - cstruct.SingleValueSet yields the consensus protocol of Section 3.1;
+//   - cstruct.HistorySet yields the Generic Broadcast protocol of
+//     Section 3.3 (see package genbcast);
+//   - coordinator quorums of size one yield Generalized Paxos (package
+//     generalized).
+//
+// Collision handling follows Section 4.2, liveness Section 4.3, and the
+// disk-write policy Section 4.4 (coordinators keep no stable state;
+// acceptors persist only accepted values plus one incarnation bump per
+// recovery).
+package core
+
+import (
+	"fmt"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/quorum"
+)
+
+// Config describes a Multicoordinated Paxos deployment.
+type Config struct {
+	// Coords lists the coordinators of multicoordinated rounds. Rounds of
+	// kind single-coordinated or fast are coordinated by their owner only.
+	Coords []msg.NodeID
+	// Acceptors lists the acceptor processes.
+	Acceptors []msg.NodeID
+	// Learners lists the learner processes.
+	Learners []msg.NodeID
+	// Quorums is the acceptor quorum system (Assumptions 1 and 2).
+	Quorums quorum.AcceptorSystem
+	// CoordQ is the coordinator quorum system over Coords (Assumption 3).
+	CoordQ quorum.CoordSystem
+	// Scheme types rounds and defines succession (Section 4.5).
+	Scheme ballot.Scheme
+	// Set is the c-struct set the deployment agrees on.
+	Set cstruct.Set
+	// Exchange2b makes acceptors send their 2b messages to each other so
+	// fast-round collisions are detected acceptor-side at the cost of one
+	// extra communication step (Section 4.2).
+	Exchange2b bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case len(c.Coords) == 0:
+		return fmt.Errorf("core: no coordinators")
+	case len(c.Acceptors) != c.Quorums.N():
+		return fmt.Errorf("core: %d acceptors but quorum system expects %d",
+			len(c.Acceptors), c.Quorums.N())
+	case len(c.Learners) == 0:
+		return fmt.Errorf("core: no learners")
+	case c.CoordQ.N() != len(c.Coords):
+		return fmt.Errorf("core: coordinator quorum system over %d coords but %d configured",
+			c.CoordQ.N(), len(c.Coords))
+	case c.Scheme == nil:
+		return fmt.Errorf("core: nil round scheme")
+	case c.Set == nil:
+		return fmt.Errorf("core: nil c-struct set")
+	}
+	return nil
+}
+
+// RoundCoords returns the coordinators of round b: the full coordinator set
+// for multicoordinated rounds, the round's owner alone otherwise.
+func (c Config) RoundCoords(b ballot.Ballot) []msg.NodeID {
+	if c.Scheme.Kind(b) == ballot.KindMulti {
+		return c.Coords
+	}
+	return []msg.NodeID{msg.NodeID(b.ID)}
+}
+
+// CoordQuorumSize returns the number of identical-round 2a senders an
+// acceptor must gather before accepting in round b.
+func (c Config) CoordQuorumSize(b ballot.Ballot) int {
+	if c.Scheme.Kind(b) == ballot.KindMulti {
+		return c.CoordQ.Size()
+	}
+	return 1
+}
+
+// IsCoordOf reports whether node id coordinates round b.
+func (c Config) IsCoordOf(id msg.NodeID, b ballot.Ballot) bool {
+	for _, co := range c.RoundCoords(b) {
+		if co == id {
+			return true
+		}
+	}
+	return false
+}
+
+// accIndex returns the position of an acceptor in the configuration, or -1.
+func (c Config) accIndex(id msg.NodeID) int {
+	for i, a := range c.Acceptors {
+		if a == id {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+)
+
+func histCluster(conflict cstruct.Conflict, opts ClusterOpts) *Cluster {
+	opts.Set = cstruct.NewHistorySet(conflict)
+	return NewCluster(opts)
+}
+
+func TestGeneralizedCommutingCommandsNoCollision(t *testing.T) {
+	// E7 shape: commands that commute are absorbed by the lattice merge —
+	// no collision, no round change, even when coordinators see them in
+	// different orders (Section 2.3 motivation).
+	cl := histCluster(cstruct.NeverConflict, ClusterOpts{
+		NCoords: 3, NAcceptors: 3, F: 1, Seed: 1, NProposers: 2})
+	cl.Start(0)
+	a, b := cstruct.Cmd{ID: 100, Key: "x"}, cstruct.Cmd{ID: 200, Key: "y"}
+	env1, env2 := cl.Sim.Env(1), cl.Sim.Env(2)
+	env1.Send(cl.Cfg.Coords[0], msg.Propose{Cmd: a})
+	env2.Send(cl.Cfg.Coords[1], msg.Propose{Cmd: b})
+	env2.Send(cl.Cfg.Coords[2], msg.Propose{Cmd: b})
+	cl.Sim.After(1, func() {
+		env1.Send(cl.Cfg.Coords[1], msg.Propose{Cmd: a})
+		env1.Send(cl.Cfg.Coords[2], msg.Propose{Cmd: a})
+		env2.Send(cl.Cfg.Coords[0], msg.Propose{Cmd: b})
+	})
+	cl.Sim.Run()
+	for _, id := range []uint64{100, 200} {
+		if _, ok := cl.LearnTimes[id]; !ok {
+			t.Fatalf("command %d not learned", id)
+		}
+	}
+	for _, acc := range cl.Accs {
+		if acc.Promotions() != 0 {
+			t.Errorf("commuting commands must not trigger collisions")
+		}
+	}
+	if !cl.Agreement() {
+		t.Fatalf("learners diverged")
+	}
+}
+
+func TestGeneralizedConflictingCommandsCollide(t *testing.T) {
+	// Conflicting commands arriving in opposite orders at different
+	// coordinators produce incompatible c-structs: acceptors must detect
+	// the collision and the successor round must decide both commands in a
+	// single order.
+	cl := histCluster(cstruct.AlwaysConflict, ClusterOpts{
+		NCoords: 3, NAcceptors: 3, F: 1, Seed: 1, NProposers: 2})
+	cl.Start(0)
+	a, b := cstruct.Cmd{ID: 100}, cstruct.Cmd{ID: 200}
+	env1, env2 := cl.Sim.Env(1), cl.Sim.Env(2)
+	env1.Send(cl.Cfg.Coords[0], msg.Propose{Cmd: a})
+	env1.Send(cl.Cfg.Coords[1], msg.Propose{Cmd: a})
+	env2.Send(cl.Cfg.Coords[2], msg.Propose{Cmd: b})
+	cl.Sim.After(1, func() {
+		env1.Send(cl.Cfg.Coords[2], msg.Propose{Cmd: a})
+		env2.Send(cl.Cfg.Coords[0], msg.Propose{Cmd: b})
+		env2.Send(cl.Cfg.Coords[1], msg.Propose{Cmd: b})
+	})
+	cl.Sim.Run()
+	for _, id := range []uint64{100, 200} {
+		if _, ok := cl.LearnTimes[id]; !ok {
+			t.Fatalf("command %d not learned after collision recovery", id)
+		}
+	}
+	promoted := 0
+	for _, acc := range cl.Accs {
+		promoted += acc.Promotions()
+	}
+	if promoted == 0 {
+		t.Errorf("conflicting interleaved commands must collide")
+	}
+	if !cl.Agreement() {
+		t.Fatalf("learners diverged after collision")
+	}
+}
+
+func TestGeneralizedStreamsManyCommands(t *testing.T) {
+	cl := histCluster(cstruct.KeyConflict, ClusterOpts{
+		NCoords: 3, NAcceptors: 5, F: 2, Seed: 1, NLearners: 2})
+	cl.Start(0)
+	const n = 40
+	for i := 0; i < n; i++ {
+		cl.Props[0].Propose(cstruct.Cmd{ID: uint64(1000 + i), Key: "k"})
+		cl.Sim.Run()
+	}
+	if got := cl.Learners[0].LearnedCount(); got != n {
+		t.Fatalf("learned %d commands, want %d", got, n)
+	}
+	// Single proposer, same key: learners must hold the same total order.
+	l0 := cl.Learners[0].Learned().Commands()
+	l1 := cl.Learners[1].Learned().Commands()
+	if len(l1) != len(l0) {
+		t.Fatalf("learner 1 behind: %d vs %d", len(l1), len(l0))
+	}
+	for i := range l0 {
+		if l0[i].ID != l1[i].ID {
+			t.Fatalf("order diverged at %d: %v vs %v", i, l0[i], l1[i])
+		}
+	}
+}
+
+func TestGeneralizedFastRound(t *testing.T) {
+	// Fast rounds in the generalized engine: proposals reach acceptors
+	// directly and commute into the history (two steps per command).
+	cl := histCluster(cstruct.NeverConflict, ClusterOpts{
+		NCoords: 1, NAcceptors: 4, F: 1, E: 1, Seed: 1,
+		Scheme: ballot.FastScheme{}})
+	cl.Start(0)
+	start := cl.Sim.Now()
+	cl.Props[0].Propose(cstruct.Cmd{ID: 7})
+	cl.Sim.Run()
+	lt, ok := cl.LearnTimes[7]
+	if !ok {
+		t.Fatalf("fast generalized round did not learn")
+	}
+	if steps := lt - start; steps != 2 {
+		t.Errorf("fast round learned in %d steps, want 2", steps)
+	}
+}
+
+func TestGeneralizedFastRoundCommutingConcurrent(t *testing.T) {
+	cl := histCluster(cstruct.NeverConflict, ClusterOpts{
+		NCoords: 1, NAcceptors: 4, F: 1, E: 1, Seed: 1,
+		Scheme: ballot.FastScheme{}, NProposers: 2})
+	cl.Start(0)
+	a, b := cstruct.Cmd{ID: 100}, cstruct.Cmd{ID: 200}
+	env1, env2 := cl.Sim.Env(1), cl.Sim.Env(2)
+	// Opposite arrival orders at the acceptor halves.
+	env1.Send(cl.Cfg.Acceptors[0], msg.Propose{Cmd: a})
+	env1.Send(cl.Cfg.Acceptors[1], msg.Propose{Cmd: a})
+	env2.Send(cl.Cfg.Acceptors[2], msg.Propose{Cmd: b})
+	env2.Send(cl.Cfg.Acceptors[3], msg.Propose{Cmd: b})
+	cl.Sim.After(1, func() {
+		env1.Send(cl.Cfg.Acceptors[2], msg.Propose{Cmd: a})
+		env1.Send(cl.Cfg.Acceptors[3], msg.Propose{Cmd: a})
+		env2.Send(cl.Cfg.Acceptors[0], msg.Propose{Cmd: b})
+		env2.Send(cl.Cfg.Acceptors[1], msg.Propose{Cmd: b})
+	})
+	cl.Sim.Run()
+	for _, id := range []uint64{100, 200} {
+		if _, ok := cl.LearnTimes[id]; !ok {
+			t.Fatalf("command %d not learned despite commuting", id)
+		}
+	}
+	if !cl.Agreement() {
+		t.Fatalf("learners diverged")
+	}
+}
+
+func TestGeneralizedFastRoundConflictDetectedViaExchange(t *testing.T) {
+	// Conflicting commands accepted in opposite orders in a fast round:
+	// with Exchange2b on, acceptors detect the incompatibility and promote
+	// to the successor classic round (Section 4.2).
+	cl := histCluster(cstruct.AlwaysConflict, ClusterOpts{
+		NCoords: 1, NAcceptors: 4, F: 1, E: 1, Seed: 1,
+		Scheme: ballot.FastScheme{}, NProposers: 2, Exchange2b: true})
+	cl.Start(0)
+	a, b := cstruct.Cmd{ID: 100}, cstruct.Cmd{ID: 200}
+	env1, env2 := cl.Sim.Env(1), cl.Sim.Env(2)
+	env1.Send(cl.Cfg.Acceptors[0], msg.Propose{Cmd: a})
+	env1.Send(cl.Cfg.Acceptors[1], msg.Propose{Cmd: a})
+	env2.Send(cl.Cfg.Acceptors[2], msg.Propose{Cmd: b})
+	env2.Send(cl.Cfg.Acceptors[3], msg.Propose{Cmd: b})
+	cl.Sim.After(1, func() {
+		env1.Send(cl.Cfg.Acceptors[2], msg.Propose{Cmd: a})
+		env1.Send(cl.Cfg.Acceptors[3], msg.Propose{Cmd: a})
+		env2.Send(cl.Cfg.Acceptors[0], msg.Propose{Cmd: b})
+		env2.Send(cl.Cfg.Acceptors[1], msg.Propose{Cmd: b})
+		// Coordinator must also hear the proposals to finish them in the
+		// recovery round.
+		env1.Send(cl.Cfg.Coords[0], msg.Propose{Cmd: a})
+		env2.Send(cl.Cfg.Coords[0], msg.Propose{Cmd: b})
+	})
+	cl.Sim.Run()
+	for _, id := range []uint64{100, 200} {
+		if _, ok := cl.LearnTimes[id]; !ok {
+			t.Fatalf("command %d not learned after fast-round collision", id)
+		}
+	}
+	promoted := 0
+	for _, acc := range cl.Accs {
+		promoted += acc.Promotions()
+	}
+	if promoted == 0 {
+		t.Errorf("fast-round conflict must be detected via 2b exchange")
+	}
+	if !cl.Agreement() {
+		t.Fatalf("learners diverged")
+	}
+}
+
+func TestGeneralizedMultiLearnersCompatibleUnderLoad(t *testing.T) {
+	cl := histCluster(cstruct.KeyConflict, ClusterOpts{
+		NCoords: 3, NAcceptors: 5, F: 1, E: 1, Seed: 3, NLearners: 3, NProposers: 3})
+	cl.Start(0)
+	keys := []string{"a", "b", "c"}
+	id := uint64(1)
+	for round := 0; round < 10; round++ {
+		for pi, p := range cl.Props {
+			p.Propose(cstruct.Cmd{ID: id, Key: keys[(round+pi)%len(keys)]})
+			id++
+		}
+		cl.Sim.Run()
+	}
+	if !cl.Agreement() {
+		t.Fatalf("learners diverged under concurrent keyed load")
+	}
+	if cl.Learners[0].LearnedCount() == 0 {
+		t.Fatalf("nothing learned")
+	}
+}

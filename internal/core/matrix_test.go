@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+)
+
+// TestConfigurationMatrix sweeps deployment shapes — acceptor counts,
+// failure bounds, coordinator counts, round schemes, c-struct sets — and
+// checks the basic contract on each: a single stream of commands is fully
+// learned, with learner agreement, with the expected per-command latency
+// for the scheme, and with one disk write per command per acceptor.
+func TestConfigurationMatrix(t *testing.T) {
+	type shape struct {
+		nAcc, f, e int
+		nCoords    int
+		scheme     ballot.Scheme
+		set        cstruct.Set
+		wantSteps  int64
+	}
+	histories := cstruct.NewHistorySet(cstruct.NeverConflict)
+	shapes := []shape{
+		{3, 1, 0, 1, ballot.SingleScheme{}, cstruct.CmdSetSet{}, 3},
+		{3, 1, 0, 3, ballot.MultiScheme{}, cstruct.CmdSetSet{}, 3},
+		{5, 2, 0, 3, ballot.MultiScheme{}, histories, 3},
+		{5, 2, 0, 5, ballot.MultiScheme{}, histories, 3},
+		{7, 3, 0, 5, ballot.MultiScheme{}, histories, 3},
+		{7, 2, 2, 3, ballot.MultiScheme{}, histories, 3},
+		{4, 1, 1, 1, ballot.FastScheme{}, histories, 2},
+		{5, 1, 1, 1, ballot.FastScheme{}, histories, 2},
+		{7, 3, 1, 1, ballot.FastScheme{}, histories, 2},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		name := fmt.Sprintf("n%d-f%d-e%d-nc%d-%T", sh.nAcc, sh.f, sh.e, sh.nCoords, sh.scheme)
+		t.Run(name, func(t *testing.T) {
+			cl := NewCluster(ClusterOpts{
+				NCoords: sh.nCoords, NAcceptors: sh.nAcc, F: sh.f, E: sh.e,
+				Seed: 1, NLearners: 2, Scheme: sh.scheme, Set: sh.set,
+			})
+			if err := cl.Cfg.Validate(); err != nil {
+				t.Fatalf("config: %v", err)
+			}
+			cl.Start(0)
+			const n = 8
+			for i := 0; i < n; i++ {
+				for _, d := range cl.Disks {
+					d.ResetWrites()
+				}
+				start := cl.Sim.Now()
+				id := uint64(1 + i)
+				cl.Props[0].Propose(cstruct.Cmd{ID: id, Key: fmt.Sprintf("k%d", i)})
+				cl.Sim.Run()
+				lt, ok := cl.LearnTimes[id]
+				if !ok {
+					t.Fatalf("command %d not learned", id)
+				}
+				if steps := lt - start; steps != sh.wantSteps {
+					t.Errorf("command %d took %d steps, want %d", id, steps, sh.wantSteps)
+				}
+			}
+			if !cl.Agreement() {
+				t.Fatalf("learners diverged")
+			}
+			if got := cl.Learners[1].LearnedCount(); got != n {
+				t.Errorf("learner 1 saw %d/%d commands", got, n)
+			}
+		})
+	}
+}
+
+// TestBigClusterUnderLoad pushes a larger deployment harder: 7 acceptors,
+// 5 coordinators, 3 proposers, keyed conflicts, jitter-free.
+func TestBigClusterUnderLoad(t *testing.T) {
+	cl := NewCluster(ClusterOpts{
+		NCoords: 5, NAcceptors: 7, F: 3, Seed: 9, NLearners: 3, NProposers: 3,
+		Set: cstruct.NewHistorySet(cstruct.KeyConflict),
+	})
+	cl.Start(0)
+	id := uint64(1)
+	keys := []string{"a", "b", "c", "d"}
+	for round := 0; round < 6; round++ {
+		for pi, p := range cl.Props {
+			p.Propose(cstruct.Cmd{ID: id, Key: keys[(round+pi)%len(keys)]})
+			id++
+		}
+		cl.Sim.Run()
+	}
+	want := int(id - 1)
+	if got := cl.Learners[0].LearnedCount(); got != want {
+		t.Fatalf("learned %d/%d", got, want)
+	}
+	if !cl.Agreement() {
+		t.Fatalf("learners diverged")
+	}
+}

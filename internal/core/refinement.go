@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+
+	"mcpaxos/internal/abstract"
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+)
+
+// This file implements the refinement mapping of Appendix A.3/A.4: a
+// concrete Multicoordinated Paxos cluster state is mapped to a state of the
+// Abstract Multicoordinated Paxos specification, whose invariants can then
+// be checked directly. Used by conformance tests.
+//
+// The mapping follows the paper:
+//
+//   - bA: each acceptor contributes its current ballot (rnd) and its latest
+//     vote (vrnd, vval); ballot 0 holds the implicit ⊥ votes. Votes at
+//     superseded ballots are no longer available in the concrete state, so
+//     the abstract ballot array is a projection — the checks are sound for
+//     alarms (no false violations) but weaker than checking full histories.
+//
+//   - maxTried[m] = ⊔ { ⊓_{c ∈ Q} dMaxTried[c][m] : Q an m-coordquorum with
+//     every member's crnd = m } where dMaxTried[c][m] is coordinator c's
+//     cval when crnd[c] = m (the Tried/AllTried construction of A.3).
+//
+//   - learned: taken from the learners directly.
+
+// RefineOpts carries extra knowledge for the mapping.
+type RefineOpts struct {
+	// ProposedCmds is the command universe (what proposers submitted).
+	ProposedCmds []cstruct.Cmd
+}
+
+// Refine builds the abstract configuration and state corresponding to the
+// cluster's current state.
+func Refine(cl *Cluster, opts RefineOpts) (abstract.Config, *abstract.State) {
+	// Ballot universe: Zero plus everything any agent currently sits at.
+	ballotSet := map[ballot.Ballot]struct{}{ballot.Zero: {}}
+	for _, a := range cl.Accs {
+		ballotSet[a.Rnd()] = struct{}{}
+		ballotSet[a.VRnd()] = struct{}{}
+	}
+	for _, c := range cl.Coords {
+		if c.Started() {
+			ballotSet[c.Rnd()] = struct{}{}
+		}
+	}
+	ballots := make([]ballot.Ballot, 0, len(ballotSet))
+	for b := range ballotSet {
+		ballots = append(ballots, b)
+	}
+	sort.Slice(ballots, func(i, j int) bool { return ballots[i].Less(ballots[j]) })
+	idx := make(map[ballot.Ballot]int, len(ballots))
+	fast := make([]bool, len(ballots))
+	for i, b := range ballots {
+		idx[b] = i
+		fast[i] = cl.Cfg.Scheme.IsFast(b)
+	}
+	fast[0] = false // ballot 0 is the pre-accepted initial ballot
+
+	cfg := abstract.Config{
+		NAcc:      cl.Cfg.Quorums.N(),
+		F:         cl.Cfg.Quorums.F(),
+		E:         cl.Cfg.Quorums.E(),
+		Fast:      fast,
+		Cmds:      opts.ProposedCmds,
+		Set:       cl.Cfg.Set,
+		NLearners: len(cl.Learners),
+	}
+	s := cfg.Init()
+
+	// Mark every known command proposed (the universe is the proposal set).
+	for i := range s.PropCmd {
+		s.PropCmd[i] = true
+	}
+
+	// Acceptors → bA.
+	for ai, a := range cl.Accs {
+		s.MBal[ai] = idx[a.Rnd()]
+		vi := idx[a.VRnd()]
+		if vi > 0 {
+			s.Votes[ai][vi] = a.VVal()
+		}
+	}
+
+	// Coordinators → maxTried via the Tried/AllTried construction.
+	for bi, b := range ballots {
+		if bi == 0 {
+			continue
+		}
+		var tried []cstruct.CStruct
+		coords := cl.Cfg.RoundCoords(b)
+		need := cl.Cfg.CoordQuorumSize(b)
+		// dMaxTried[c][b]: cval when the coordinator's current round is b.
+		vals := make([]cstruct.CStruct, 0, len(coords))
+		for _, id := range coords {
+			for ci, cid := range cl.Cfg.Coords {
+				if cid == id && cl.Coords[ci].Started() && cl.Coords[ci].Rnd().Equal(b) {
+					vals = append(vals, cl.Coords[ci].CVal())
+				}
+			}
+		}
+		if len(vals) >= need {
+			// Enumerate quorums among the responding coordinators.
+			subsets := subsetsOf(len(vals), need)
+			for _, sub := range subsets {
+				pick := make([]cstruct.CStruct, 0, need)
+				for _, j := range sub {
+					pick = append(pick, vals[j])
+				}
+				tried = append(tried, cl.Cfg.Set.GLB(pick...))
+			}
+		}
+		if len(tried) > 0 {
+			if lub, ok := cl.Cfg.Set.LUB(tried...); ok {
+				s.MaxTried[bi] = lub
+			}
+		}
+	}
+
+	// Learners → learned.
+	for li, l := range cl.Learners {
+		s.Learned[li] = l.Learned()
+	}
+	return cfg, s
+}
+
+func subsetsOf(n, k int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i <= n-(k-len(cur)); i++ {
+			cur = append(cur, i)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,296 @@
+package cstruct
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// seededConflict derives a deterministic symmetric irreflexive conflict
+// relation over command IDs from a seed.
+func seededConflict(seed uint64) Conflict {
+	return func(a, b Cmd) bool {
+		if a.ID == b.ID {
+			return false
+		}
+		lo, hi := a.ID, b.ID
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		x := seed ^ (lo * 0x9e3779b97f4a7c15) ^ (hi * 0xc2b2ae3d27d4eb4f)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 29
+		return x%2 == 0
+	}
+}
+
+// randSeq draws a random command sequence over a pool of `universe` IDs.
+func randSeq(r *rand.Rand, universe int, maxLen int) []Cmd {
+	n := r.Intn(maxLen + 1)
+	out := make([]Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cmd(uint64(1+r.Intn(universe))))
+	}
+	return out
+}
+
+type histCase struct {
+	seed uint64
+	a, b []Cmd
+}
+
+func genCase(r *rand.Rand) histCase {
+	return histCase{
+		seed: r.Uint64() % 64,
+		a:    randSeq(r, 4, 4),
+		b:    randSeq(r, 4, 4),
+	}
+}
+
+// TestHistoryGLBMatchesReference cross-checks the Section 3.3.1 Prefix
+// operator against the brute-force lattice oracle.
+func TestHistoryGLBMatchesReference(t *testing.T) {
+	f := func(seed1, seed2, seed3 int64) bool {
+		r := rand.New(rand.NewSource(seed1 ^ seed2<<20 ^ seed3<<40))
+		tc := genCase(r)
+		conf := seededConflict(tc.seed)
+		s := NewHistorySet(conf)
+		a, b := s.NewHistory(tc.a...), s.NewHistory(tc.b...)
+		got := s.GLB(a, b).(History)
+
+		refA := NewRefHistory(conf, tc.a)
+		refB := NewRefHistory(conf, tc.b)
+		want, unique := RefGLB(conf, refA, refB)
+		if !unique {
+			t.Logf("glb not unique for %v vs %v (CS3 would be violated)", tc.a, tc.b)
+			return false
+		}
+		if !want.Equal(NewRefHistory(conf, got.Commands())) {
+			t.Logf("seed=%d a=%v b=%v: glb=%v want canonical %v",
+				tc.seed, FmtCmds(tc.a), FmtCmds(tc.b), got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistoryCompatibleMatchesReference cross-checks AreCompatible against
+// exhaustive search for a common upper bound.
+func TestHistoryCompatibleMatchesReference(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		r := rand.New(rand.NewSource(seed1 ^ seed2<<32))
+		tc := genCase(r)
+		conf := seededConflict(tc.seed)
+		s := NewHistorySet(conf)
+		a, b := s.NewHistory(tc.a...), s.NewHistory(tc.b...)
+		got := s.Compatible(a, b)
+		want := RefCompatible(conf, NewRefHistory(conf, tc.a), NewRefHistory(conf, tc.b))
+		if got != want {
+			t.Logf("seed=%d a=%v b=%v: Compatible=%v want %v",
+				tc.seed, FmtCmds(tc.a), FmtCmds(tc.b), got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistoryLUBMatchesReference cross-checks the merge operator against the
+// brute-force least upper bound.
+func TestHistoryLUBMatchesReference(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		r := rand.New(rand.NewSource(seed1*31 + seed2))
+		tc := genCase(r)
+		conf := seededConflict(tc.seed)
+		s := NewHistorySet(conf)
+		a, b := s.NewHistory(tc.a...), s.NewHistory(tc.b...)
+		got, ok := s.LUB(a, b)
+		refA := NewRefHistory(conf, tc.a)
+		refB := NewRefHistory(conf, tc.b)
+		want, refOK := RefLUB(conf, refA, refB)
+		if ok != refOK {
+			t.Logf("seed=%d a=%v b=%v: LUB ok=%v want %v",
+				tc.seed, FmtCmds(tc.a), FmtCmds(tc.b), ok, refOK)
+			return false
+		}
+		if ok && !want.Equal(NewRefHistory(conf, got.Commands())) {
+			t.Logf("seed=%d a=%v b=%v: lub=%v want %v",
+				tc.seed, FmtCmds(tc.a), FmtCmds(tc.b), got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// axiomSets returns every c-struct set under test together with a command
+// pool appropriate for it.
+func axiomSets(seed uint64) []Set {
+	return []Set{
+		SingleValueSet{},
+		CmdSetSet{},
+		NewHistorySet(AlwaysConflict),
+		NewHistorySet(NeverConflict),
+		NewHistorySet(seededConflict(seed)),
+	}
+}
+
+// TestAxiomCS0CS1 checks closure under • and constructibility.
+func TestAxiomCS0CS1(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, s := range axiomSets(uint64(seed) % 16) {
+			seq := randSeq(r, 4, 5)
+			v := AppendSeq(s.Bottom(), seq)
+			if !ConstructibleFrom(v, seq) {
+				t.Logf("%s: %v not constructible from its own commands", s.Name(), v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAxiomCS2PartialOrder checks that ⊑ is reflexive, antisymmetric and
+// transitive on every c-struct set.
+func TestAxiomCS2PartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, s := range axiomSets(uint64(seed) % 16) {
+			u := AppendSeq(s.Bottom(), randSeq(r, 4, 4))
+			v := AppendSeq(s.Bottom(), randSeq(r, 4, 4))
+			w := AppendSeq(u, randSeq(r, 4, 3)) // guaranteed u ⊑ w
+			if !s.Extends(u, u) {
+				t.Logf("%s: reflexivity failed for %v", s.Name(), u)
+				return false
+			}
+			if s.Extends(u, v) && s.Extends(v, u) && !s.Equal(u, v) {
+				t.Logf("%s: antisymmetry failed for %v, %v", s.Name(), u, v)
+				return false
+			}
+			if !s.Extends(u, w) {
+				t.Logf("%s: %v must extend its own prefix %v", s.Name(), w, u)
+				return false
+			}
+			if s.Extends(u, v) && s.Extends(v, w) && !s.Extends(u, w) {
+				t.Logf("%s: transitivity failed %v ⊑ %v ⊑ %v", s.Name(), u, v, w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAxiomCS3 checks the lattice clauses: glb exists and is a greatest
+// lower bound; lub of compatible pairs exists and is a least upper bound;
+// and compatibility of {u,v,w} implies compatibility of u with v ⊔ w.
+func TestAxiomCS3(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, s := range axiomSets(uint64(seed) % 16) {
+			u := AppendSeq(s.Bottom(), randSeq(r, 4, 4))
+			v := AppendSeq(s.Bottom(), randSeq(r, 4, 4))
+			w := AppendSeq(s.Bottom(), randSeq(r, 4, 4))
+
+			g := s.GLB(u, v)
+			if !s.Extends(g, u) || !s.Extends(g, v) {
+				t.Logf("%s: glb %v not a lower bound of %v, %v", s.Name(), g, u, v)
+				return false
+			}
+			if s.Compatible(u, v) {
+				l, ok := s.LUB(u, v)
+				if !ok {
+					t.Logf("%s: compatible pair has no lub: %v, %v", s.Name(), u, v)
+					return false
+				}
+				if !s.Extends(u, l) || !s.Extends(v, l) {
+					t.Logf("%s: lub %v not an upper bound of %v, %v", s.Name(), l, u, v)
+					return false
+				}
+				// glb must be greatest among a sampled lower bound: g ⊒ u⊓v⊓w
+				g3 := s.GLB(u, v, w)
+				if !s.Extends(g3, g) {
+					t.Logf("%s: 3-way glb %v must be below 2-way glb %v", s.Name(), g3, g)
+					return false
+				}
+			}
+			if s.Compatible(u, v, w) {
+				l, ok := s.LUB(v, w)
+				if !ok || !s.Compatible(u, l) {
+					t.Logf("%s: CS3 closure failed: u=%v v=%v w=%v", s.Name(), u, v, w)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAxiomCS4 checks: for compatible v, w both containing C, v ⊓ w
+// contains C.
+func TestAxiomCS4(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, s := range axiomSets(uint64(seed) % 16) {
+			c := cmd(uint64(1 + r.Intn(4)))
+			u := AppendSeq(s.Bottom(), randSeq(r, 4, 3)).Append(c)
+			v := AppendSeq(s.Bottom(), randSeq(r, 4, 3)).Append(c)
+			if !u.Contains(c) || !v.Contains(c) || !s.Compatible(u, v) {
+				continue // CS4 premise not met (e.g. single-value no-op append)
+			}
+			if g := s.GLB(u, v); !g.Contains(c) {
+				t.Logf("%s: CS4 failed: %v ⊓ %v = %v misses %v", s.Name(), u, v, g, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGLBLUBAbsorption checks the standard lattice absorption identities on
+// compatible pairs: u ⊔ (u ⊓ v) = u and u ⊓ (u ⊔ v) = u.
+func TestGLBLUBAbsorption(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, s := range axiomSets(uint64(seed) % 16) {
+			u := AppendSeq(s.Bottom(), randSeq(r, 4, 4))
+			v := AppendSeq(s.Bottom(), randSeq(r, 4, 4))
+			g := s.GLB(u, v)
+			if l, ok := s.LUB(u, g); !ok || !s.Equal(l, u) {
+				t.Logf("%s: u ⊔ (u⊓v) != u for u=%v v=%v", s.Name(), u, v)
+				return false
+			}
+			if s.Compatible(u, v) {
+				l, _ := s.LUB(u, v)
+				if g2 := s.GLB(u, l); !s.Equal(g2, u) {
+					t.Logf("%s: u ⊓ (u⊔v) != u for u=%v v=%v", s.Name(), u, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

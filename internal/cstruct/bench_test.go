@@ -1,0 +1,75 @@
+package cstruct
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the lattice operations that dominate protocol cost
+// (acceptor merges and learner glbs are on the critical path).
+
+func benchHistories(n int, conf Conflict) (HistorySet, History, History) {
+	s := NewHistorySet(conf)
+	a := s.NewHistory()
+	b := s.NewHistory()
+	for i := 0; i < n; i++ {
+		c := Cmd{ID: uint64(1 + i), Key: fmt.Sprintf("k%d", i%8)}
+		a = a.Append(c).(History)
+		if i < 2*n/3 { // b is a prefix of a: always compatible
+			b = b.Append(c).(History)
+		}
+	}
+	return s, a, b
+}
+
+func BenchmarkHistoryGLB(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, x, y := benchHistories(n, KeyConflict)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.GLB(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkHistoryLUB(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, x, y := benchHistories(n, KeyConflict)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := s.LUB(x, y); !ok {
+					b.Fatal("expected compatible")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHistoryCompatible(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, x, y := benchHistories(n, KeyConflict)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Compatible(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkHistoryAppend(b *testing.B) {
+	s, x, _ := benchHistories(128, KeyConflict)
+	c := Cmd{ID: 999999, Key: "fresh"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Append(c)
+	}
+	_ = s
+}

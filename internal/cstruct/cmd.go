@@ -1,0 +1,98 @@
+// Package cstruct implements the command-structure (c-struct) framework of
+// Generalized Consensus as defined by Lamport ("Generalized Consensus and
+// Paxos", MSR-TR-2005-33) and used by Multicoordinated Paxos (Camargos,
+// Schmidt, Pedone, TR 2007/02, Section 2.3 and 3.3).
+//
+// A c-struct set is defined by a bottom element ⊥, a set of commands Cmd, an
+// append operator • and five axioms CS0-CS4. This package provides three
+// concrete c-struct sets:
+//
+//   - SingleValueSet: the consensus c-struct set (⊥ or exactly one command).
+//   - CmdSetSet: c-structs are sets of commands (a distributive lattice).
+//   - HistorySet: command histories — partially ordered sets of commands
+//     where only conflicting commands are ordered (Section 3.3.1 of the
+//     paper). This is the c-struct set used for Generic Broadcast.
+//
+// All operations are pure: they never mutate their receivers and always
+// return fresh values, so c-structs can be shared freely across goroutines.
+package cstruct
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OpKind classifies a command for built-in conflict relations.
+type OpKind uint8
+
+// Operation kinds. Start at one so the zero value is detectably unset.
+const (
+	OpUnknown OpKind = iota
+	OpRead
+	OpWrite
+)
+
+// Cmd is a proposed command. Commands are compared by ID: two commands with
+// the same ID are the same command. Key and Op exist so conflict relations
+// can inspect what the command touches; Payload is opaque to the protocol.
+type Cmd struct {
+	ID      uint64
+	Key     string
+	Op      OpKind
+	Payload []byte
+}
+
+// Equal reports whether the two commands are the same command.
+func (c Cmd) Equal(d Cmd) bool { return c.ID == d.ID }
+
+// String renders a short human-readable form of the command.
+func (c Cmd) String() string {
+	var b strings.Builder
+	b.WriteString("c")
+	b.WriteString(strconv.FormatUint(c.ID, 10))
+	if c.Key != "" {
+		b.WriteString("(")
+		switch c.Op {
+		case OpRead:
+			b.WriteString("r:")
+		case OpWrite:
+			b.WriteString("w:")
+		}
+		b.WriteString(c.Key)
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Conflict is a symmetric, irreflexive interference relation over commands.
+// Two commands that conflict must be ordered the same way by all learners;
+// commands that do not conflict may be learned in different orders.
+type Conflict func(a, b Cmd) bool
+
+// AlwaysConflict orders every pair of distinct commands: command histories
+// under this relation degenerate to totally ordered sequences (total order
+// broadcast).
+func AlwaysConflict(a, b Cmd) bool { return a.ID != b.ID }
+
+// NeverConflict lets every pair of commands commute: command histories
+// degenerate to command sets (reliable broadcast).
+func NeverConflict(a, b Cmd) bool { return false }
+
+// KeyConflict orders two distinct commands iff they touch the same key.
+func KeyConflict(a, b Cmd) bool { return a.ID != b.ID && a.Key == b.Key }
+
+// RWConflict orders two distinct commands iff they touch the same key and at
+// least one of them is a write. Two reads of the same key commute.
+func RWConflict(a, b Cmd) bool {
+	return a.ID != b.ID && a.Key == b.Key && (a.Op == OpWrite || b.Op == OpWrite)
+}
+
+// FmtCmds renders a command slice compactly, for diagnostics.
+func FmtCmds(cs []Cmd) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("⟨%s⟩", strings.Join(parts, ","))
+}

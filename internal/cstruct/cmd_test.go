@@ -1,0 +1,123 @@
+package cstruct
+
+import (
+	"strings"
+	"testing"
+)
+
+func cmd(id uint64) Cmd { return Cmd{ID: id} }
+
+func kcmd(id uint64, key string, op OpKind) Cmd { return Cmd{ID: id, Key: key, Op: op} }
+
+func TestCmdEqual(t *testing.T) {
+	a := Cmd{ID: 1, Key: "x"}
+	b := Cmd{ID: 1, Key: "y"} // same ID, different metadata: same command
+	c := Cmd{ID: 2, Key: "x"}
+	if !a.Equal(b) {
+		t.Errorf("commands with equal IDs must be equal")
+	}
+	if a.Equal(c) {
+		t.Errorf("commands with different IDs must differ")
+	}
+}
+
+func TestAlwaysConflict(t *testing.T) {
+	a, b := cmd(1), cmd(2)
+	if !AlwaysConflict(a, b) {
+		t.Errorf("distinct commands must conflict")
+	}
+	if AlwaysConflict(a, a) {
+		t.Errorf("conflict relation must be irreflexive")
+	}
+}
+
+func TestNeverConflict(t *testing.T) {
+	if NeverConflict(cmd(1), cmd(2)) {
+		t.Errorf("NeverConflict must never conflict")
+	}
+}
+
+func TestKeyConflict(t *testing.T) {
+	ax := kcmd(1, "x", OpWrite)
+	bx := kcmd(2, "x", OpRead)
+	cy := kcmd(3, "y", OpWrite)
+	if !KeyConflict(ax, bx) {
+		t.Errorf("same-key commands must conflict")
+	}
+	if KeyConflict(ax, cy) {
+		t.Errorf("different-key commands must not conflict")
+	}
+	if KeyConflict(ax, ax) {
+		t.Errorf("conflict relation must be irreflexive")
+	}
+}
+
+func TestRWConflict(t *testing.T) {
+	r1 := kcmd(1, "x", OpRead)
+	r2 := kcmd(2, "x", OpRead)
+	w1 := kcmd(3, "x", OpWrite)
+	w2 := kcmd(4, "y", OpWrite)
+	if RWConflict(r1, r2) {
+		t.Errorf("two reads of the same key commute")
+	}
+	if !RWConflict(r1, w1) {
+		t.Errorf("read-write on the same key must conflict")
+	}
+	if !RWConflict(w1, Cmd{ID: 9, Key: "x", Op: OpWrite}) {
+		t.Errorf("write-write on the same key must conflict")
+	}
+	if RWConflict(w1, w2) {
+		t.Errorf("writes to different keys commute")
+	}
+}
+
+func TestConflictSymmetry(t *testing.T) {
+	cmds := []Cmd{
+		kcmd(1, "x", OpRead), kcmd(2, "x", OpWrite),
+		kcmd(3, "y", OpRead), kcmd(4, "y", OpWrite),
+	}
+	rels := map[string]Conflict{
+		"always": AlwaysConflict, "never": NeverConflict,
+		"key": KeyConflict, "rw": RWConflict,
+	}
+	for name, rel := range rels {
+		for _, a := range cmds {
+			for _, b := range cmds {
+				if rel(a, b) != rel(b, a) {
+					t.Errorf("%s: conflict(%v,%v) not symmetric", name, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCmdString(t *testing.T) {
+	if got := cmd(7).String(); got != "c7" {
+		t.Errorf("String() = %q, want c7", got)
+	}
+	if got := kcmd(7, "x", OpWrite).String(); !strings.Contains(got, "w:x") {
+		t.Errorf("String() = %q, want op and key rendered", got)
+	}
+	if got := FmtCmds([]Cmd{cmd(1), cmd(2)}); got != "⟨c1,c2⟩" {
+		t.Errorf("FmtCmds = %q", got)
+	}
+}
+
+func TestConstructibleFrom(t *testing.T) {
+	s := NewHistorySet(AlwaysConflict)
+	h := s.NewHistory(cmd(1), cmd(2))
+	if !ConstructibleFrom(h, []Cmd{cmd(1), cmd(2), cmd(3)}) {
+		t.Errorf("history over {1,2} must be constructible from {1,2,3}")
+	}
+	if ConstructibleFrom(h, []Cmd{cmd(1)}) {
+		t.Errorf("history over {1,2} must not be constructible from {1}")
+	}
+}
+
+func TestAppendSeq(t *testing.T) {
+	s := SingleValueSet{}
+	v := AppendSeq(s.Bottom(), []Cmd{cmd(1), cmd(2)})
+	if !v.Contains(cmd(1)) || v.Contains(cmd(2)) {
+		t.Errorf("single-value append sequence must keep only the first command, got %v", v)
+	}
+}

@@ -1,0 +1,67 @@
+package cstruct
+
+import "testing"
+
+func TestCmdSetBasics(t *testing.T) {
+	s := CmdSetSet{}
+	bot := s.Bottom()
+	v := bot.Append(cmd(1)).Append(cmd(2)).Append(cmd(1))
+	if v.Len() != 2 {
+		t.Fatalf("append must deduplicate, got len %d", v.Len())
+	}
+	cs := v.Commands()
+	if len(cs) != 2 || cs[0].ID != 1 || cs[1].ID != 2 {
+		t.Errorf("Commands must be sorted by ID, got %v", cs)
+	}
+	if got := v.String(); got != "{c1,c2}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCmdSetLattice(t *testing.T) {
+	s := CmdSetSet{}
+	a := NewCmdSet(cmd(1), cmd(2))
+	b := NewCmdSet(cmd(2), cmd(3))
+
+	g := s.GLB(a, b)
+	if g.Len() != 1 || !g.Contains(cmd(2)) {
+		t.Errorf("glb must be the intersection, got %v", g)
+	}
+	u, ok := s.LUB(a, b)
+	if !ok || u.Len() != 3 {
+		t.Errorf("lub must be the union, got %v", u)
+	}
+	if !s.Compatible(a, b) {
+		t.Errorf("command sets are always compatible")
+	}
+	if !s.Extends(g, a) || !s.Extends(a, u) {
+		t.Errorf("glb ⊑ a ⊑ lub must hold")
+	}
+	if s.Extends(a, b) {
+		t.Errorf("{1,2} must not be extended by {2,3}")
+	}
+	if !s.Equal(NewCmdSet(cmd(1), cmd(2)), NewCmdSet(cmd(2), cmd(1))) {
+		t.Errorf("set equality must ignore insertion order")
+	}
+}
+
+func TestCmdSetEmptyOps(t *testing.T) {
+	s := CmdSetSet{}
+	if g := s.GLB(); g.Len() != 0 {
+		t.Errorf("glb of nothing must be ⊥")
+	}
+	if u, ok := s.LUB(); !ok || u.Len() != 0 {
+		t.Errorf("lub of nothing must be ⊥")
+	}
+	if !s.Compatible() {
+		t.Errorf("empty family must be compatible")
+	}
+}
+
+func TestCmdSetImmutability(t *testing.T) {
+	a := NewCmdSet(cmd(1))
+	_ = a.Append(cmd(2))
+	if a.Len() != 1 {
+		t.Errorf("Append must not mutate the receiver")
+	}
+}

@@ -1,0 +1,221 @@
+package cstruct
+
+import "testing"
+
+// pairConflict builds a conflict relation from explicit ID pairs.
+func pairConflict(pairs ...[2]uint64) Conflict {
+	m := make(map[[2]uint64]bool, len(pairs)*2)
+	for _, p := range pairs {
+		m[p] = true
+		m[[2]uint64{p[1], p[0]}] = true
+	}
+	return func(a, b Cmd) bool { return a.ID != b.ID && m[[2]uint64{a.ID, b.ID}] }
+}
+
+func TestHistoryAppendDedup(t *testing.T) {
+	s := NewHistorySet(AlwaysConflict)
+	h := s.NewHistory(cmd(1), cmd(2), cmd(1))
+	if h.Len() != 2 {
+		t.Fatalf("append must ignore commands already in the history")
+	}
+}
+
+func TestHistoryPaperExample(t *testing.T) {
+	// Section 3.3.1's example poset: a and b are unordered roots, c follows
+	// a, d follows b. Conflicts: a-c, b-d (and nothing else).
+	conf := pairConflict([2]uint64{1, 3}, [2]uint64{2, 4})
+	s := NewHistorySet(conf)
+	a, b, c, d := cmd(1), cmd(2), cmd(3), cmd(4)
+
+	reps := [][]Cmd{
+		{a, b, c, d}, {a, c, b, d}, {a, b, d, c},
+		{b, d, a, c}, {b, a, d, c}, {b, a, c, d},
+	}
+	first := s.NewHistory(reps[0]...)
+	for _, rep := range reps[1:] {
+		h := s.NewHistory(rep...)
+		if !s.Equal(first, h) {
+			t.Errorf("representations %v and %v must denote the same history",
+				FmtCmds(reps[0]), FmtCmds(rep))
+		}
+	}
+	// A representation violating b ≺ d is a different history: it cannot
+	// even be produced by •, since appending b after d orders d ≺ b.
+	bad := s.NewHistory(a, d, c, b)
+	if s.Equal(first, bad) {
+		t.Errorf("d before b must denote a different poset")
+	}
+}
+
+func TestHistoryExtends(t *testing.T) {
+	s := NewHistorySet(AlwaysConflict)
+	h1 := s.NewHistory(cmd(1))
+	h12 := s.NewHistory(cmd(1), cmd(2))
+	h21 := s.NewHistory(cmd(2), cmd(1))
+
+	if !s.Extends(s.Bottom().(History), h12) {
+		t.Errorf("⊥ ⊑ h must hold")
+	}
+	if !s.Extends(h1, h12) {
+		t.Errorf("⟨1⟩ ⊑ ⟨1,2⟩ must hold under total conflicts")
+	}
+	if s.Extends(h12, h21) {
+		t.Errorf("⟨1,2⟩ ⊑ ⟨2,1⟩ must not hold under total conflicts")
+	}
+	if !s.Extends(h12, h12) {
+		t.Errorf("⊑ must be reflexive")
+	}
+}
+
+func TestHistoryExtendsCommuting(t *testing.T) {
+	// With no conflicts, ⊑ is subset inclusion.
+	s := NewHistorySet(NeverConflict)
+	h12 := s.NewHistory(cmd(1), cmd(2))
+	h21 := s.NewHistory(cmd(2), cmd(1))
+	h213 := s.NewHistory(cmd(2), cmd(1), cmd(3))
+	if !s.Equal(h12, h21) {
+		t.Errorf("commuting commands must make order irrelevant")
+	}
+	if !s.Extends(h12, h213) {
+		t.Errorf("subset must extend under no conflicts")
+	}
+}
+
+func TestHistoryGLBTotalOrder(t *testing.T) {
+	s := NewHistorySet(AlwaysConflict)
+	h123 := s.NewHistory(cmd(1), cmd(2), cmd(3))
+	h124 := s.NewHistory(cmd(1), cmd(2), cmd(4))
+	g := s.GLB(h123, h124)
+	want := s.NewHistory(cmd(1), cmd(2))
+	if !s.Equal(g, want) {
+		t.Errorf("glb = %v, want %v", g, want)
+	}
+}
+
+func TestHistoryGLBPartial(t *testing.T) {
+	// Only commands 1 and 2 conflict. ⟨1,3⟩ ⊓ ⟨2,3⟩: command 3 commutes
+	// with everything and is in both, so the glb contains 3 but neither 1
+	// nor 2.
+	conf := pairConflict([2]uint64{1, 2})
+	s := NewHistorySet(conf)
+	h13 := s.NewHistory(cmd(1), cmd(3))
+	h23 := s.NewHistory(cmd(2), cmd(3))
+	g := s.GLB(h13, h23)
+	if g.Len() != 1 || !g.Contains(cmd(3)) {
+		t.Errorf("glb = %v, want ⟨3⟩", g)
+	}
+}
+
+func TestHistoryGLBDropsDescendants(t *testing.T) {
+	// Total conflicts: ⟨1,2,3⟩ ⊓ ⟨2,3⟩ = ⊥ since 1 (absent from the second)
+	// precedes everything in the first.
+	s := NewHistorySet(AlwaysConflict)
+	g := s.GLB(s.NewHistory(cmd(1), cmd(2), cmd(3)), s.NewHistory(cmd(2), cmd(3)))
+	if g.Len() != 0 {
+		t.Errorf("glb = %v, want ⊥", g)
+	}
+}
+
+func TestHistoryCompatible(t *testing.T) {
+	s := NewHistorySet(AlwaysConflict)
+	h12 := s.NewHistory(cmd(1), cmd(2))
+	h13 := s.NewHistory(cmd(1), cmd(3))
+	h21 := s.NewHistory(cmd(2), cmd(1))
+
+	if s.Compatible(h12, h21) {
+		t.Errorf("opposite orders of a conflicting pair must be incompatible")
+	}
+	if s.Compatible(h12, h13) {
+		t.Errorf("⟨1,2⟩ and ⟨1,3⟩ diverge after 1 under total conflicts")
+	}
+	if !s.Compatible(h12, s.NewHistory(cmd(1), cmd(2), cmd(3))) {
+		t.Errorf("a history must be compatible with its extension")
+	}
+}
+
+func TestHistoryCompatibleCommuting(t *testing.T) {
+	conf := pairConflict([2]uint64{1, 2})
+	s := NewHistorySet(conf)
+	h13 := s.NewHistory(cmd(1), cmd(3))
+	h14 := s.NewHistory(cmd(1), cmd(4))
+	if !s.Compatible(h13, h14) {
+		t.Errorf("non-conflicting tails must stay compatible")
+	}
+	u, ok := s.LUB(h13, h14)
+	if !ok {
+		t.Fatalf("lub must exist for compatible histories")
+	}
+	for _, id := range []uint64{1, 3, 4} {
+		if !u.Contains(cmd(id)) {
+			t.Errorf("lub must contain command %d, got %v", id, u)
+		}
+	}
+}
+
+func TestHistoryLUBIsLeastUpperBound(t *testing.T) {
+	conf := pairConflict([2]uint64{1, 2})
+	s := NewHistorySet(conf)
+	h1 := s.NewHistory(cmd(1), cmd(3))
+	h2 := s.NewHistory(cmd(1), cmd(2))
+	u, ok := s.LUB(h1, h2)
+	if !ok {
+		t.Fatalf("compatible histories must have a lub")
+	}
+	if !s.Extends(h1, u) || !s.Extends(h2, u) {
+		t.Errorf("lub %v must extend both inputs %v, %v", u, h1, h2)
+	}
+	if u.Len() != 3 {
+		t.Errorf("lub must contain exactly the union of commands, got %v", u)
+	}
+}
+
+func TestHistoryLUBIncompatible(t *testing.T) {
+	s := NewHistorySet(AlwaysConflict)
+	if _, ok := s.LUB(s.NewHistory(cmd(1), cmd(2)), s.NewHistory(cmd(2), cmd(1))); ok {
+		t.Errorf("lub of incompatible histories must not exist")
+	}
+}
+
+func TestHistoryHiddenOrderIncompatibility(t *testing.T) {
+	// h = ⟨f,e⟩ with f∉I but f conflicts x∈I: any upper bound orders f
+	// after I's x (f appended) yet before x from h's side — incompatible.
+	conf := pairConflict([2]uint64{10, 20})
+	s := NewHistorySet(conf)
+	h := s.NewHistory(cmd(10), cmd(30)) // f=10, e=30
+	i := s.NewHistory(cmd(30), cmd(20)) // e=30, x=20; x conflicts f
+	if s.Compatible(h, i) {
+		t.Errorf("transitively hidden order inversion must be incompatible")
+	}
+	if RefCompatible(conf, NewRefHistory(conf, h.Commands()), NewRefHistory(conf, i.Commands())) {
+		t.Errorf("reference model disagrees: expected incompatible")
+	}
+}
+
+func TestHistoryGLBManyWays(t *testing.T) {
+	s := NewHistorySet(AlwaysConflict)
+	hs := []CStruct{
+		s.NewHistory(cmd(1), cmd(2), cmd(3)),
+		s.NewHistory(cmd(1), cmd(2), cmd(4)),
+		s.NewHistory(cmd(1), cmd(5)),
+	}
+	g := s.GLB(hs...)
+	if !s.Equal(g, s.NewHistory(cmd(1))) {
+		t.Errorf("3-way glb = %v, want ⟨1⟩", g)
+	}
+}
+
+func TestHistoryImmutability(t *testing.T) {
+	s := NewHistorySet(AlwaysConflict)
+	h := s.NewHistory(cmd(1))
+	_ = h.Append(cmd(2))
+	if h.Len() != 1 {
+		t.Errorf("Append must not mutate the receiver")
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	s := NewHistorySet(AlwaysConflict)
+	if got := s.NewHistory(cmd(1), cmd(2)).String(); got != "⟨c1≺c2⟩" {
+		t.Errorf("String = %q", got)
+	}
+}

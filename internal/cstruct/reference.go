@@ -1,0 +1,203 @@
+package cstruct
+
+import "sort"
+
+// This file implements a brute-force reference model of command histories
+// used as a test oracle. A history is modelled canonically as its element
+// set plus the ordered conflicting pairs; glb and lub are computed by
+// exhaustive enumeration of Str(P). It is exponential in |P| and intended
+// only for tests and cross-checking benches on small command universes.
+
+// RefHistory is the canonical poset form of a command history.
+type RefHistory struct {
+	elems map[uint64]Cmd
+	// order holds every ordered conflicting pair (a before b).
+	order map[[2]uint64]struct{}
+	conf  Conflict
+}
+
+// NewRefHistory canonicalizes a command sequence under the conflict
+// relation.
+func NewRefHistory(conf Conflict, seq []Cmd) RefHistory {
+	r := RefHistory{
+		elems: make(map[uint64]Cmd, len(seq)),
+		order: make(map[[2]uint64]struct{}),
+		conf:  conf,
+	}
+	for _, c := range seq {
+		if _, ok := r.elems[c.ID]; ok {
+			continue
+		}
+		for id, d := range r.elems {
+			if conf(d, c) {
+				r.order[[2]uint64{id, c.ID}] = struct{}{}
+			}
+		}
+		r.elems[c.ID] = c
+	}
+	return r
+}
+
+// Equal reports poset equality.
+func (r RefHistory) Equal(o RefHistory) bool {
+	if len(r.elems) != len(o.elems) || len(r.order) != len(o.order) {
+		return false
+	}
+	for id := range r.elems {
+		if _, ok := o.elems[id]; !ok {
+			return false
+		}
+	}
+	for p := range r.order {
+		if _, ok := o.order[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtendedBy reports r ⊑ o by the poset definition: o contains r's elements
+// with identical ordering of r-internal conflicting pairs, and every element
+// of o∖r conflicting with an element of r succeeds it in o.
+func (r RefHistory) ExtendedBy(o RefHistory) bool {
+	for id := range r.elems {
+		if _, ok := o.elems[id]; !ok {
+			return false
+		}
+	}
+	for p := range r.order {
+		if _, ok := o.order[p]; !ok {
+			return false
+		}
+	}
+	for idO, cO := range o.elems {
+		if _, inR := r.elems[idO]; inR {
+			continue
+		}
+		for idR, cR := range r.elems {
+			if !r.conf(cR, cO) {
+				continue
+			}
+			// cO ∉ r conflicts with cR ∈ r: o must order cR ≺ cO.
+			if _, ok := o.order[[2]uint64{idR, idO}]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EnumerateStr enumerates every distinct history constructible from subsets
+// of pool (all permutations of all subsets, deduplicated by poset equality).
+func EnumerateStr(conf Conflict, pool []Cmd) []RefHistory {
+	var out []RefHistory
+	seen := func(h RefHistory) bool {
+		for _, o := range out {
+			if h.Equal(o) {
+				return true
+			}
+		}
+		return false
+	}
+	var rec func(prefix []Cmd, rest []Cmd)
+	rec = func(prefix []Cmd, rest []Cmd) {
+		h := NewRefHistory(conf, prefix)
+		if !seen(h) {
+			out = append(out, h)
+		}
+		for i, c := range rest {
+			nrest := make([]Cmd, 0, len(rest)-1)
+			nrest = append(nrest, rest[:i]...)
+			nrest = append(nrest, rest[i+1:]...)
+			rec(append(append([]Cmd{}, prefix...), c), nrest)
+		}
+	}
+	rec(nil, pool)
+	return out
+}
+
+// RefGLB computes the greatest lower bound of a and b by enumerating Str(P)
+// for P = elems(a) ∪ elems(b). Returns the glb and whether it is unique.
+func RefGLB(conf Conflict, a, b RefHistory) (RefHistory, bool) {
+	pool := unionCmds(a, b)
+	var lower []RefHistory
+	for _, h := range EnumerateStr(conf, pool) {
+		if h.ExtendedBy(a) && h.ExtendedBy(b) {
+			lower = append(lower, h)
+		}
+	}
+	var best []RefHistory
+	for _, h := range lower {
+		greatest := true
+		for _, o := range lower {
+			if !o.ExtendedBy(h) {
+				greatest = false
+				break
+			}
+		}
+		if greatest {
+			best = append(best, h)
+		}
+	}
+	if len(best) != 1 {
+		return RefHistory{}, false
+	}
+	return best[0], true
+}
+
+// RefLUB computes the least upper bound of a and b by enumeration, returning
+// ok=false when a and b are incompatible or the lub is not unique.
+func RefLUB(conf Conflict, a, b RefHistory) (RefHistory, bool) {
+	pool := unionCmds(a, b)
+	var upper []RefHistory
+	for _, h := range EnumerateStr(conf, pool) {
+		if a.ExtendedBy(h) && b.ExtendedBy(h) {
+			upper = append(upper, h)
+		}
+	}
+	var best []RefHistory
+	for _, h := range upper {
+		least := true
+		for _, o := range upper {
+			if !h.ExtendedBy(o) {
+				least = false
+				break
+			}
+		}
+		if least {
+			best = append(best, h)
+		}
+	}
+	if len(best) != 1 {
+		return RefHistory{}, false
+	}
+	return best[0], true
+}
+
+// RefCompatible reports whether a and b have a common upper bound, by
+// enumeration over Str(elems(a) ∪ elems(b)).
+func RefCompatible(conf Conflict, a, b RefHistory) bool {
+	pool := unionCmds(a, b)
+	for _, h := range EnumerateStr(conf, pool) {
+		if a.ExtendedBy(h) && b.ExtendedBy(h) {
+			return true
+		}
+	}
+	return false
+}
+
+func unionCmds(a, b RefHistory) []Cmd {
+	m := make(map[uint64]Cmd, len(a.elems)+len(b.elems))
+	for id, c := range a.elems {
+		m[id] = c
+	}
+	for id, c := range b.elems {
+		m[id] = c
+	}
+	out := make([]Cmd, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

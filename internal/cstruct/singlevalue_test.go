@@ -1,0 +1,104 @@
+package cstruct
+
+import "testing"
+
+func TestSingleValueBasics(t *testing.T) {
+	s := SingleValueSet{}
+	bot := s.Bottom()
+	if bot.Len() != 0 {
+		t.Fatalf("bottom must be empty")
+	}
+	v := bot.Append(cmd(1))
+	if v.Len() != 1 || !v.Contains(cmd(1)) {
+		t.Fatalf("append on bottom must set the value")
+	}
+	w := v.Append(cmd(2))
+	if !s.Equal(v, w) {
+		t.Errorf("append on a set value must be a no-op: %v vs %v", v, w)
+	}
+	if got := v.String(); got != "c1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := bot.String(); got != "⊥" {
+		t.Errorf("bottom String = %q", got)
+	}
+}
+
+func TestSingleValueExtends(t *testing.T) {
+	s := SingleValueSet{}
+	bot := s.Bottom()
+	v1 := bot.Append(cmd(1))
+	v2 := bot.Append(cmd(2))
+	if !s.Extends(bot, v1) {
+		t.Errorf("⊥ ⊑ v must hold")
+	}
+	if !s.Extends(v1, v1) {
+		t.Errorf("⊑ must be reflexive")
+	}
+	if s.Extends(v1, v2) || s.Extends(v2, v1) {
+		t.Errorf("distinct values must not extend each other")
+	}
+	if s.Extends(v1, bot) {
+		t.Errorf("a value must not be extended by ⊥")
+	}
+}
+
+func TestSingleValueGLB(t *testing.T) {
+	s := SingleValueSet{}
+	bot := s.Bottom()
+	v1 := bot.Append(cmd(1))
+	v2 := bot.Append(cmd(2))
+	if g := s.GLB(v1, v2); !s.Equal(g, bot) {
+		t.Errorf("glb of distinct values must be ⊥, got %v", g)
+	}
+	if g := s.GLB(v1, v1); !s.Equal(g, v1) {
+		t.Errorf("glb of equal values must be the value, got %v", g)
+	}
+	if g := s.GLB(); !s.Equal(g, bot) {
+		t.Errorf("glb of nothing must be ⊥")
+	}
+	if g := s.GLB(v1, bot); !s.Equal(g, bot) {
+		t.Errorf("glb with ⊥ must be ⊥")
+	}
+}
+
+func TestSingleValueLUBCompatible(t *testing.T) {
+	s := SingleValueSet{}
+	bot := s.Bottom()
+	v1 := bot.Append(cmd(1))
+	v2 := bot.Append(cmd(2))
+
+	if u, ok := s.LUB(v1, bot); !ok || !s.Equal(u, v1) {
+		t.Errorf("lub(v,⊥) must be v")
+	}
+	if u, ok := s.LUB(v1, v1); !ok || !s.Equal(u, v1) {
+		t.Errorf("lub(v,v) must be v")
+	}
+	if _, ok := s.LUB(v1, v2); ok {
+		t.Errorf("distinct values must be incompatible")
+	}
+	if s.Compatible(v1, v2) {
+		t.Errorf("distinct values must be incompatible")
+	}
+	if !s.Compatible(v1, bot, v1) {
+		t.Errorf("{v,⊥,v} must be compatible")
+	}
+}
+
+func TestSingleValueIsConsensus(t *testing.T) {
+	// Generalized consensus over SingleValueSet is consensus: once two
+	// learners hold non-⊥ compatible values they hold the same value.
+	s := SingleValueSet{}
+	v := s.Bottom().Append(cmd(42))
+	w := s.Bottom().Append(cmd(42))
+	if !s.Compatible(v, w) || !s.Equal(v, w) {
+		t.Fatalf("equal proposals must be compatible and equal")
+	}
+	sv := v.(SingleValue)
+	if got, ok := sv.Value(); !ok || got.ID != 42 {
+		t.Errorf("Value() = %v,%v", got, ok)
+	}
+	if sv.IsBottom() {
+		t.Errorf("non-empty single value reported as bottom")
+	}
+}

@@ -1,0 +1,113 @@
+package fast
+
+import (
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+	"mcpaxos/internal/quorum"
+	"mcpaxos/internal/sim"
+	"mcpaxos/internal/storage"
+)
+
+// Cluster wires one Fast Paxos consensus instance into a simulator.
+type Cluster struct {
+	Sim      *sim.Sim
+	Cfg      Config
+	Coord    *Coordinator
+	Accs     []*Acceptor
+	Disks    []*storage.Disk
+	Learners []*Learner
+
+	// LearnTime is the simulated time of learner 0's learn event (-1 until
+	// it happens).
+	LearnTime int64
+	// LearnedCmd is learner 0's decision.
+	LearnedCmd cstruct.Cmd
+}
+
+// ClusterOpts parameterizes NewCluster.
+type ClusterOpts struct {
+	NAcceptors int
+	F, E       int
+	Seed       int64
+	Strategy   Strategy
+	Scheme     ballot.Scheme
+	NLearners  int
+}
+
+// NewCluster builds and registers a deployment: coordinator 100, acceptors
+// 200+i, learners 300+i, proposers are external (use Propose).
+func NewCluster(o ClusterOpts) *Cluster {
+	if o.NLearners == 0 {
+		o.NLearners = 1
+	}
+	if o.Scheme == nil {
+		o.Scheme = ballot.FastScheme{}
+	}
+	if o.Strategy == 0 {
+		o.Strategy = RecoveryCoordinated
+	}
+	s := sim.New(o.Seed)
+	cfg := Config{
+		Coords:   []msg.NodeID{100},
+		Quorums:  quorum.MustAcceptorSystem(o.NAcceptors, o.F, o.E),
+		Scheme:   o.Scheme,
+		Strategy: o.Strategy,
+	}
+	for i := 0; i < o.NAcceptors; i++ {
+		cfg.Acceptors = append(cfg.Acceptors, msg.NodeID(200+i))
+	}
+	for i := 0; i < o.NLearners; i++ {
+		cfg.Learners = append(cfg.Learners, msg.NodeID(300+i))
+	}
+
+	cl := &Cluster{Sim: s, Cfg: cfg, LearnTime: -1}
+	cl.Coord = NewCoordinator(s.Env(100), cfg)
+	s.Register(100, cl.Coord)
+	for _, id := range cfg.Acceptors {
+		disk := &storage.Disk{}
+		a := NewAcceptor(s.Env(id), cfg, disk)
+		s.Register(id, a)
+		cl.Accs = append(cl.Accs, a)
+		cl.Disks = append(cl.Disks, disk)
+	}
+	for i, id := range cfg.Learners {
+		var fn LearnFn
+		if i == 0 {
+			fn = func(cmd cstruct.Cmd) {
+				cl.LearnTime = s.Now()
+				cl.LearnedCmd = cmd
+				cl.Coord.MarkDecided()
+			}
+		}
+		l := NewLearner(s.Env(id), cfg, fn)
+		s.Register(id, l)
+		cl.Learners = append(cl.Learners, l)
+	}
+	return cl
+}
+
+// Propose submits cmd from a proposer node with the given id at the current
+// simulated time: the command goes to coordinators and acceptors, as fast
+// rounds require.
+func (cl *Cluster) Propose(proposerID msg.NodeID, cmd cstruct.Cmd) {
+	cl.Sim.Register(proposerID, nopHandler{}) // idempotent for proposer IDs
+	env := cl.Sim.Env(proposerID)
+	m := msg.Propose{Cmd: cmd}
+	node.Broadcast(env, cl.Cfg.Coords, m)
+	node.Broadcast(env, cl.Cfg.Acceptors, m)
+}
+
+// TotalDiskWrites sums the synchronous writes of every acceptor disk.
+func (cl *Cluster) TotalDiskWrites() uint64 {
+	var t uint64
+	for _, d := range cl.Disks {
+		t += d.Writes()
+	}
+	return t
+}
+
+type nopHandler struct{}
+
+func (nopHandler) OnMessage(msg.NodeID, msg.Message) {}

@@ -1,0 +1,209 @@
+package fast
+
+import (
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+)
+
+// Coordinator is the Fast Paxos round coordinator (the leader). It starts
+// rounds, picks values from 1b quorums, sends Any in fast rounds, and drives
+// collision recovery (restart or coordinated, per Config.Strategy).
+type Coordinator struct {
+	env node.Env
+	cfg Config
+
+	crnd   ballot.Ballot
+	sent2a bool
+	p1bs   map[msg.NodeID]report
+
+	// pending holds proposals received directly (used when a classic round
+	// needs a value and for re-proposal after recovery).
+	pending []cstruct.Cmd
+
+	// seen2b maps acceptor → its 2b for crnd (fast rounds only): collision
+	// detection and coordinated recovery read it.
+	seen2b map[msg.NodeID]msg.P2b
+
+	// decided guards against recovering after the round already chose.
+	decided bool
+}
+
+var _ node.Handler = (*Coordinator)(nil)
+
+// NewCoordinator builds a coordinator bound to env.
+func NewCoordinator(env node.Env, cfg Config) *Coordinator {
+	return &Coordinator{
+		env:    env,
+		cfg:    cfg,
+		p1bs:   make(map[msg.NodeID]report),
+		seen2b: make(map[msg.NodeID]msg.P2b),
+	}
+}
+
+// Rnd returns the coordinator's current round.
+func (c *Coordinator) Rnd() ballot.Ballot { return c.crnd }
+
+// StartRound runs phase 1a for round r (no-op unless r > crnd).
+func (c *Coordinator) StartRound(r ballot.Ballot) {
+	if !c.crnd.Less(r) {
+		return
+	}
+	c.crnd = r
+	c.sent2a = false
+	c.p1bs = make(map[msg.NodeID]report)
+	c.seen2b = make(map[msg.NodeID]msg.P2b)
+	node.Broadcast(c.env, c.cfg.Acceptors, msg.P1a{Rnd: r, Coord: c.env.ID()})
+}
+
+// Start begins the first round of the configured scheme.
+func (c *Coordinator) Start() {
+	c.StartRound(c.cfg.Scheme.First(0, uint32(c.env.ID())))
+}
+
+// MarkDecided tells the coordinator the instance is decided, quiescing
+// collision recovery.
+func (c *Coordinator) MarkDecided() { c.decided = true }
+
+// OnMessage implements node.Handler.
+func (c *Coordinator) OnMessage(_ msg.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case msg.Propose:
+		c.onPropose(mm)
+	case msg.P1b:
+		c.onP1b(mm)
+	case msg.P2b:
+		c.onP2b(mm)
+	case msg.Stale:
+		c.onStale(mm)
+	}
+}
+
+func (c *Coordinator) onPropose(mm msg.Propose) {
+	for _, p := range c.pending {
+		if p.Equal(mm.Cmd) {
+			return
+		}
+	}
+	c.pending = append(c.pending, mm.Cmd)
+	// A classic round that already finished phase 1 with a free pick was
+	// waiting for a proposal: serve it now.
+	if c.sent2a || c.cfg.Scheme.IsFast(c.crnd) {
+		return
+	}
+	if c.cfg.Quorums.IsQuorum(len(c.p1bs), false) {
+		c.phase2(pick(reportsOf(c.p1bs), c.cfg.Quorums, c.cfg.Scheme))
+	}
+}
+
+func (c *Coordinator) onP1b(mm msg.P1b) {
+	if c.sent2a || !mm.Rnd.Equal(c.crnd) {
+		return
+	}
+	cmd, has := unwrap(mm.VVal)
+	c.p1bs[mm.Acc] = report{vrnd: mm.VRnd, vval: cmd, has: has && !mm.VRnd.IsZero()}
+	// Phase 1 gathers a quorum for the round being started; the paper sizes
+	// it by the round's own type.
+	if !c.cfg.Quorums.IsQuorum(len(c.p1bs), false) {
+		return
+	}
+	c.phase2(pick(reportsOf(c.p1bs), c.cfg.Quorums, c.cfg.Scheme))
+}
+
+// phase2 sends the 2a for crnd once a value (or Any) is determined.
+func (c *Coordinator) phase2(out pickOutcome) {
+	fast := c.cfg.Scheme.IsFast(c.crnd)
+	switch {
+	case !out.free:
+		c.send2a(out.val, false)
+	case fast:
+		// Free pick in a fast round: authorize direct acceptance.
+		c.send2a(cstruct.Cmd{}, true)
+	case len(c.pending) > 0:
+		c.send2a(c.pending[0], false)
+	default:
+		// Classic round with no proposal yet: wait (onPropose resumes).
+	}
+}
+
+func (c *Coordinator) send2a(val cstruct.Cmd, anyVal bool) {
+	c.sent2a = true
+	m := msg.P2a{Rnd: c.crnd, Coord: c.env.ID(), Any: anyVal}
+	if !anyVal {
+		m.Val = wrap(val)
+	}
+	node.Broadcast(c.env, c.cfg.Acceptors, m)
+}
+
+// onP2b watches acceptor votes in the current fast round for collisions
+// (two acceptors accepting different values). On detection the coordinator
+// recovers per the configured strategy.
+func (c *Coordinator) onP2b(mm msg.P2b) {
+	if c.decided || !mm.Rnd.Equal(c.crnd) || !c.cfg.Scheme.IsFast(c.crnd) {
+		return
+	}
+	c.seen2b[mm.Acc] = mm
+	if !c.collided() {
+		return
+	}
+	switch c.cfg.Strategy {
+	case RecoveryCoordinated:
+		// Interpret round i's 2b messages as round i+1's 1b messages and
+		// jump straight to phase 2a of i+1 (two recovery steps). Wait for a
+		// full quorum of 2bs so the pick is safe.
+		if !c.cfg.Quorums.IsQuorum(len(c.seen2b), false) {
+			return
+		}
+		reps := make(map[msg.NodeID]report, len(c.seen2b))
+		for acc, b := range c.seen2b {
+			cmd, ok := unwrap(b.Val)
+			reps[acc] = report{vrnd: b.Rnd, vval: cmd, has: ok}
+		}
+		next := c.cfg.Scheme.Next(c.crnd, c.crnd.ID)
+		c.crnd = next
+		c.sent2a = false
+		c.p1bs = make(map[msg.NodeID]report)
+		c.seen2b = make(map[msg.NodeID]msg.P2b)
+		c.phase2(pick(reportsOf(reps), c.cfg.Quorums, c.cfg.Scheme))
+	case RecoveryRestart:
+		// Start round i+1 from scratch (four recovery steps).
+		c.StartRound(c.cfg.Scheme.Next(c.crnd, c.crnd.ID))
+	case RecoveryUncoordinated:
+		// Acceptor-driven; the coordinator only tracks rounds.
+	}
+}
+
+// collided reports whether two different values were accepted in crnd.
+func (c *Coordinator) collided() bool {
+	var first cstruct.Cmd
+	seen := false
+	for _, b := range c.seen2b {
+		cmd, ok := unwrap(b.Val)
+		if !ok {
+			continue
+		}
+		if !seen {
+			first, seen = cmd, true
+			continue
+		}
+		if !first.Equal(cmd) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Coordinator) onStale(mm msg.Stale) {
+	if c.crnd.Less(mm.Rnd) {
+		c.StartRound(c.cfg.Scheme.Next(mm.Rnd, uint32(c.env.ID())))
+	}
+}
+
+func reportsOf(m map[msg.NodeID]report) []report {
+	out := make([]report, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	return out
+}

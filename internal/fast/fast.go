@@ -1,0 +1,103 @@
+// Package fast implements Fast Paxos (Lamport, Distributed Computing 2006)
+// as described in Section 2.2 of the Multicoordinated Paxos paper: a
+// single-decision consensus protocol with classic and fast rounds. In fast
+// rounds proposers bypass the coordinator and reach acceptors directly,
+// cutting learning latency to two communication steps at the cost of bigger
+// quorums (n−E with 2E+F < n) and of collisions: concurrent proposals can
+// split acceptor votes so that no value reaches a fast quorum.
+//
+// Collision recovery implements the three strategies of Sections 2.2/4.2:
+//
+//   - Restart: the coordinator starts the next round from phase 1
+//     (four extra communication steps).
+//   - Coordinated: the coordinator interprets the colliding round's 2b
+//     messages as the next round's 1b messages and jumps straight to phase
+//     2a (two extra steps).
+//   - Uncoordinated: acceptors themselves interpret the 2b messages as 1b
+//     messages of the next (necessarily fast) round and accept directly
+//     (one extra step), at the risk of colliding again.
+package fast
+
+import (
+	"fmt"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/quorum"
+)
+
+// Strategy selects the collision recovery mechanism.
+type Strategy uint8
+
+// Recovery strategies (Section 4.2).
+const (
+	// RecoveryRestart starts the next round from phase 1.
+	RecoveryRestart Strategy = iota + 1
+	// RecoveryCoordinated reuses round i's 2b messages as round i+1's 1b
+	// messages at the coordinator.
+	RecoveryCoordinated
+	// RecoveryUncoordinated reuses round i's 2b messages as round i+1's 1b
+	// messages at each acceptor; round i+1 must be fast.
+	RecoveryUncoordinated
+)
+
+// String renders the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case RecoveryRestart:
+		return "restart"
+	case RecoveryCoordinated:
+		return "coordinated"
+	case RecoveryUncoordinated:
+		return "uncoordinated"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes a Fast Paxos deployment.
+type Config struct {
+	Coords    []msg.NodeID
+	Acceptors []msg.NodeID
+	Learners  []msg.NodeID
+	// Quorums must satisfy the Fast Quorum Requirement (Assumption 2).
+	Quorums quorum.AcceptorSystem
+	// Scheme types rounds; use ballot.FastScheme for coordinated/restart
+	// recovery and ballot.FastUncoordScheme for uncoordinated recovery.
+	Scheme ballot.Scheme
+	// Strategy is the collision recovery mechanism.
+	Strategy Strategy
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case len(c.Coords) == 0:
+		return fmt.Errorf("fast: no coordinators")
+	case len(c.Acceptors) != c.Quorums.N():
+		return fmt.Errorf("fast: %d acceptors but quorum system expects %d",
+			len(c.Acceptors), c.Quorums.N())
+	case len(c.Learners) == 0:
+		return fmt.Errorf("fast: no learners")
+	case c.Scheme == nil:
+		return fmt.Errorf("fast: nil round scheme")
+	case c.Strategy == RecoveryUncoordinated && !c.Scheme.IsFast(c.Scheme.Next(c.Scheme.First(0, 0), 0)):
+		return fmt.Errorf("fast: uncoordinated recovery requires fast successor rounds")
+	case c.Strategy < RecoveryRestart || c.Strategy > RecoveryUncoordinated:
+		return fmt.Errorf("fast: unknown recovery strategy %d", c.Strategy)
+	}
+	return nil
+}
+
+var svSet = cstruct.SingleValueSet{}
+
+func wrap(c cstruct.Cmd) cstruct.CStruct { return cstruct.NewSingleValue(c) }
+
+func unwrap(v cstruct.CStruct) (cstruct.Cmd, bool) {
+	sv, ok := v.(cstruct.SingleValue)
+	if !ok {
+		return cstruct.Cmd{}, false
+	}
+	return sv.Value()
+}

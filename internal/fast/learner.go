@@ -1,0 +1,65 @@
+package fast
+
+import (
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+)
+
+// LearnFn is invoked exactly once, when the instance's value is chosen.
+type LearnFn func(cmd cstruct.Cmd)
+
+// Learner learns the single decision of a Fast Paxos instance: a value is
+// chosen at round i once an i-quorum of acceptors voted for it — a fast
+// quorum (n−E) for fast rounds, a classic quorum (n−F) otherwise.
+type Learner struct {
+	env     node.Env
+	cfg     Config
+	onLearn LearnFn
+
+	votes   map[msg.NodeID]msg.P2b
+	learned bool
+	value   cstruct.Cmd
+}
+
+var _ node.Handler = (*Learner)(nil)
+
+// NewLearner builds a learner delivering via fn (may be nil).
+func NewLearner(env node.Env, cfg Config, fn LearnFn) *Learner {
+	return &Learner{env: env, cfg: cfg, onLearn: fn, votes: make(map[msg.NodeID]msg.P2b)}
+}
+
+// Learned returns the decision, if reached.
+func (l *Learner) Learned() (cstruct.Cmd, bool) { return l.value, l.learned }
+
+// OnMessage implements node.Handler.
+func (l *Learner) OnMessage(_ msg.NodeID, m msg.Message) {
+	mm, ok := m.(msg.P2b)
+	if !ok || l.learned {
+		return
+	}
+	if prev, seen := l.votes[mm.Acc]; seen && !prev.Rnd.Less(mm.Rnd) {
+		return
+	}
+	l.votes[mm.Acc] = mm
+
+	cmd, ok := unwrap(mm.Val)
+	if !ok {
+		return
+	}
+	n := 0
+	for _, v := range l.votes {
+		if v.Rnd.Equal(mm.Rnd) {
+			if c2, ok2 := unwrap(v.Val); ok2 && c2.Equal(cmd) {
+				n++
+			}
+		}
+	}
+	if l.cfg.Quorums.IsQuorum(n, l.cfg.Scheme.IsFast(mm.Rnd)) {
+		l.learned = true
+		l.value = cmd
+		if l.onLearn != nil {
+			l.onLearn(cmd)
+		}
+	}
+}

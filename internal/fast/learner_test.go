@@ -1,0 +1,106 @@
+package fast
+
+import (
+	"testing"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/quorum"
+)
+
+type sinkEnv struct {
+	id   msg.NodeID
+	sent []msg.Message
+}
+
+func (e *sinkEnv) ID() msg.NodeID                   { return e.id }
+func (e *sinkEnv) Now() int64                       { return 0 }
+func (e *sinkEnv) Send(_ msg.NodeID, m msg.Message) { e.sent = append(e.sent, m) }
+func (e *sinkEnv) SetTimer(int64, int)              {}
+
+func learnerFixture() (*Learner, Config, ballot.Ballot) {
+	cfg := Config{
+		Coords:    []msg.NodeID{100},
+		Acceptors: []msg.NodeID{200, 201, 202, 203},
+		Learners:  []msg.NodeID{300},
+		Quorums:   quorum.MustAcceptorSystem(4, 1, 1),
+		Scheme:    ballot.FastScheme{},
+		Strategy:  RecoveryCoordinated,
+	}
+	l := NewLearner(&sinkEnv{id: 300}, cfg, nil)
+	return l, cfg, cfg.Scheme.First(0, 100) // fast round: quorum 3
+}
+
+func p2bVote(r ballot.Ballot, acc msg.NodeID, id uint64) msg.P2b {
+	return msg.P2b{Rnd: r, Acc: acc, Val: cstruct.NewSingleValue(cstruct.Cmd{ID: id})}
+}
+
+func TestLearnerNeedsFastQuorum(t *testing.T) {
+	l, _, r := learnerFixture()
+	l.OnMessage(200, p2bVote(r, 200, 7))
+	l.OnMessage(201, p2bVote(r, 201, 7))
+	if _, ok := l.Learned(); ok {
+		t.Fatalf("2 of 4 votes must not reach the fast quorum of 3")
+	}
+	l.OnMessage(202, p2bVote(r, 202, 7))
+	if got, ok := l.Learned(); !ok || got.ID != 7 {
+		t.Fatalf("3 matching votes must decide: %v/%v", got, ok)
+	}
+}
+
+func TestLearnerIgnoresDuplicateVotes(t *testing.T) {
+	l, _, r := learnerFixture()
+	for i := 0; i < 5; i++ {
+		l.OnMessage(200, p2bVote(r, 200, 7)) // same acceptor, repeated
+	}
+	if _, ok := l.Learned(); ok {
+		t.Fatalf("one acceptor repeating itself must not decide")
+	}
+}
+
+func TestLearnerHigherRoundSupersedes(t *testing.T) {
+	l, cfg, r := learnerFixture()
+	next := cfg.Scheme.Next(r, 100) // classic round: quorum 3
+	l.OnMessage(200, p2bVote(r, 200, 1))
+	l.OnMessage(201, p2bVote(r, 201, 2))
+	// Acceptors move to the next round after a collision.
+	l.OnMessage(200, p2bVote(next, 200, 1))
+	l.OnMessage(201, p2bVote(next, 201, 1))
+	l.OnMessage(202, p2bVote(next, 202, 1))
+	if got, ok := l.Learned(); !ok || got.ID != 1 {
+		t.Fatalf("recovery round must decide: %v/%v", got, ok)
+	}
+}
+
+func TestLearnerRejectsStaleRoundVote(t *testing.T) {
+	l, cfg, r := learnerFixture()
+	next := cfg.Scheme.Next(r, 100)
+	l.OnMessage(200, p2bVote(next, 200, 1))
+	// A delayed vote from the older round must not regress acceptor 200.
+	l.OnMessage(200, p2bVote(r, 200, 2))
+	l.OnMessage(201, p2bVote(next, 201, 1))
+	l.OnMessage(202, p2bVote(next, 202, 1))
+	if got, ok := l.Learned(); !ok || got.ID != 1 {
+		t.Fatalf("stale vote corrupted the decision: %v/%v", got, ok)
+	}
+}
+
+func TestAcceptorOneValuePerRound(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NAcceptors: 4, F: 1, E: 1, Seed: 1})
+	cl.Coord.Start()
+	cl.Sim.Run()
+	cl.Propose(1, cstruct.Cmd{ID: 1})
+	cl.Sim.Run()
+	_, v1, ok := cl.Accs[0].Vote()
+	if !ok || v1.ID != 1 {
+		t.Fatalf("setup: first value not accepted")
+	}
+	// A second proposal in the same fast round must not change the vote.
+	cl.Propose(2, cstruct.Cmd{ID: 2})
+	cl.Sim.Run()
+	_, v2, _ := cl.Accs[0].Vote()
+	if !v2.Equal(v1) {
+		t.Fatalf("acceptor accepted two values in one round: %v then %v", v1, v2)
+	}
+}

@@ -1,0 +1,119 @@
+package fast
+
+import (
+	"sort"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/quorum"
+)
+
+// report is one acceptor's (vrnd, vval) as seen in a 1b message (or in a 2b
+// message reinterpreted as a 1b during collision recovery).
+type report struct {
+	vrnd ballot.Ballot
+	vval cstruct.Cmd
+	has  bool // false when the acceptor never accepted anything
+}
+
+// pickOutcome is the result of the Fast Paxos value-picking rule.
+type pickOutcome struct {
+	free bool        // any proposed value is pickable
+	val  cstruct.Cmd // the single pickable value when !free
+}
+
+// pick implements the coordinator's phase 2a rule of Section 2.2 for
+// single-value Fast Paxos, with size-based quorums. reports must come from a
+// quorum of distinct acceptors for the round being started.
+//
+// Let k be the highest vrnd reported. If nothing was accepted, any value is
+// pickable. If k is classic, all reports at k carry the same value, which
+// must be picked. If k is fast, a value v may have been (or may yet be)
+// chosen at k iff some k-quorum R has all of R∩Q voting v; with |R| = n−E
+// that reduces to countQ(v) ≥ |Q|−E. The Fast Quorum Requirement guarantees
+// at most one such value exists.
+func pick(reports []report, sys quorum.AcceptorSystem, scheme ballot.Scheme) pickOutcome {
+	k := ballot.Zero
+	any := false
+	for _, r := range reports {
+		if !r.has {
+			continue
+		}
+		if !any || k.Less(r.vrnd) {
+			k = r.vrnd
+		}
+		any = true
+	}
+	if !any {
+		return pickOutcome{free: true}
+	}
+	// Count votes at k.
+	counts := make(map[uint64]int)
+	vals := make(map[uint64]cstruct.Cmd)
+	for _, r := range reports {
+		if r.has && r.vrnd.Equal(k) {
+			counts[r.vval.ID]++
+			vals[r.vval.ID] = r.vval
+		}
+	}
+	if !scheme.IsFast(k) {
+		// Classic k: at most one value can have been accepted at k.
+		for id := range counts {
+			return pickOutcome{val: vals[id]}
+		}
+	}
+	// Fast k: v is possibly chosen iff countQ(v) ≥ |Q| − E.
+	threshold := len(reports) - sys.E()
+	var winners []uint64
+	for id, c := range counts {
+		if c >= threshold {
+			winners = append(winners, id)
+		}
+	}
+	switch len(winners) {
+	case 0:
+		return pickOutcome{free: true}
+	case 1:
+		return pickOutcome{val: vals[winners[0]]}
+	default:
+		// Unreachable when Assumption 2 holds; pick deterministically so
+		// that misconfigured systems still terminate.
+		sort.Slice(winners, func(i, j int) bool { return winners[i] < winners[j] })
+		return pickOutcome{val: vals[winners[0]]}
+	}
+}
+
+// pickConverging is pick plus the deterministic tie-break used by
+// uncoordinated recovery ("strategies can be used to try to make them accept
+// the same value", Section 2.2): when free, fall back to the reported value
+// with the highest count at k (smallest command ID on ties), so acceptors
+// working from the same evidence choose the same value.
+func pickConverging(reports []report, sys quorum.AcceptorSystem, scheme ballot.Scheme) pickOutcome {
+	out := pick(reports, sys, scheme)
+	if !out.free {
+		return out
+	}
+	counts := make(map[uint64]int)
+	vals := make(map[uint64]cstruct.Cmd)
+	for _, r := range reports {
+		if r.has {
+			counts[r.vval.ID]++
+			vals[r.vval.ID] = r.vval
+		}
+	}
+	if len(counts) == 0 {
+		return out // genuinely nothing reported: stay free
+	}
+	bestID, bestCount := uint64(0), -1
+	ids := make([]uint64, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if counts[id] > bestCount {
+			bestID, bestCount = id, counts[id]
+		}
+	}
+	return pickOutcome{val: vals[bestID]}
+}

@@ -1,0 +1,102 @@
+package genbcast
+
+import (
+	"fmt"
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/trace"
+)
+
+func TestBroadcastDeliversEverything(t *testing.T) {
+	g := NewCluster(Opts{NCoords: 3, NAcceptors: 3, F: 1, Seed: 1, NLearners: 2})
+	g.Start(0)
+	const n = 30
+	w := trace.New(1, 0.2)
+	for i := 0; i < n; i++ {
+		g.Broadcast(0, w.Next())
+		g.Sim.Run()
+	}
+	for li := range g.Learners {
+		if got := len(g.Delivered(li)); got != n {
+			t.Errorf("learner %d delivered %d/%d", li, got, n)
+		}
+	}
+	if !g.CheckPartialOrder() {
+		t.Fatalf("conflicting commands delivered in different orders")
+	}
+}
+
+func TestConcurrentBroadcastersPartialOrderHolds(t *testing.T) {
+	g := NewCluster(Opts{NCoords: 3, NAcceptors: 5, F: 1, E: 1, Seed: 2,
+		NLearners: 3, NProposers: 3})
+	g.Start(0)
+	ws := []*trace.Workload{trace.New(10, 0.5), trace.New(20, 0.5), trace.New(30, 0.5)}
+	id := uint64(1)
+	for round := 0; round < 8; round++ {
+		for p, w := range ws {
+			c := w.Next()
+			c.ID = id // globally unique
+			id++
+			g.Broadcast(p, c)
+		}
+		g.Sim.Run()
+	}
+	if !g.CheckPartialOrder() {
+		t.Fatalf("partial order violated under concurrency")
+	}
+	if !g.Agreement() {
+		t.Fatalf("learned histories incompatible")
+	}
+}
+
+func TestFastGroupDelivers(t *testing.T) {
+	g := NewCluster(Opts{NCoords: 1, NAcceptors: 4, F: 1, E: 1, Seed: 1, Fast: true})
+	g.Start(0)
+	g.Broadcast(0, cstruct.Cmd{ID: 1, Key: "k"})
+	g.Sim.Run()
+	if len(g.Delivered(0)) != 1 {
+		t.Fatalf("fast group did not deliver")
+	}
+}
+
+func TestBalancedGroupDelivers(t *testing.T) {
+	// Load balancing routes each command through one coordinator quorum
+	// and one acceptor quorum (Section 4.1). Commands must commute:
+	// coordinators deliberately see disjoint command subsets, which for
+	// conflicting commands is exactly the collision case.
+	g := NewCluster(Opts{NCoords: 3, NAcceptors: 5, F: 2, Seed: 1, Balance: true})
+	g.Start(0)
+	const n = 20
+	for i := 0; i < n; i++ {
+		g.Broadcast(0, cstruct.Cmd{ID: uint64(1 + i), Key: fmt.Sprintf("k%d", i)})
+		g.Sim.Run()
+	}
+	if got := len(g.Delivered(0)); got != n {
+		t.Fatalf("balanced group delivered %d/%d", got, n)
+	}
+	// Load balancing must reduce per-coordinator propose traffic below the
+	// all-coordinators baseline: each command reaches 2 of 3 coordinators.
+	m := g.Sim.Metrics()
+	for _, co := range g.Cfg.Coords {
+		if m.RecvByNode[co] == 0 {
+			t.Errorf("coordinator %v received nothing — selection never picked it", co)
+		}
+	}
+}
+
+func TestOrderConsistentDetectsViolation(t *testing.T) {
+	a, b, c := cstruct.Cmd{ID: 1}, cstruct.Cmd{ID: 2}, cstruct.Cmd{ID: 3}
+	good := [][]cstruct.Cmd{{a, b, c}, {a, b}, {b, c}}
+	if !OrderConsistent(cstruct.AlwaysConflict, good) {
+		t.Errorf("consistent prefixes flagged as violation")
+	}
+	bad := [][]cstruct.Cmd{{a, b}, {b, a}}
+	if OrderConsistent(cstruct.AlwaysConflict, bad) {
+		t.Errorf("opposite orders of conflicting commands must be flagged")
+	}
+	// Commuting commands may be ordered differently.
+	if !OrderConsistent(cstruct.NeverConflict, bad) {
+		t.Errorf("commuting commands in any order must pass")
+	}
+}

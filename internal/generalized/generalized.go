@@ -1,0 +1,44 @@
+// Package generalized packages Lamport's Generalized Paxos (Section 2.3 of
+// the Multicoordinated Paxos paper) as an explicit baseline: the core engine
+// configured with fast rounds, single-coordinated classic recovery rounds
+// and acceptor-side 2b exchange for collision detection. Multicoordinated
+// Paxos strictly generalizes it — the point of the paper — so the baseline
+// is a configuration, not a fork.
+package generalized
+
+import (
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/core"
+	"mcpaxos/internal/cstruct"
+)
+
+// Opts parameterizes NewCluster.
+type Opts struct {
+	NAcceptors int
+	NLearners  int
+	NProposers int
+	F, E       int
+	Seed       int64
+	Conflict   cstruct.Conflict
+}
+
+// NewCluster builds a simulated Generalized Paxos deployment: one
+// coordinator (the leader of fast rounds), fast quorums of n−E acceptors,
+// and command-history c-structs under the given conflict relation.
+func NewCluster(o Opts) *core.Cluster {
+	if o.Conflict == nil {
+		o.Conflict = cstruct.KeyConflict
+	}
+	return core.NewCluster(core.ClusterOpts{
+		NCoords:    1,
+		NAcceptors: o.NAcceptors,
+		NLearners:  o.NLearners,
+		NProposers: o.NProposers,
+		F:          o.F,
+		E:          o.E,
+		Seed:       o.Seed,
+		Scheme:     ballot.FastScheme{},
+		Set:        cstruct.NewHistorySet(o.Conflict),
+		Exchange2b: true,
+	})
+}

@@ -1,0 +1,80 @@
+package generalized
+
+import (
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+)
+
+func TestFastLearningTwoSteps(t *testing.T) {
+	cl := NewCluster(Opts{NAcceptors: 4, F: 1, E: 1, Seed: 1})
+	cl.Start(0)
+	start := cl.Sim.Now()
+	cl.Props[0].Propose(cstruct.Cmd{ID: 1, Key: "a"})
+	cl.Sim.Run()
+	lt, ok := cl.LearnTimes[1]
+	if !ok {
+		t.Fatalf("command not learned")
+	}
+	if steps := lt - start; steps != 2 {
+		t.Errorf("Generalized Paxos learns in %d steps, want 2", steps)
+	}
+}
+
+func TestCommutingConcurrentProposalsBothLearned(t *testing.T) {
+	cl := NewCluster(Opts{NAcceptors: 4, F: 1, E: 1, Seed: 1, NProposers: 2})
+	cl.Start(0)
+	a := cstruct.Cmd{ID: 10, Key: "x"}
+	b := cstruct.Cmd{ID: 20, Key: "y"}
+	env1, env2 := cl.Sim.Env(1), cl.Sim.Env(2)
+	for i, acc := range cl.Cfg.Acceptors {
+		if i%2 == 0 {
+			env1.Send(acc, msg.Propose{Cmd: a})
+			env2.Send(acc, msg.Propose{Cmd: b})
+		} else {
+			env2.Send(acc, msg.Propose{Cmd: b})
+			env1.Send(acc, msg.Propose{Cmd: a})
+		}
+	}
+	cl.Sim.Run()
+	for _, id := range []uint64{10, 20} {
+		if _, ok := cl.LearnTimes[id]; !ok {
+			t.Fatalf("command %d not learned", id)
+		}
+	}
+	for _, acc := range cl.Accs {
+		if acc.Promotions() != 0 {
+			t.Errorf("commuting commands must not collide in Generalized Paxos")
+		}
+	}
+}
+
+func TestConflictingConcurrentProposalsRecover(t *testing.T) {
+	cl := NewCluster(Opts{NAcceptors: 4, F: 1, E: 1, Seed: 1, NProposers: 2})
+	cl.Start(0)
+	a := cstruct.Cmd{ID: 10, Key: "x", Op: cstruct.OpWrite}
+	b := cstruct.Cmd{ID: 20, Key: "x", Op: cstruct.OpWrite}
+	env1, env2 := cl.Sim.Env(1), cl.Sim.Env(2)
+	env1.Send(cl.Cfg.Acceptors[0], msg.Propose{Cmd: a})
+	env1.Send(cl.Cfg.Acceptors[1], msg.Propose{Cmd: a})
+	env2.Send(cl.Cfg.Acceptors[2], msg.Propose{Cmd: b})
+	env2.Send(cl.Cfg.Acceptors[3], msg.Propose{Cmd: b})
+	cl.Sim.After(1, func() {
+		env1.Send(cl.Cfg.Acceptors[2], msg.Propose{Cmd: a})
+		env1.Send(cl.Cfg.Acceptors[3], msg.Propose{Cmd: a})
+		env2.Send(cl.Cfg.Acceptors[0], msg.Propose{Cmd: b})
+		env2.Send(cl.Cfg.Acceptors[1], msg.Propose{Cmd: b})
+		env1.Send(cl.Cfg.Coords[0], msg.Propose{Cmd: a})
+		env2.Send(cl.Cfg.Coords[0], msg.Propose{Cmd: b})
+	})
+	cl.Sim.Run()
+	for _, id := range []uint64{10, 20} {
+		if _, ok := cl.LearnTimes[id]; !ok {
+			t.Fatalf("command %d lost in collision recovery", id)
+		}
+	}
+	if !cl.Agreement() {
+		t.Fatalf("learners diverged")
+	}
+}

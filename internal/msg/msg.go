@@ -1,0 +1,178 @@
+// Package msg defines the message vocabulary shared by every protocol in
+// this repository: the propose/1a/1b/2a/2b messages of the Paxos family
+// (Sections 2 and 3 of the Multicoordinated Paxos paper), plus the auxiliary
+// messages used for liveness (stale-round notifications, Section 4.3) and
+// leader election heartbeats.
+//
+// All protocols — Classic Paxos, Fast Paxos, Generalized Paxos and
+// Multicoordinated Paxos — exchange the same message shapes; single-value
+// protocols simply carry SingleValue c-structs. Messages are immutable once
+// sent.
+package msg
+
+import (
+	"fmt"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+)
+
+// NodeID identifies a process. A single process may play several roles
+// (e.g. coordinator and acceptor) but has one ID.
+type NodeID uint32
+
+// String renders the node ID.
+func (id NodeID) String() string { return fmt.Sprintf("n%d", uint32(id)) }
+
+// Type tags a message for dispatch and metrics.
+type Type uint8
+
+// Message types. Start at one so the zero value is detectably unset.
+const (
+	TUnknown Type = iota
+	TPropose
+	TP1a
+	TP1b
+	TP2a
+	TP2b
+	TStale
+	THeartbeat
+)
+
+// String renders the message type.
+func (t Type) String() string {
+	switch t {
+	case TPropose:
+		return "propose"
+	case TP1a:
+		return "1a"
+	case TP1b:
+		return "1b"
+	case TP2a:
+		return "2a"
+	case TP2b:
+		return "2b"
+	case TStale:
+		return "stale"
+	case THeartbeat:
+		return "heartbeat"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is any protocol message. Instance scopes the message to one
+// consensus instance; generalized (single-instance) protocols use instance 0
+// throughout.
+type Message interface {
+	Type() Type
+	Instance() uint64
+}
+
+// Propose carries a proposed command from a proposer to coordinators (and,
+// for fast rounds, to acceptors).
+type Propose struct {
+	Inst uint64
+	Cmd  cstruct.Cmd
+	// AccQuorum optionally names the acceptor quorum the proposer chose for
+	// this command (load balancing, Section 4.1). Coordinators then send
+	// their 2a messages only to these acceptors. Empty means all acceptors.
+	AccQuorum []NodeID
+}
+
+// Type implements Message.
+func (Propose) Type() Type { return TPropose }
+
+// Instance implements Message.
+func (m Propose) Instance() uint64 { return m.Inst }
+
+// P1a starts phase 1 of round Rnd ("1a", Section 2.1.2).
+type P1a struct {
+	Inst  uint64
+	Rnd   ballot.Ballot
+	Coord NodeID
+}
+
+// Type implements Message.
+func (P1a) Type() Type { return TP1a }
+
+// Instance implements Message.
+func (m P1a) Instance() uint64 { return m.Inst }
+
+// P1b is an acceptor's phase 1 promise: it will join round Rnd and reports
+// the latest value VVal it accepted and the round VRnd it accepted it at.
+type P1b struct {
+	Inst uint64
+	Rnd  ballot.Ballot
+	Acc  NodeID
+	VRnd ballot.Ballot
+	VVal cstruct.CStruct
+}
+
+// Type implements Message.
+func (P1b) Type() Type { return TP1b }
+
+// Instance implements Message.
+func (m P1b) Instance() uint64 { return m.Inst }
+
+// P2a carries a coordinator's picked value for round Rnd. In fast rounds the
+// coordinator may send Any=true instead of a value, authorizing acceptors to
+// accept proposals directly (Section 2.2).
+type P2a struct {
+	Inst  uint64
+	Rnd   ballot.Ballot
+	Coord NodeID
+	Val   cstruct.CStruct
+	Any   bool
+}
+
+// Type implements Message.
+func (P2a) Type() Type { return TP2a }
+
+// Instance implements Message.
+func (m P2a) Instance() uint64 { return m.Inst }
+
+// P2b is an acceptor's vote: it accepted Val at round Rnd.
+type P2b struct {
+	Inst uint64
+	Rnd  ballot.Ballot
+	Acc  NodeID
+	Val  cstruct.CStruct
+}
+
+// Type implements Message.
+func (P2b) Type() Type { return TP2b }
+
+// Instance implements Message.
+func (m P2b) Instance() uint64 { return m.Inst }
+
+// Stale tells a coordinator that its round is lower than the acceptor's
+// current round, so it must start a higher-numbered round to make progress
+// (liveness extension of Section 4.3).
+type Stale struct {
+	Inst uint64
+	Acc  NodeID
+	// Rnd is the acceptor's current round.
+	Rnd ballot.Ballot
+	// Got is the coordinator round that was rejected.
+	Got ballot.Ballot
+}
+
+// Type implements Message.
+func (Stale) Type() Type { return TStale }
+
+// Instance implements Message.
+func (m Stale) Instance() uint64 { return m.Inst }
+
+// Heartbeat is exchanged by coordinators for failure detection and leader
+// election.
+type Heartbeat struct {
+	From  NodeID
+	Epoch uint64
+}
+
+// Type implements Message.
+func (Heartbeat) Type() Type { return THeartbeat }
+
+// Instance implements Message.
+func (Heartbeat) Instance() uint64 { return 0 }

@@ -1,0 +1,30 @@
+package msg
+
+import (
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+)
+
+// InstVote is one acceptor vote in a multi-instance phase 1b reply.
+type InstVote struct {
+	Inst uint64
+	VRnd ballot.Ballot
+	VVal cstruct.CStruct
+}
+
+// P1bMulti is the phase 1b promise of a multi-instance (state-machine
+// replication) acceptor: acceptors share one current round across instances,
+// so a single promise reports the latest accepted value of every instance
+// the acceptor ever voted in. This realizes the "phase 1 a priori for all
+// consensus instances" optimization of Section 2.1.2.
+type P1bMulti struct {
+	Rnd   ballot.Ballot
+	Acc   NodeID
+	Votes []InstVote
+}
+
+// Type implements Message.
+func (P1bMulti) Type() Type { return TP1b }
+
+// Instance implements Message: multi-instance promises are instance-less.
+func (P1bMulti) Instance() uint64 { return 0 }

@@ -1,0 +1,103 @@
+package quorum
+
+// This file provides explicit quorum enumeration. The protocol runtime only
+// needs cardinalities, but tests and the generic ProvedSafe oracle reason
+// about concrete quorums, and the assumption checkers below verify
+// Assumptions 1-3 exhaustively on small configurations.
+
+// Subsets enumerates every subset of {0..n-1} with exactly k elements.
+func Subsets(n, k int) [][]int {
+	if k < 0 || k > n {
+		return nil
+	}
+	var out [][]int
+	cur := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i <= n-(k-len(cur)); i++ {
+			cur = append(cur, i)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ClassicQuorums enumerates the minimal classic quorums (size n−F).
+func (s AcceptorSystem) ClassicQuorums() [][]int { return Subsets(s.n, s.ClassicSize()) }
+
+// FastQuorums enumerates the minimal fast quorums (size n−E).
+func (s AcceptorSystem) FastQuorums() [][]int { return Subsets(s.n, s.FastSize()) }
+
+// Quorums enumerates the minimal quorums for a round of the given fastness.
+func (s AcceptorSystem) Quorums(fast bool) [][]int { return Subsets(s.n, s.Size(fast)) }
+
+// CoordQuorums enumerates the minimal coordinator quorums.
+func (s CoordSystem) CoordQuorums() [][]int { return Subsets(s.nc, s.Size()) }
+
+func intersect(a, b []int) []int {
+	in := make(map[int]struct{}, len(a))
+	for _, x := range a {
+		in[x] = struct{}{}
+	}
+	var out []int
+	for _, y := range b {
+		if _, ok := in[y]; ok {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// CheckQuorumRequirement verifies Assumption 1 by enumeration: every pair of
+// quorums (classic or fast) intersects.
+func (s AcceptorSystem) CheckQuorumRequirement() bool {
+	all := append(s.ClassicQuorums(), s.FastQuorums()...)
+	for _, q := range all {
+		for _, r := range all {
+			if len(intersect(q, r)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckFastQuorumRequirement verifies Assumption 2 by enumeration: for any
+// quorum Q and fast quorums R1, R2, Q ∩ R1 ∩ R2 ≠ ∅.
+func (s AcceptorSystem) CheckFastQuorumRequirement() bool {
+	if !s.CheckQuorumRequirement() {
+		return false
+	}
+	qs := append(s.ClassicQuorums(), s.FastQuorums()...)
+	fast := s.FastQuorums()
+	for _, q := range qs {
+		for _, r1 := range fast {
+			for _, r2 := range fast {
+				if len(intersect(intersect(q, r1), r2)) == 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CheckCoordQuorumRequirement verifies Assumption 3 by enumeration: any two
+// coordinator quorums of the same round intersect.
+func (s CoordSystem) CheckCoordQuorumRequirement() bool {
+	qs := s.CoordQuorums()
+	for _, p := range qs {
+		for _, q := range qs {
+			if len(intersect(p, q)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

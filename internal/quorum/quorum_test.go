@@ -1,0 +1,189 @@
+package quorum
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewAcceptorSystemValidation(t *testing.T) {
+	cases := []struct {
+		n, f, e int
+		ok      bool
+	}{
+		{0, 0, 0, false},
+		{1, 0, 0, true},
+		{3, 1, 0, true},
+		{3, 1, 1, false},  // 2E+F = 3 ≥ n
+		{4, 1, 1, true},   // 2+1 < 4
+		{5, 2, 0, true},   // majority
+		{5, 2, 1, true},   // 2+2 < 5: fast quorum of 4
+		{5, 2, 2, false},  // 4+2 ≥ 5
+		{5, 3, 0, false},  // 2F ≥ n
+		{7, 3, 1, true},   // 2+3 < 7
+		{7, 2, 2, true},   // 4+2 < 7 (balanced-ish)
+		{-1, 0, 0, false}, // nonsense
+		{3, -1, 0, false},
+		{3, 0, -1, false},
+	}
+	for _, c := range cases {
+		_, err := NewAcceptorSystem(c.n, c.f, c.e)
+		if (err == nil) != c.ok {
+			t.Errorf("NewAcceptorSystem(%d,%d,%d): err=%v, want ok=%v", c.n, c.f, c.e, err, c.ok)
+		}
+	}
+}
+
+func TestQuorumSizesMatchPaper(t *testing.T) {
+	// Section 2.2: with majority classic quorums, fast quorums must hold
+	// roughly ⌈3n/4⌉ acceptors; with E=F both can be ⌈(2n+1)/3⌉.
+	type row struct {
+		n, wantClassic, wantFastMajority, wantBalanced int
+	}
+	rows := []row{
+		{3, 2, 3, 3},
+		{5, 3, 4, 4},
+		{7, 4, 6, 5},
+		{9, 5, 7, 7},
+		{11, 6, 9, 8},
+		{13, 7, 10, 9},
+	}
+	for _, r := range rows {
+		maj, err := NewAcceptorSystem(r.n, (r.n-1)/2, MaxEForMajorityF(r.n))
+		if err != nil {
+			t.Fatalf("majority system n=%d: %v", r.n, err)
+		}
+		if maj.ClassicSize() != r.wantClassic {
+			t.Errorf("n=%d: classic quorum %d, want %d", r.n, maj.ClassicSize(), r.wantClassic)
+		}
+		if maj.FastSize() != r.wantFastMajority {
+			t.Errorf("n=%d: fast quorum %d, want %d", r.n, maj.FastSize(), r.wantFastMajority)
+		}
+		bal, err := BalancedSystem(r.n)
+		if err != nil {
+			t.Fatalf("balanced system n=%d: %v", r.n, err)
+		}
+		if bal.FastSize() != r.wantBalanced || bal.ClassicSize() != r.wantBalanced {
+			t.Errorf("n=%d: balanced quorum %d/%d, want %d", r.n, bal.ClassicSize(), bal.FastSize(), r.wantBalanced)
+		}
+	}
+}
+
+func TestFastQuorumCeiling(t *testing.T) {
+	// ⌈(3n+1)/4⌉ with majority classic quorums (paper Section 2.2): check
+	// our derived fast size is at least that bound's intent — i.e. the
+	// minimum size satisfying 2E+F<n.
+	for n := 3; n <= 15; n++ {
+		f := (n - 1) / 2
+		e := MaxEForMajorityF(n)
+		if 2*e+f >= n {
+			t.Errorf("n=%d: MaxEForMajorityF produced infeasible E=%d", n, e)
+		}
+		if 2*(e+1)+f < n {
+			t.Errorf("n=%d: E=%d is not maximal", n, e)
+		}
+	}
+}
+
+func TestAssumptionsByEnumeration(t *testing.T) {
+	for _, cfg := range [][3]int{{3, 1, 0}, {4, 1, 1}, {5, 2, 1}, {5, 1, 1}, {7, 2, 2}, {7, 3, 1}} {
+		s := MustAcceptorSystem(cfg[0], cfg[1], cfg[2])
+		if !s.CheckQuorumRequirement() {
+			t.Errorf("%v: Assumption 1 violated", s)
+		}
+		if !s.CheckFastQuorumRequirement() {
+			t.Errorf("%v: Assumption 2 violated", s)
+		}
+	}
+}
+
+func TestFastQuorumRequirementFailsWhenInfeasible(t *testing.T) {
+	// Force an infeasible configuration (bypassing the constructor) and
+	// confirm the checker notices the three-way empty intersection.
+	s := AcceptorSystem{n: 5, f: 2, e: 2} // 2E+F = 6 ≥ 5
+	if s.CheckFastQuorumRequirement() {
+		t.Errorf("infeasible system must fail the fast quorum requirement")
+	}
+}
+
+func TestCoordSystem(t *testing.T) {
+	for _, c := range []struct{ nc, size, maxFail int }{
+		{1, 1, 0}, {2, 2, 0}, {3, 2, 1}, {4, 3, 1}, {5, 3, 2}, {7, 4, 3},
+	} {
+		s := MustCoordSystem(c.nc)
+		if s.Size() != c.size {
+			t.Errorf("nc=%d: quorum size %d, want %d", c.nc, s.Size(), c.size)
+		}
+		if s.MaxFailures() != c.maxFail {
+			t.Errorf("nc=%d: max failures %d, want %d", c.nc, s.MaxFailures(), c.maxFail)
+		}
+		if !s.CheckCoordQuorumRequirement() {
+			t.Errorf("nc=%d: Assumption 3 violated", c.nc)
+		}
+	}
+	if _, err := NewCoordSystem(0); err == nil {
+		t.Errorf("zero coordinators must be rejected")
+	}
+}
+
+func TestIsQuorum(t *testing.T) {
+	s := MustAcceptorSystem(5, 2, 1)
+	if !s.IsQuorum(3, false) || s.IsQuorum(2, false) {
+		t.Errorf("classic quorum threshold wrong")
+	}
+	if !s.IsQuorum(4, true) || s.IsQuorum(3, true) {
+		t.Errorf("fast quorum threshold wrong")
+	}
+	cs := MustCoordSystem(3)
+	if !cs.IsQuorum(2) || cs.IsQuorum(1) {
+		t.Errorf("coordinator quorum threshold wrong")
+	}
+}
+
+func TestInterSizes(t *testing.T) {
+	s := MustAcceptorSystem(5, 2, 1)
+	if got := s.ClassicInterSize(); got != 1 {
+		t.Errorf("classic intersection size = %d, want 1", got)
+	}
+	// Q of size 3 (classic), R fast of size 4: |Q∩R| ≥ 3+4-5 = 2.
+	if got := s.MinInterSize(3, true); got != 2 {
+		t.Errorf("min fast intersection = %d, want 2", got)
+	}
+	if got := s.FastInterSize(3); got != 2 {
+		t.Errorf("FastInterSize(3) = %d, want 2", got)
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	if got := len(Subsets(5, 3)); got != 10 {
+		t.Errorf("C(5,3) = %d, want 10", got)
+	}
+	if got := len(Subsets(4, 0)); got != 1 {
+		t.Errorf("C(4,0) = %d, want 1", got)
+	}
+	if got := Subsets(3, 4); got != nil {
+		t.Errorf("C(3,4) must be empty, got %v", got)
+	}
+	for _, sub := range Subsets(4, 2) {
+		if len(sub) != 2 || sub[0] >= sub[1] {
+			t.Errorf("malformed subset %v", sub)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	s := MustAcceptorSystem(5, 2, 1)
+	if !strings.Contains(s.String(), "n=5") {
+		t.Errorf("acceptor String = %q", s.String())
+	}
+	cs := MustCoordSystem(3)
+	if !strings.Contains(cs.String(), "quorum=2") {
+		t.Errorf("coord String = %q", cs.String())
+	}
+}
+
+func TestMajoritySystem(t *testing.T) {
+	s, err := MajoritySystem(5)
+	if err != nil || s.F() != 2 || s.E() != 0 || s.ClassicSize() != 3 || s.FastSize() != 5 {
+		t.Errorf("MajoritySystem(5) = %v, err %v", s, err)
+	}
+}

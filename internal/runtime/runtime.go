@@ -1,0 +1,206 @@
+// Package runtime hosts the protocol state machines on goroutines with real
+// time, complementing the deterministic simulator: the same agents (they
+// only know node.Env) run over an in-process channel network or the TCP
+// transport. Each agent's handler runs on a single mailbox goroutine, so
+// agent code needs no internal locking.
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+)
+
+// inboundKind discriminates mailbox events.
+type inboundKind uint8
+
+const (
+	kindMsg inboundKind = iota + 1
+	kindTimer
+)
+
+type inbound struct {
+	kind inboundKind
+	from msg.NodeID
+	m    msg.Message
+	tag  int
+}
+
+// Network is an in-process message bus connecting Agents. The zero value is
+// not usable; call NewNetwork.
+type Network struct {
+	mu     sync.RWMutex
+	agents map[msg.NodeID]*Agent
+	start  time.Time
+	// Tick is the duration of one node.Env time unit (default 1ms).
+	Tick time.Duration
+	// Fallback, when set, receives messages addressed to nodes this
+	// network does not host (e.g. to forward them over TCP).
+	Fallback func(from, to msg.NodeID, m msg.Message)
+}
+
+// NewNetwork builds an empty in-process network.
+func NewNetwork() *Network {
+	return &Network{
+		agents: make(map[msg.NodeID]*Agent),
+		start:  time.Now(),
+		Tick:   time.Millisecond,
+	}
+}
+
+// Spawn creates an agent: build receives the agent's Env and returns its
+// handler. The mailbox goroutine starts immediately.
+func (n *Network) Spawn(id msg.NodeID, build func(env node.Env) node.Handler) *Agent {
+	a := &Agent{
+		id:    id,
+		net:   n,
+		inbox: make(chan inbound, 1024),
+		done:  make(chan struct{}),
+	}
+	a.handler = build(a.env())
+	n.mu.Lock()
+	n.agents[id] = a
+	n.mu.Unlock()
+	a.wg.Add(1)
+	go a.loop()
+	return a
+}
+
+// Send routes a message to a local agent, or through Fallback for remote
+// destinations; unknown destinations without a Fallback are dropped (the
+// asynchronous model allows loss).
+func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
+	n.mu.RLock()
+	dst, ok := n.agents[to]
+	fb := n.Fallback
+	n.mu.RUnlock()
+	if !ok {
+		if fb != nil {
+			fb(from, to, m)
+		}
+		return
+	}
+	dst.enqueue(inbound{kind: kindMsg, from: from, m: m})
+}
+
+// Stop shuts every agent down and waits for their goroutines.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	agents := make([]*Agent, 0, len(n.agents))
+	for _, a := range n.agents {
+		agents = append(agents, a)
+	}
+	n.agents = make(map[msg.NodeID]*Agent)
+	n.mu.Unlock()
+	for _, a := range agents {
+		a.Stop()
+	}
+}
+
+func (n *Network) now() int64 { return int64(time.Since(n.start) / n.Tick) }
+
+// Agent is one hosted protocol state machine.
+type Agent struct {
+	id      msg.NodeID
+	net     *Network
+	handler node.Handler
+	inbox   chan inbound
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// ID returns the agent's node ID.
+func (a *Agent) ID() msg.NodeID { return a.id }
+
+// Handler returns the hosted handler (for inspection after Stop).
+func (a *Agent) Handler() node.Handler { return a.handler }
+
+// Inject delivers a message to this agent as if sent by from.
+func (a *Agent) Inject(from msg.NodeID, m msg.Message) {
+	a.enqueue(inbound{kind: kindMsg, from: from, m: m})
+}
+
+// Do runs fn on the agent's mailbox goroutine and waits for it: safe
+// synchronous access to handler state.
+func (a *Agent) Do(fn func(h node.Handler)) {
+	doneCh := make(chan struct{})
+	select {
+	case a.inbox <- inbound{kind: kindMsg, from: 0, m: doFunc{fn: fn, done: doneCh}}:
+		<-doneCh
+	case <-a.done:
+	}
+}
+
+// doFunc piggybacks a closure through the mailbox.
+type doFunc struct {
+	fn   func(node.Handler)
+	done chan struct{}
+}
+
+// Type implements msg.Message.
+func (doFunc) Type() msg.Type { return msg.TUnknown }
+
+// Instance implements msg.Message.
+func (doFunc) Instance() uint64 { return 0 }
+
+func (a *Agent) enqueue(in inbound) {
+	select {
+	case a.inbox <- in:
+	case <-a.done:
+	}
+}
+
+func (a *Agent) loop() {
+	defer a.wg.Done()
+	for {
+		select {
+		case in := <-a.inbox:
+			switch in.kind {
+			case kindMsg:
+				if df, ok := in.m.(doFunc); ok {
+					df.fn(a.handler)
+					close(df.done)
+					continue
+				}
+				a.handler.OnMessage(in.from, in.m)
+			case kindTimer:
+				if th, ok := a.handler.(node.TimerHandler); ok {
+					th.OnTimer(in.tag)
+				}
+			}
+		case <-a.done:
+			return
+		}
+	}
+}
+
+// Stop terminates the agent and waits for its mailbox goroutine. Pending
+// timers fire into a closed mailbox and are dropped.
+func (a *Agent) Stop() {
+	a.once.Do(func() { close(a.done) })
+	a.wg.Wait()
+}
+
+func (a *Agent) env() node.Env { return agentEnv{a} }
+
+type agentEnv struct{ a *Agent }
+
+func (e agentEnv) ID() msg.NodeID { return e.a.id }
+func (e agentEnv) Now() int64     { return e.a.net.now() }
+
+func (e agentEnv) Send(to msg.NodeID, m msg.Message) {
+	e.a.net.Send(e.a.id, to, m)
+}
+
+func (e agentEnv) SetTimer(d int64, tag int) {
+	a := e.a
+	if d < 1 {
+		d = 1
+	}
+	time.AfterFunc(time.Duration(d)*a.net.Tick, func() {
+		a.enqueue(inbound{kind: kindTimer, tag: tag})
+	})
+}

@@ -1,0 +1,139 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mcpaxos/internal/core"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+	"mcpaxos/internal/quorum"
+	"mcpaxos/internal/storage"
+
+	"mcpaxos/internal/ballot"
+)
+
+type collector struct {
+	mu  sync.Mutex
+	got []msg.Message
+}
+
+func (c *collector) OnMessage(_ msg.NodeID, m msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, m)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func TestNetworkDelivers(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	recv := &collector{}
+	n.Spawn(2, func(node.Env) node.Handler { return recv })
+	sender := n.Spawn(1, func(node.Env) node.Handler { return &collector{} })
+	_ = sender
+	n.Send(1, 2, msg.Heartbeat{From: 1})
+	deadline := time.Now().Add(2 * time.Second)
+	for recv.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if recv.count() != 1 {
+		t.Fatalf("message not delivered")
+	}
+}
+
+func TestAgentDoSerializes(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	c := &collector{}
+	ag := n.Spawn(1, func(node.Env) node.Handler { return c })
+	ran := false
+	ag.Do(func(h node.Handler) { ran = h == c })
+	if !ran {
+		t.Fatalf("Do did not run on the handler")
+	}
+}
+
+// TestLiveMulticoordinatedDeployment runs the full core protocol over the
+// goroutine network: three coordinators, three acceptors, one learner.
+func TestLiveMulticoordinatedDeployment(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+
+	cfg := core.Config{
+		Coords:    []msg.NodeID{100, 101, 102},
+		Acceptors: []msg.NodeID{200, 201, 202},
+		Learners:  []msg.NodeID{300},
+		Quorums:   quorum.MustAcceptorSystem(3, 1, 0),
+		CoordQ:    quorum.MustCoordSystem(3),
+		Scheme:    ballot.MultiScheme{},
+		Set:       cstruct.NewHistorySet(cstruct.KeyConflict),
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var coords []*Agent
+	for _, id := range cfg.Coords {
+		coords = append(coords, n.Spawn(id, func(env node.Env) node.Handler {
+			return core.NewCoordinator(env, cfg)
+		}))
+	}
+	for _, id := range cfg.Acceptors {
+		disk := &storage.Disk{}
+		n.Spawn(id, func(env node.Env) node.Handler {
+			return core.NewAcceptor(env, cfg, disk)
+		})
+	}
+	var mu sync.Mutex
+	learned := make(map[uint64]bool)
+	n.Spawn(300, func(env node.Env) node.Handler {
+		return core.NewLearner(env, cfg, func(_ cstruct.CStruct, fresh []cstruct.Cmd) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, c := range fresh {
+				learned[c.ID] = true
+			}
+		})
+	})
+	var prop *core.Proposer
+	propAgent := n.Spawn(1, func(env node.Env) node.Handler {
+		prop = core.NewProposer(env, cfg, 1)
+		return prop
+	})
+
+	// Start the first round from coordinator 100.
+	coords[0].Do(func(h node.Handler) {
+		h.(*core.Coordinator).StartRound(cfg.Scheme.First(0, 100))
+	})
+	time.Sleep(50 * time.Millisecond)
+
+	const total = 10
+	for i := 0; i < total; i++ {
+		i := i
+		propAgent.Do(func(node.Handler) {
+			prop.Propose(cstruct.Cmd{ID: uint64(1 + i), Key: fmt.Sprintf("k%d", i)})
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		got := len(learned)
+		mu.Unlock()
+		if got == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live deployment learned %d/%d", got, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

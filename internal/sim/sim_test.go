@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+)
+
+// echoNode counts deliveries and optionally replies.
+type echoNode struct {
+	env      interface{ Send(msg.NodeID, msg.Message) }
+	got      []msg.Message
+	from     []msg.NodeID
+	times    []Time
+	timers   []int
+	replyTo  msg.NodeID
+	recovers int
+}
+
+func (e *echoNode) OnMessage(from msg.NodeID, m msg.Message) {
+	e.got = append(e.got, m)
+	e.from = append(e.from, from)
+	if e.replyTo != 0 {
+		e.env.Send(e.replyTo, msg.Heartbeat{From: 99})
+	}
+}
+
+func (e *echoNode) OnTimer(tag int) { e.timers = append(e.timers, tag) }
+func (e *echoNode) OnRecover()      { e.recovers++ }
+
+func newEcho(s *Sim, id msg.NodeID) *echoNode {
+	n := &echoNode{}
+	s.Register(id, n)
+	env := s.Env(id)
+	n.env = env
+	return n
+}
+
+func TestUnitLatencyDeliversInOneStep(t *testing.T) {
+	s := New(1)
+	a := newEcho(s, 1)
+	_ = a
+	b := newEcho(s, 2)
+	s.Env(1).Send(2, msg.Heartbeat{From: 1})
+	s.Run()
+	if len(b.got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(b.got))
+	}
+	if s.Now() != 1 {
+		t.Errorf("unit latency must deliver at t=1, got %d", s.Now())
+	}
+}
+
+func TestDeterministicSameSeed(t *testing.T) {
+	run := func(seed int64) []Time {
+		s := New(seed)
+		s.SetLatency(JitterLatency(5))
+		recv := newEcho(s, 2)
+		newEcho(s, 1)
+		env := s.Env(1)
+		for i := 0; i < 20; i++ {
+			env.Send(2, msg.Heartbeat{From: 1, Epoch: uint64(i)})
+		}
+		s.Run()
+		times := make([]Time, len(recv.got))
+		for i, m := range recv.got {
+			times[i] = Time(m.(msg.Heartbeat).Epoch)
+		}
+		return times
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestJitterReordersMessages(t *testing.T) {
+	s := New(3)
+	s.SetLatency(JitterLatency(10))
+	recv := newEcho(s, 2)
+	newEcho(s, 1)
+	env := s.Env(1)
+	for i := 0; i < 50; i++ {
+		env.Send(2, msg.Heartbeat{From: 1, Epoch: uint64(i)})
+	}
+	s.Run()
+	inverted := false
+	for i := 1; i < len(recv.got); i++ {
+		if recv.got[i].(msg.Heartbeat).Epoch < recv.got[i-1].(msg.Heartbeat).Epoch {
+			inverted = true
+			break
+		}
+	}
+	if !inverted {
+		t.Errorf("jitter latency should reorder some messages")
+	}
+}
+
+func TestDropProb(t *testing.T) {
+	s := New(5)
+	s.SetDrop(DropProb(1.0))
+	recv := newEcho(s, 2)
+	newEcho(s, 1)
+	s.Env(1).Send(2, msg.Heartbeat{From: 1})
+	s.Run()
+	if len(recv.got) != 0 {
+		t.Errorf("p=1 must drop everything")
+	}
+	if s.Metrics().Dropped != 1 {
+		t.Errorf("drop not counted")
+	}
+}
+
+func TestCrashBlocksDeliveryAndSending(t *testing.T) {
+	s := New(1)
+	a := newEcho(s, 1)
+	b := newEcho(s, 2)
+	s.Crash(2)
+	s.Env(1).Send(2, msg.Heartbeat{From: 1})
+	s.Run()
+	if len(b.got) != 0 {
+		t.Errorf("crashed node must not receive")
+	}
+	s.Crash(1)
+	s.Env(1).Send(2, msg.Heartbeat{From: 1})
+	s.Recover(2)
+	s.Run()
+	if len(b.got) != 0 {
+		t.Errorf("crashed node must not send")
+	}
+	if len(a.got) != 0 {
+		t.Errorf("unexpected delivery to a")
+	}
+}
+
+func TestRecoverInvokesHook(t *testing.T) {
+	s := New(1)
+	a := newEcho(s, 1)
+	s.Crash(1)
+	s.Recover(1)
+	if a.recovers != 1 {
+		t.Errorf("OnRecover called %d times, want 1", a.recovers)
+	}
+	if !s.IsUp(1) {
+		t.Errorf("node must be up after recovery")
+	}
+	s.Recover(1) // no-op when already up
+	if a.recovers != 1 {
+		t.Errorf("Recover on a live node must be a no-op")
+	}
+}
+
+func TestTimers(t *testing.T) {
+	s := New(1)
+	a := newEcho(s, 1)
+	s.Env(1).SetTimer(5, 42)
+	s.Run()
+	if len(a.timers) != 1 || a.timers[0] != 42 {
+		t.Fatalf("timer not fired: %v", a.timers)
+	}
+	if s.Now() != 5 {
+		t.Errorf("timer must fire at t=5, got %d", s.Now())
+	}
+}
+
+func TestTimerCancelledByCrash(t *testing.T) {
+	s := New(1)
+	a := newEcho(s, 1)
+	s.Env(1).SetTimer(5, 1)
+	s.Crash(1)
+	s.Recover(1)
+	s.Run()
+	if len(a.timers) != 0 {
+		t.Errorf("pre-crash timer must not fire after recovery, got %v", a.timers)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	newEcho(s, 1)
+	s.Env(1).SetTimer(100, 1)
+	s.RunUntil(50)
+	if s.Now() != 50 {
+		t.Errorf("RunUntil must advance clock to 50, got %d", s.Now())
+	}
+	s.RunUntil(200)
+	if s.Now() != 200 {
+		t.Errorf("RunUntil must advance clock to 200, got %d", s.Now())
+	}
+}
+
+func TestMetricsCountTraffic(t *testing.T) {
+	s := New(1)
+	newEcho(s, 1)
+	newEcho(s, 2)
+	env := s.Env(1)
+	env.Send(2, msg.Heartbeat{From: 1})
+	env.Send(2, msg.Propose{Cmd: cstruct.Cmd{ID: 1}})
+	s.Run()
+	m := s.Metrics()
+	if m.SentByType[msg.THeartbeat] != 1 || m.SentByType[msg.TPropose] != 1 {
+		t.Errorf("sent-by-type wrong: %v", m.SentByType)
+	}
+	if m.RecvByNode[2] != 2 {
+		t.Errorf("recv count = %d, want 2", m.RecvByNode[2])
+	}
+	if m.RecvByNodeType[2][msg.TPropose] != 1 {
+		t.Errorf("recv-by-type wrong: %v", m.RecvByNodeType[2])
+	}
+	if m.TotalSent() != 2 {
+		t.Errorf("TotalSent = %d", m.TotalSent())
+	}
+	m.Reset()
+	if m.TotalSent() != 0 {
+		t.Errorf("Reset must zero counters")
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events must run FIFO, got %v", order)
+		}
+	}
+}

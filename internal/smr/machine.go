@@ -1,0 +1,195 @@
+// Package smr provides state-machine replication on top of the consensus
+// and generic broadcast protocols: deterministic machines apply the learned
+// command structure, so all replicas converge to the same state. This is the
+// application layer the paper motivates ("one of the most important
+// applications of consensus algorithms", abstract).
+package smr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mcpaxos/internal/cstruct"
+)
+
+// Machine is a deterministic state machine. For generic broadcast
+// deployments, Apply must commute for commands the conflict relation leaves
+// unordered.
+type Machine interface {
+	// Apply executes a command and returns its result.
+	Apply(cmd cstruct.Cmd) string
+	// Snapshot renders the full state deterministically, for comparing
+	// replicas.
+	Snapshot() string
+}
+
+// KV op kinds, encoded in Cmd.Payload[0].
+const (
+	KVSet byte = iota + 1
+	KVDel
+)
+
+// KVStore is a replicated key-value map. Commands on different keys
+// commute; use cstruct.KeyConflict (or RWConflict) as the conflict
+// relation.
+type KVStore struct {
+	mu   sync.Mutex
+	data map[string]string
+}
+
+var _ Machine = (*KVStore)(nil)
+
+// NewKVStore builds an empty store.
+func NewKVStore() *KVStore { return &KVStore{data: make(map[string]string)} }
+
+// SetCmd builds a command writing value to key.
+func SetCmd(id uint64, key, value string) cstruct.Cmd {
+	return cstruct.Cmd{
+		ID: id, Key: key, Op: cstruct.OpWrite,
+		Payload: append([]byte{KVSet}, []byte(value)...),
+	}
+}
+
+// DelCmd builds a command deleting key.
+func DelCmd(id uint64, key string) cstruct.Cmd {
+	return cstruct.Cmd{ID: id, Key: key, Op: cstruct.OpWrite, Payload: []byte{KVDel}}
+}
+
+// Apply implements Machine.
+func (s *KVStore) Apply(cmd cstruct.Cmd) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(cmd.Payload) == 0 {
+		return "err:empty"
+	}
+	switch cmd.Payload[0] {
+	case KVSet:
+		s.data[cmd.Key] = string(cmd.Payload[1:])
+		return "ok"
+	case KVDel:
+		delete(s.data, cmd.Key)
+		return "ok"
+	default:
+		return "err:opcode"
+	}
+}
+
+// Get reads a key (local, not linearizable).
+func (s *KVStore) Get(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (s *KVStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Snapshot implements Machine.
+func (s *KVStore) Snapshot() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, s.data[k])
+	}
+	return b.String()
+}
+
+// Bank op kinds, encoded in Cmd.Payload[0].
+const (
+	BankDeposit byte = iota + 1
+	BankWithdraw
+)
+
+// Bank is a replicated set of integer accounts; the account is the command
+// key, so operations on different accounts commute under KeyConflict, and
+// deposits to the same account commute too (they are modelled as reads for
+// RW-style relations would be wrong — use KeyConflict for strict ordering
+// per account, or a custom relation for commuting deposits).
+type Bank struct {
+	mu       sync.Mutex
+	balances map[string]int64
+}
+
+var _ Machine = (*Bank)(nil)
+
+// NewBank builds an empty bank.
+func NewBank() *Bank { return &Bank{balances: make(map[string]int64)} }
+
+// DepositCmd builds a deposit command.
+func DepositCmd(id uint64, account string, amount int64) cstruct.Cmd {
+	return cstruct.Cmd{ID: id, Key: account, Op: cstruct.OpWrite,
+		Payload: bankPayload(BankDeposit, amount)}
+}
+
+// WithdrawCmd builds a withdrawal command (rejected when underfunded).
+func WithdrawCmd(id uint64, account string, amount int64) cstruct.Cmd {
+	return cstruct.Cmd{ID: id, Key: account, Op: cstruct.OpWrite,
+		Payload: bankPayload(BankWithdraw, amount)}
+}
+
+func bankPayload(op byte, amount int64) []byte {
+	out := make([]byte, 9)
+	out[0] = op
+	binary.BigEndian.PutUint64(out[1:], uint64(amount))
+	return out
+}
+
+// Apply implements Machine.
+func (b *Bank) Apply(cmd cstruct.Cmd) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(cmd.Payload) != 9 {
+		return "err:payload"
+	}
+	amount := int64(binary.BigEndian.Uint64(cmd.Payload[1:]))
+	switch cmd.Payload[0] {
+	case BankDeposit:
+		b.balances[cmd.Key] += amount
+		return "ok"
+	case BankWithdraw:
+		if b.balances[cmd.Key] < amount {
+			return "err:funds"
+		}
+		b.balances[cmd.Key] -= amount
+		return "ok"
+	default:
+		return "err:opcode"
+	}
+}
+
+// Balance reads an account balance (local).
+func (b *Bank) Balance(account string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balances[account]
+}
+
+// Snapshot implements Machine.
+func (b *Bank) Snapshot() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keys := make([]string, 0, len(b.balances))
+	for k := range b.balances {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%d;", k, b.balances[k])
+	}
+	return sb.String()
+}

@@ -1,0 +1,58 @@
+package smr
+
+import (
+	"mcpaxos/internal/core"
+	"mcpaxos/internal/cstruct"
+)
+
+// Replica applies a learner's growing command structure to a machine. It is
+// attached as the learner's update callback: each newly learned command is
+// applied exactly once, in an order consistent with the learned c-struct —
+// which is a total order when the conflict relation orders everything, and
+// a commutativity-respecting order otherwise.
+type Replica struct {
+	machine Machine
+	applied map[uint64]string
+	order   []cstruct.Cmd
+}
+
+// NewReplica builds a replica over machine.
+func NewReplica(machine Machine) *Replica {
+	return &Replica{machine: machine, applied: make(map[uint64]string)}
+}
+
+// UpdateFn returns the learner callback feeding this replica.
+func (r *Replica) UpdateFn() core.UpdateFn {
+	return func(_ cstruct.CStruct, fresh []cstruct.Cmd) {
+		for _, c := range fresh {
+			r.ApplyOnce(c)
+		}
+	}
+}
+
+// ApplyOnce applies the command unless it was already applied; it returns
+// the (possibly cached) result.
+func (r *Replica) ApplyOnce(c cstruct.Cmd) string {
+	if res, ok := r.applied[c.ID]; ok {
+		return res
+	}
+	res := r.machine.Apply(c)
+	r.applied[c.ID] = res
+	r.order = append(r.order, c)
+	return res
+}
+
+// Applied reports how many distinct commands were applied.
+func (r *Replica) Applied() int { return len(r.applied) }
+
+// Order returns the application order, for checking replica agreement.
+func (r *Replica) Order() []cstruct.Cmd { return r.order }
+
+// Machine returns the underlying machine.
+func (r *Replica) Machine() Machine { return r.machine }
+
+// Result returns the cached result of a command, if applied.
+func (r *Replica) Result(cmdID uint64) (string, bool) {
+	res, ok := r.applied[cmdID]
+	return res, ok
+}

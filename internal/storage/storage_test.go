@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	var d Disk
+	if _, ok := d.Get("missing"); ok {
+		t.Errorf("empty disk must miss")
+	}
+	d.Put("k", 42)
+	v, ok := d.Get("k")
+	if !ok || v.(int) != 42 {
+		t.Errorf("Get = %v/%v", v, ok)
+	}
+	if d.Writes() != 1 {
+		t.Errorf("Writes = %d", d.Writes())
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestPutAllCountsOneWrite(t *testing.T) {
+	var d Disk
+	d.PutAll(map[string]any{"a": 1, "b": 2})
+	if d.Writes() != 1 {
+		t.Errorf("group commit must count one write, got %d", d.Writes())
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestResetWritesKeepsData(t *testing.T) {
+	var d Disk
+	d.Put("k", "v")
+	d.ResetWrites()
+	if d.Writes() != 0 {
+		t.Errorf("counter not reset")
+	}
+	if _, ok := d.Get("k"); !ok {
+		t.Errorf("data lost by counter reset")
+	}
+}
+
+func TestWipe(t *testing.T) {
+	var d Disk
+	d.Put("k", "v")
+	d.Wipe()
+	if d.Len() != 0 || d.Writes() != 0 {
+		t.Errorf("wipe incomplete")
+	}
+}
+
+func TestOverwriteCounts(t *testing.T) {
+	var d Disk
+	d.Put("k", 1)
+	d.Put("k", 2)
+	if d.Writes() != 2 {
+		t.Errorf("each Put is one synchronous write, got %d", d.Writes())
+	}
+	v, _ := d.Get("k")
+	if v.(int) != 2 {
+		t.Errorf("overwrite lost")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	var d Disk
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				d.Put("k", i)
+				d.Get("k")
+				d.Writes()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d.Writes() != 800 {
+		t.Errorf("writes = %d, want 800", d.Writes())
+	}
+}

@@ -1,0 +1,70 @@
+// Package trace generates the synthetic workloads of the experiments: a
+// command stream with a tunable conflict rate stands in for the
+// application-dependent interference the paper reasons about (Sections 2.3
+// and 4.5), since no workload traces accompany the original report.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcpaxos/internal/cstruct"
+)
+
+// Workload draws commands with a controlled probability of mutual conflict
+// under the cstruct.KeyConflict relation: with probability ConflictRate a
+// command touches one of HotKeys shared keys; otherwise it touches a key of
+// its own. Two hot commands on the same key conflict; everything else
+// commutes.
+type Workload struct {
+	// ConflictRate in [0,1] is the probability that a command is "hot".
+	ConflictRate float64
+	// HotKeys is the number of distinct contended keys (default 1).
+	HotKeys int
+	// WriteRatio is the probability a command is a write (default 1).
+	WriteRatio float64
+
+	rng    *rand.Rand
+	nextID uint64
+}
+
+// New builds a workload generator.
+func New(seed int64, conflictRate float64) *Workload {
+	return &Workload{
+		ConflictRate: conflictRate,
+		HotKeys:      1,
+		WriteRatio:   1,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next draws the next command.
+func (w *Workload) Next() cstruct.Cmd {
+	w.nextID++
+	id := w.nextID
+	op := cstruct.OpWrite
+	if w.rng.Float64() >= w.WriteRatio {
+		op = cstruct.OpRead
+	}
+	hot := w.HotKeys
+	if hot <= 0 {
+		hot = 1
+	}
+	key := fmt.Sprintf("uniq-%d", id)
+	if w.rng.Float64() < w.ConflictRate {
+		key = fmt.Sprintf("hot-%d", w.rng.Intn(hot))
+	}
+	return cstruct.Cmd{ID: id, Key: key, Op: op}
+}
+
+// Batch draws n commands.
+func (w *Workload) Batch(n int) []cstruct.Cmd {
+	out := make([]cstruct.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, w.Next())
+	}
+	return out
+}
+
+// Generated reports how many commands were drawn so far.
+func (w *Workload) Generated() uint64 { return w.nextID }

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+)
+
+func TestUniqueIDs(t *testing.T) {
+	w := New(1, 0.5)
+	seen := make(map[uint64]bool)
+	for _, c := range w.Batch(1000) {
+		if seen[c.ID] {
+			t.Fatalf("duplicate command ID %d", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if w.Generated() != 1000 {
+		t.Errorf("Generated = %d", w.Generated())
+	}
+}
+
+func TestConflictRateExtremes(t *testing.T) {
+	w := New(1, 0)
+	for _, c := range w.Batch(200) {
+		if strings.HasPrefix(c.Key, "hot-") {
+			t.Fatalf("rate 0 must produce no hot keys, got %v", c)
+		}
+	}
+	w = New(1, 1)
+	for _, c := range w.Batch(200) {
+		if !strings.HasPrefix(c.Key, "hot-") {
+			t.Fatalf("rate 1 must produce only hot keys, got %v", c)
+		}
+	}
+}
+
+func TestConflictRateApproximate(t *testing.T) {
+	w := New(7, 0.3)
+	hot := 0
+	const n = 5000
+	for _, c := range w.Batch(n) {
+		if strings.HasPrefix(c.Key, "hot-") {
+			hot++
+		}
+	}
+	got := float64(hot) / n
+	if got < 0.25 || got > 0.35 {
+		t.Errorf("empirical conflict rate %.3f far from 0.3", got)
+	}
+}
+
+func TestPairwiseConflictProbability(t *testing.T) {
+	// Hot commands on one key conflict under KeyConflict; unique keys never
+	// do.
+	w := New(3, 0.5)
+	cmds := w.Batch(200)
+	anyConflict := false
+	for i := range cmds {
+		for j := i + 1; j < len(cmds); j++ {
+			if cstruct.KeyConflict(cmds[i], cmds[j]) {
+				anyConflict = true
+			}
+		}
+	}
+	if !anyConflict {
+		t.Errorf("rate 0.5 with one hot key must produce conflicting pairs")
+	}
+}
+
+func TestWriteRatio(t *testing.T) {
+	w := New(5, 0)
+	w.WriteRatio = 0
+	for _, c := range w.Batch(100) {
+		if c.Op != cstruct.OpRead {
+			t.Fatalf("WriteRatio 0 must produce reads only")
+		}
+	}
+}
+
+func TestHotKeysSpread(t *testing.T) {
+	w := New(9, 1)
+	w.HotKeys = 4
+	keys := make(map[string]bool)
+	for _, c := range w.Batch(400) {
+		keys[c.Key] = true
+	}
+	if len(keys) != 4 {
+		t.Errorf("expected 4 hot keys, got %d", len(keys))
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := New(11, 0.4).Batch(50)
+	b := New(11, 0.4).Batch(50)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Key != b[i].Key || a[i].Op != b[i].Op {
+			t.Fatalf("same seed must reproduce the stream")
+		}
+	}
+}

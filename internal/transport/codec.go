@@ -1,0 +1,157 @@
+// Package transport provides live message transports for the protocol
+// agents: an in-process channel hub and a TCP transport (net + encoding/gob)
+// for multi-process deployments. Both present the same Transport interface;
+// the discrete-event simulator remains the reference host for experiments.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+)
+
+// wire is the flattened, gob-encodable form of every protocol message.
+// C-structs travel as representative command sequences and are rebuilt with
+// the receiver's configured c-struct set (every c-struct is ⊥ • σ for its
+// Commands() σ).
+type wire struct {
+	Type  msg.Type
+	Inst  uint64
+	Rnd   ballot.Ballot
+	VRnd  ballot.Ballot
+	Got   ballot.Ballot
+	Acc   msg.NodeID
+	Coord msg.NodeID
+	Cmd   cstruct.Cmd
+	Val   []cstruct.Cmd
+	// HasVal distinguishes a nil c-struct from ⊥.
+	HasVal    bool
+	Any       bool
+	AccQuorum []msg.NodeID
+	Votes     []wireVote
+	// Multi marks a P1bMulti promise.
+	Multi bool
+	Epoch uint64
+}
+
+type wireVote struct {
+	Inst uint64
+	VRnd ballot.Ballot
+	VVal []cstruct.Cmd
+	Has  bool
+}
+
+// Codec encodes protocol messages for the TCP transport. It needs the
+// deployment's c-struct set to rebuild values on receipt.
+type Codec struct {
+	Set cstruct.Set
+}
+
+// Encode serializes m.
+func (c Codec) Encode(m msg.Message) ([]byte, error) {
+	w, err := toWire(m)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a message.
+func (c Codec) Decode(data []byte) (msg.Message, error) {
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return c.fromWire(w)
+}
+
+func toWire(m msg.Message) (wire, error) {
+	switch mm := m.(type) {
+	case msg.Propose:
+		return wire{Type: msg.TPropose, Inst: mm.Inst, Cmd: mm.Cmd, AccQuorum: mm.AccQuorum}, nil
+	case msg.P1a:
+		return wire{Type: msg.TP1a, Inst: mm.Inst, Rnd: mm.Rnd, Coord: mm.Coord}, nil
+	case msg.P1b:
+		w := wire{Type: msg.TP1b, Inst: mm.Inst, Rnd: mm.Rnd, Acc: mm.Acc, VRnd: mm.VRnd}
+		if mm.VVal != nil {
+			w.Val, w.HasVal = mm.VVal.Commands(), true
+		}
+		return w, nil
+	case msg.P1bMulti:
+		w := wire{Type: msg.TP1b, Rnd: mm.Rnd, Acc: mm.Acc, Multi: true}
+		for _, v := range mm.Votes {
+			wv := wireVote{Inst: v.Inst, VRnd: v.VRnd}
+			if v.VVal != nil {
+				wv.VVal, wv.Has = v.VVal.Commands(), true
+			}
+			w.Votes = append(w.Votes, wv)
+		}
+		return w, nil
+	case msg.P2a:
+		w := wire{Type: msg.TP2a, Inst: mm.Inst, Rnd: mm.Rnd, Coord: mm.Coord, Any: mm.Any}
+		if mm.Val != nil {
+			w.Val, w.HasVal = mm.Val.Commands(), true
+		}
+		return w, nil
+	case msg.P2b:
+		w := wire{Type: msg.TP2b, Inst: mm.Inst, Rnd: mm.Rnd, Acc: mm.Acc}
+		if mm.Val != nil {
+			w.Val, w.HasVal = mm.Val.Commands(), true
+		}
+		return w, nil
+	case msg.Stale:
+		return wire{Type: msg.TStale, Inst: mm.Inst, Acc: mm.Acc, Rnd: mm.Rnd, Got: mm.Got}, nil
+	case msg.Heartbeat:
+		return wire{Type: msg.THeartbeat, Coord: mm.From, Epoch: mm.Epoch}, nil
+	default:
+		return wire{}, fmt.Errorf("transport: unknown message type %T", m)
+	}
+}
+
+func (c Codec) rebuild(cmds []cstruct.Cmd, has bool) cstruct.CStruct {
+	if !has {
+		return nil
+	}
+	return cstruct.AppendSeq(c.Set.Bottom(), cmds)
+}
+
+func (c Codec) fromWire(w wire) (msg.Message, error) {
+	switch w.Type {
+	case msg.TPropose:
+		return msg.Propose{Inst: w.Inst, Cmd: w.Cmd, AccQuorum: w.AccQuorum}, nil
+	case msg.TP1a:
+		return msg.P1a{Inst: w.Inst, Rnd: w.Rnd, Coord: w.Coord}, nil
+	case msg.TP1b:
+		if w.Multi {
+			out := msg.P1bMulti{Rnd: w.Rnd, Acc: w.Acc}
+			for _, v := range w.Votes {
+				out.Votes = append(out.Votes, msg.InstVote{
+					Inst: v.Inst, VRnd: v.VRnd, VVal: c.rebuild(v.VVal, v.Has),
+				})
+			}
+			return out, nil
+		}
+		return msg.P1b{Inst: w.Inst, Rnd: w.Rnd, Acc: w.Acc, VRnd: w.VRnd,
+			VVal: c.rebuild(w.Val, w.HasVal)}, nil
+	case msg.TP2a:
+		return msg.P2a{Inst: w.Inst, Rnd: w.Rnd, Coord: w.Coord, Any: w.Any,
+			Val: c.rebuild(w.Val, w.HasVal)}, nil
+	case msg.TP2b:
+		return msg.P2b{Inst: w.Inst, Rnd: w.Rnd, Acc: w.Acc,
+			Val: c.rebuild(w.Val, w.HasVal)}, nil
+	case msg.TStale:
+		return msg.Stale{Inst: w.Inst, Acc: w.Acc, Rnd: w.Rnd, Got: w.Got}, nil
+	case msg.THeartbeat:
+		return msg.Heartbeat{From: w.Coord, Epoch: w.Epoch}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown wire type %d", w.Type)
+	}
+}

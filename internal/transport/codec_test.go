@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"testing"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+)
+
+func roundtrip(t *testing.T, c Codec, m msg.Message) msg.Message {
+	t.Helper()
+	data, err := c.Encode(m)
+	if err != nil {
+		t.Fatalf("encode %T: %v", m, err)
+	}
+	out, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("decode %T: %v", m, err)
+	}
+	return out
+}
+
+func TestCodecRoundtripAllTypes(t *testing.T) {
+	set := cstruct.NewHistorySet(cstruct.KeyConflict)
+	c := Codec{Set: set}
+	b := ballot.Ballot{MCount: 1, MinCount: 2, ID: 3, RType: 4}
+	h := set.NewHistory(
+		cstruct.Cmd{ID: 1, Key: "x", Op: cstruct.OpWrite, Payload: []byte("v")},
+		cstruct.Cmd{ID: 2, Key: "y"},
+	)
+
+	if got := roundtrip(t, c, msg.Propose{Inst: 7, Cmd: cstruct.Cmd{ID: 5, Key: "k"},
+		AccQuorum: []msg.NodeID{200, 201}}).(msg.Propose); got.Cmd.ID != 5 ||
+		got.Inst != 7 || len(got.AccQuorum) != 2 {
+		t.Errorf("Propose mangled: %+v", got)
+	}
+	if got := roundtrip(t, c, msg.P1a{Rnd: b, Coord: 100}).(msg.P1a); got.Rnd != b || got.Coord != 100 {
+		t.Errorf("P1a mangled: %+v", got)
+	}
+	p1b := roundtrip(t, c, msg.P1b{Rnd: b, Acc: 200, VRnd: b, VVal: h}).(msg.P1b)
+	if p1b.VVal == nil || !set.Equal(p1b.VVal, h) {
+		t.Errorf("P1b value mangled: %v", p1b.VVal)
+	}
+	p2a := roundtrip(t, c, msg.P2a{Rnd: b, Coord: 100, Val: h}).(msg.P2a)
+	if !set.Equal(p2a.Val, h) || p2a.Any {
+		t.Errorf("P2a mangled: %+v", p2a)
+	}
+	anyMsg := roundtrip(t, c, msg.P2a{Rnd: b, Coord: 100, Any: true}).(msg.P2a)
+	if !anyMsg.Any || anyMsg.Val != nil {
+		t.Errorf("Any flag mangled: %+v", anyMsg)
+	}
+	p2b := roundtrip(t, c, msg.P2b{Rnd: b, Acc: 201, Val: h}).(msg.P2b)
+	if !set.Equal(p2b.Val, h) {
+		t.Errorf("P2b mangled: %+v", p2b)
+	}
+	st := roundtrip(t, c, msg.Stale{Acc: 200, Rnd: b, Got: ballot.Zero}).(msg.Stale)
+	if st.Rnd != b {
+		t.Errorf("Stale mangled: %+v", st)
+	}
+	hb := roundtrip(t, c, msg.Heartbeat{From: 100, Epoch: 9}).(msg.Heartbeat)
+	if hb.From != 100 || hb.Epoch != 9 {
+		t.Errorf("Heartbeat mangled: %+v", hb)
+	}
+}
+
+func TestCodecMultiPromise(t *testing.T) {
+	set := cstruct.SingleValueSet{}
+	c := Codec{Set: set}
+	b := ballot.Ballot{MinCount: 1, ID: 2}
+	in := msg.P1bMulti{Rnd: b, Acc: 200, Votes: []msg.InstVote{
+		{Inst: 0, VRnd: b, VVal: cstruct.NewSingleValue(cstruct.Cmd{ID: 4})},
+		{Inst: 1, VRnd: ballot.Zero, VVal: set.Bottom()},
+	}}
+	out := roundtrip(t, c, in).(msg.P1bMulti)
+	if len(out.Votes) != 2 || out.Acc != 200 {
+		t.Fatalf("P1bMulti mangled: %+v", out)
+	}
+	if !out.Votes[0].VVal.Contains(cstruct.Cmd{ID: 4}) {
+		t.Errorf("vote value lost")
+	}
+}
+
+func TestCodecBottomValue(t *testing.T) {
+	set := cstruct.NewHistorySet(cstruct.KeyConflict)
+	c := Codec{Set: set}
+	p1b := roundtrip(t, c, msg.P1b{Rnd: ballot.Zero, Acc: 1, VVal: set.Bottom()}).(msg.P1b)
+	if p1b.VVal == nil || p1b.VVal.Len() != 0 {
+		t.Errorf("⊥ must survive the trip, got %v", p1b.VVal)
+	}
+	// nil stays nil.
+	p1bNil := roundtrip(t, c, msg.P1b{Rnd: ballot.Zero, Acc: 1}).(msg.P1b)
+	if p1bNil.VVal != nil {
+		t.Errorf("nil value must stay nil")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	c := Codec{Set: cstruct.SingleValueSet{}}
+	if _, err := c.Decode([]byte("not gob")); err == nil {
+		t.Errorf("garbage must fail to decode")
+	}
+}

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mcpaxos/internal/msg"
+)
+
+// RecvFn consumes inbound messages.
+type RecvFn func(from msg.NodeID, m msg.Message)
+
+// TCP is a TCP transport endpoint for one node: it listens on its own
+// address and opens one client connection per peer on demand. Frames are
+// length-prefixed gob-encoded wire messages, preceded by the sender ID.
+type TCP struct {
+	id    msg.NodeID
+	codec Codec
+	addrs map[msg.NodeID]string
+	recv  RecvFn
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[msg.NodeID]net.Conn
+	accepted map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewTCP starts a TCP endpoint for node id: addrs maps every node to a
+// host:port; addrs[id] is listened on.
+func NewTCP(id msg.NodeID, addrs map[msg.NodeID]string, codec Codec, recv RecvFn) (*TCP, error) {
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
+	}
+	t := &TCP{
+		id:       id,
+		codec:    codec,
+		addrs:    addrs,
+		recv:     recv,
+		ln:       ln,
+		conns:    make(map[msg.NodeID]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+		closed:   make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" ports).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.mu.Lock()
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		from := msg.NodeID(binary.BigEndian.Uint32(hdr[0:4]))
+		size := binary.BigEndian.Uint64(hdr[4:12])
+		if size > 16<<20 {
+			return // refuse absurd frames
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		m, err := t.codec.Decode(buf)
+		if err != nil {
+			continue // corrupt frame: the model allows loss, not corruption
+		}
+		select {
+		case <-t.closed:
+			return
+		default:
+		}
+		t.recv(from, m)
+	}
+}
+
+// Send transmits m to node `to`, dialing on first use. Errors are returned
+// for diagnostics but callers may treat failures as message loss.
+func (t *TCP) Send(to msg.NodeID, m msg.Message) error {
+	data, err := t.codec.Encode(m)
+	if err != nil {
+		return err
+	}
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(t.id))
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(len(data)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := conn.Write(hdr[:]); err != nil {
+		delete(t.conns, to)
+		return err
+	}
+	if _, err := conn.Write(data); err != nil {
+		delete(t.conns, to)
+		return err
+	}
+	return nil
+}
+
+func (t *TCP) conn(to msg.NodeID) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown node %v", to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v: %w", to, err)
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+// Close shuts the endpoint down and waits for its goroutines.
+func (t *TCP) Close() error {
+	close(t.closed)
+	err := t.ln.Close()
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.conns = make(map[msg.NodeID]net.Conn)
+	for c := range t.accepted {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+)
+
+func TestTCPRoundtrip(t *testing.T) {
+	set := cstruct.NewHistorySet(cstruct.KeyConflict)
+	codec := Codec{Set: set}
+
+	var mu sync.Mutex
+	var got []msg.Message
+	var from []msg.NodeID
+
+	// Bootstrap: listen on ephemeral ports, then share the address map.
+	addrs := map[msg.NodeID]string{1: "127.0.0.1:0", 2: "127.0.0.1:0"}
+	t2, err := NewTCP(2, addrs, codec, func(f msg.NodeID, m msg.Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, m)
+		from = append(from, f)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	addrs[2] = t2.Addr()
+
+	t1, err := NewTCP(1, addrs, codec, func(msg.NodeID, msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	addrs[1] = t1.Addr()
+
+	h := set.NewHistory(cstruct.Cmd{ID: 1, Key: "x"})
+	msgs := []msg.Message{
+		msg.Propose{Cmd: cstruct.Cmd{ID: 9, Key: "k"}},
+		msg.P2a{Rnd: ballot.Ballot{MinCount: 1, ID: 1}, Coord: 1, Val: h},
+		msg.Heartbeat{From: 1, Epoch: 3},
+	}
+	for _, m := range msgs {
+		if err := t1.Send(2, m); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == len(msgs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d messages", n, len(msgs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range from {
+		if f != 1 {
+			t.Errorf("sender ID mangled: %v", f)
+		}
+	}
+	if p2a, ok := got[1].(msg.P2a); !ok || !set.Equal(p2a.Val, h) {
+		t.Errorf("P2a over TCP mangled: %+v", got[1])
+	}
+}
+
+func TestTCPSendToUnknownNode(t *testing.T) {
+	codec := Codec{Set: cstruct.SingleValueSet{}}
+	tr, err := NewTCP(1, map[msg.NodeID]string{1: "127.0.0.1:0"}, codec,
+		func(msg.NodeID, msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send(99, msg.Heartbeat{From: 1}); err == nil {
+		t.Errorf("sending to an unknown node must error")
+	}
+}
