@@ -129,6 +129,61 @@ func BenchmarkAblationRndPersistence(b *testing.B) {
 	}
 }
 
+// E10: heavy-traffic throughput. Each iteration pushes the same 256-command
+// stream through one deployment, so ns/op is directly comparable across the
+// modes: batch=32 must be ≥2× faster than unbatched (it measures ~10-30×,
+// since 32 commands share one instance's quorum exchange and disk write).
+const e10Commands = 256
+
+func reportE10(b *testing.B, r E10Row) {
+	b.ReportMetric(float64(e10Commands)*float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
+	b.ReportMetric(r.MsgsPerCmd, "msgs/cmd")
+	b.ReportMetric(float64(r.SimSteps), "sim-steps")
+	if r.Commands != e10Commands {
+		b.Fatalf("incomplete run: %+v", r)
+	}
+}
+
+func BenchmarkE10ThroughputUnbatched(b *testing.B) {
+	var r E10Row
+	for i := 0; i < b.N; i++ {
+		r = RunE10Sequential(int64(i+1), e10Commands)
+	}
+	reportE10(b, r)
+}
+
+func BenchmarkE10ThroughputPipelined8(b *testing.B) {
+	var r E10Row
+	for i := 0; i < b.N; i++ {
+		r = RunE10Pipelined(int64(i+1), e10Commands, 8)
+	}
+	reportE10(b, r)
+}
+
+func BenchmarkE10ThroughputPipelined32(b *testing.B) {
+	var r E10Row
+	for i := 0; i < b.N; i++ {
+		r = RunE10Pipelined(int64(i+1), e10Commands, 32)
+	}
+	reportE10(b, r)
+}
+
+func BenchmarkE10ThroughputBatch8(b *testing.B) {
+	var r E10Row
+	for i := 0; i < b.N; i++ {
+		r = RunE10Batched(int64(i+1), e10Commands, 8)
+	}
+	reportE10(b, r)
+}
+
+func BenchmarkE10ThroughputBatch32(b *testing.B) {
+	var r E10Row
+	for i := 0; i < b.N; i++ {
+		r = RunE10Batched(int64(i+1), e10Commands, 32)
+	}
+	reportE10(b, r)
+}
+
 func BenchmarkE9SpontaneousOrder(b *testing.B) {
 	jitters := []int64{0, 3, 6}
 	var rows []E9Row

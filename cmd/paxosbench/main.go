@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paxosbench [-seed N] [-exp all|e1|...|e9] [-trials N] [-commands N]
+//	paxosbench [-seed N] [-exp all|e1|...|e10] [-trials N] [-commands N]
 package main
 
 import (
@@ -19,7 +19,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	exp := flag.String("exp", "all", "experiment to run: all or e1..e9")
 	trials := flag.Int("trials", 20, "trials per sample point (E7, E9)")
-	commands := flag.Int("commands", 200, "commands per run (E4, E6)")
+	commands := flag.Int("commands", 200, "commands per run (E4, E6, E10)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -60,8 +60,12 @@ func main() {
 		e9(*seed, *trials)
 		any = true
 	}
+	if run("e10") {
+		e10(*seed, *commands)
+		any = true
+	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or e1..e9)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or e1..e10)\n", *exp)
 		os.Exit(2)
 	}
 }
@@ -143,6 +147,17 @@ func e8(seed int64) {
 	fmt.Printf("  steady-state inter-learn gap:          %d\n", r.BaselineGap)
 	fmt.Printf("  classic Paxos, leader crash:           %d (detect + elect + phase 1)\n", r.ClassicGap)
 	fmt.Printf("  multicoordinated, 1 coordinator crash: %d (no round change needed)\n", r.MultiGap)
+}
+
+func e10(seed int64, commands int) {
+	header("E10: batching & pipelining throughput (heavy-traffic path)")
+	fmt.Printf("  %d commands through 1 leader, 3 acceptors\n", commands)
+	fmt.Println("  mode          commands  instances  msgs    writes  steps  msgs/cmd  writes/cmd")
+	for _, r := range mcpaxos.RunE10Throughput(seed, commands, []int{8, 32}, []int{8, 32}) {
+		fmt.Printf("  %-13s %-9d %-10d %-7d %-7d %-6d %-9.2f %.3f\n",
+			r.Mode, r.Commands, r.Instances, r.Msgs, r.DiskWrites, r.SimSteps,
+			r.MsgsPerCmd, r.WritesPerCmd)
+	}
 }
 
 func e9(seed int64, trials int) {

@@ -1,0 +1,3 @@
+module mcpaxos
+
+go 1.24

@@ -35,6 +35,8 @@ type ClusterOpts struct {
 	F          int
 	Seed       int64
 	RetryEvery int64 // 0 disables retransmission
+	// MaxInflight bounds each coordinator's pipeline window; 0 is unbounded.
+	MaxInflight int
 }
 
 // NewCluster builds and registers a deployment. Node IDs are assigned as:
@@ -65,6 +67,7 @@ func NewCluster(o ClusterOpts) *Cluster {
 	for _, id := range cfg.Coords {
 		c := NewCoordinator(s.Env(id), cfg)
 		c.RetryEvery = o.RetryEvery
+		c.MaxInflight = o.MaxInflight
 		s.Register(id, c)
 		cl.Coords = append(cl.Coords, c)
 	}

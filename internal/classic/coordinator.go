@@ -30,7 +30,15 @@ type Coordinator struct {
 	// accepted values the new leader must re-propose, per instance.
 	proposals map[uint64]cstruct.Cmd // values sent in 2a for this round
 	byCmd     map[uint64]uint64      // command ID → instance (dedup)
-	pending   []cstruct.Cmd          // proposals queued until leadership
+	pending   []cstruct.Cmd          // proposals queued until leadership or a window slot
+	queued    map[uint64]bool        // command IDs currently in pending (dedup)
+
+	// MaxInflight > 0 bounds how many assigned instances may be unlearned at
+	// once (the pipeline window, Paxos' alpha): proposals beyond it queue in
+	// pending and drain as instances are learned. 0 leaves the pipeline
+	// unbounded.
+	MaxInflight int
+	open        int // assigned instances not yet learned
 
 	// RetryEvery > 0 enables periodic retransmission of unlearned 2a
 	// messages and of the current 1a while phase 1 is incomplete.
@@ -53,6 +61,7 @@ func NewCoordinator(env node.Env, cfg Config) *Coordinator {
 		p1bs:      make(map[msg.NodeID]msg.P1bMulti),
 		proposals: make(map[uint64]cstruct.Cmd),
 		byCmd:     make(map[uint64]uint64),
+		queued:    make(map[uint64]bool),
 		learned:   make(map[uint64]bool),
 	}
 }
@@ -91,7 +100,27 @@ func (c *Coordinator) startRound(r ballot.Ballot) {
 	c.crnd = r
 	c.leading = false
 	c.p1bs = make(map[msg.NodeID]msg.P1bMulti)
+	// Unlearned assignments from the abandoned round may have reached no
+	// acceptor, so their 2a will not resurface in the new round's 1b picks:
+	// release the dedup claim and re-queue the command. If the old 2a did
+	// get accepted somewhere, the pick re-registers it in byCmd and the
+	// queued copy is skipped; at worst a command occupies two instances,
+	// which replicas already dedup by command ID. Instance order keeps the
+	// re-queue deterministic (map iteration is not).
+	var orphaned []uint64
+	for inst := range c.proposals {
+		if !c.learned[inst] {
+			orphaned = append(orphaned, inst)
+		}
+	}
+	sort.Slice(orphaned, func(i, j int) bool { return orphaned[i] < orphaned[j] })
+	for _, inst := range orphaned {
+		cmd := c.proposals[inst]
+		delete(c.byCmd, cmd.ID)
+		c.enqueue(cmd)
+	}
 	c.proposals = make(map[uint64]cstruct.Cmd)
+	c.open = 0
 	node.Broadcast(c.env, c.cfg.Acceptors, msg.P1a{Rnd: c.crnd, Coord: c.env.ID()})
 	c.armRetry()
 }
@@ -107,23 +136,68 @@ func (c *Coordinator) OnMessage(_ msg.NodeID, m msg.Message) {
 		c.onStale(mm)
 	case msg.P2b:
 		// Leaders may watch 2b traffic to garbage-collect retransmissions.
-		c.learned[mm.Inst] = true
+		c.noteLearned(mm.Inst)
 	}
 }
 
 // MarkLearned stops retransmission for an instance (driven by a colocated
-// learner in hosts that wire one).
-func (c *Coordinator) MarkLearned(inst uint64) { c.learned[inst] = true }
+// learner in hosts that wire one) and frees its pipeline slot.
+func (c *Coordinator) MarkLearned(inst uint64) { c.noteLearned(inst) }
+
+// Pending reports how many proposals wait for leadership or a window slot.
+func (c *Coordinator) Pending() int { return len(c.pending) }
+
+// Inflight reports how many assigned instances are not yet learned.
+func (c *Coordinator) Inflight() int { return c.open }
+
+func (c *Coordinator) noteLearned(inst uint64) {
+	if c.learned[inst] {
+		return
+	}
+	c.learned[inst] = true
+	if _, assigned := c.proposals[inst]; assigned && c.open > 0 {
+		c.open--
+	}
+	c.drainPending()
+}
+
+// drainPending assigns queued proposals while leading and the pipeline
+// window has room.
+func (c *Coordinator) drainPending() {
+	if !c.leading {
+		return
+	}
+	for len(c.pending) > 0 && (c.MaxInflight <= 0 || c.open < c.MaxInflight) {
+		cmd := c.pending[0]
+		c.pending = c.pending[1:]
+		delete(c.queued, cmd.ID)
+		if _, dup := c.byCmd[cmd.ID]; dup {
+			continue
+		}
+		c.assign(cmd)
+	}
+}
 
 func (c *Coordinator) onPropose(mm msg.Propose) {
 	if _, dup := c.byCmd[mm.Cmd.ID]; dup {
 		return
 	}
-	if !c.leading {
-		c.pending = append(c.pending, mm.Cmd)
+	if !c.leading || (c.MaxInflight > 0 && c.open >= c.MaxInflight) {
+		c.enqueue(mm.Cmd)
 		return
 	}
 	c.assign(mm.Cmd)
+}
+
+// enqueue adds a command to pending unless it is already waiting there
+// (proposers retransmit, so the same Propose can arrive many times while
+// the window is full).
+func (c *Coordinator) enqueue(cmd cstruct.Cmd) {
+	if c.queued[cmd.ID] {
+		return
+	}
+	c.queued[cmd.ID] = true
+	c.pending = append(c.pending, cmd)
 }
 
 // assign gives the command the next free instance and runs phase 2a.
@@ -132,6 +206,9 @@ func (c *Coordinator) assign(cmd cstruct.Cmd) {
 	c.nextInst++
 	c.byCmd[cmd.ID] = inst
 	c.proposals[inst] = cmd
+	if !c.learned[inst] {
+		c.open++
+	}
 	c.send2a(inst, cmd)
 	c.armRetry()
 }
@@ -184,14 +261,12 @@ func (c *Coordinator) onP1b(mm msg.P1bMulti) {
 		}
 		c.byCmd[p.cmd.ID] = inst
 		c.proposals[inst] = p.cmd
+		if !c.learned[inst] {
+			c.open++
+		}
 		c.send2a(inst, p.cmd)
 	}
-	for _, cmd := range c.pending {
-		if _, dup := c.byCmd[cmd.ID]; !dup {
-			c.assign(cmd)
-		}
-	}
-	c.pending = nil
+	c.drainPending()
 }
 
 // onStale reacts to an acceptor whose round outruns ours: start a higher

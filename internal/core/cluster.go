@@ -38,6 +38,8 @@ type ClusterOpts struct {
 	Balance    bool
 	// RetryEvery > 0 enables retransmission at proposers and coordinators.
 	RetryEvery int64
+	// MaxInflight bounds each proposer's pipeline window; 0 is unbounded.
+	MaxInflight int
 }
 
 // NewCluster builds and registers a deployment: proposers 1+i, coordinators
@@ -115,6 +117,7 @@ func NewCluster(o ClusterOpts) *Cluster {
 		p := NewProposer(s.Env(id), cfg, o.Seed+int64(i))
 		p.Balance = o.Balance
 		p.RetryEvery = o.RetryEvery
+		p.MaxInflight = o.MaxInflight
 		s.Register(id, p)
 		cl.Props = append(cl.Props, p)
 	}

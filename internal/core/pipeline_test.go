@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+)
+
+// TestProposerPipelineWindow bounds the proposer's in-flight commands at
+// MaxInflight and drains the queue as learns arrive.
+func TestProposerPipelineWindow(t *testing.T) {
+	const window = 3
+	cl := NewCluster(ClusterOpts{
+		NCoords: 3, NAcceptors: 3, F: 1, Seed: 1,
+		Set:         cstruct.NewHistorySet(cstruct.KeyConflict),
+		MaxInflight: window,
+	})
+	cl.Start(0)
+	p := cl.Props[0]
+	const n = 17
+	for i := 0; i < n; i++ {
+		p.Propose(cstruct.Cmd{ID: uint64(1 + i), Key: fmt.Sprintf("k%d", i)})
+	}
+	if p.Inflight() != window {
+		t.Fatalf("inflight = %d, want %d", p.Inflight(), window)
+	}
+	if p.Queued() != n-window {
+		t.Fatalf("queued = %d, want %d", p.Queued(), n-window)
+	}
+	// Client retries of a queued or in-flight command must not re-enter the
+	// pipeline: a duplicate would resubmit after the learn and retransmit
+	// forever.
+	p.Propose(cstruct.Cmd{ID: 1, Key: "k0"})          // in flight
+	p.Propose(cstruct.Cmd{ID: window + 1, Key: "kq"}) // queued
+	if p.Queued() != n-window {
+		t.Fatalf("duplicate Propose grew the queue: %d", p.Queued())
+	}
+	cl.Sim.Run()
+	if got := cl.Learners[0].LearnedCount(); got != n {
+		t.Fatalf("learned %d/%d", got, n)
+	}
+	if p.Inflight() != 0 || p.Queued() != 0 {
+		t.Errorf("pipeline did not drain: inflight=%d queued=%d", p.Inflight(), p.Queued())
+	}
+	if !cl.Agreement() {
+		t.Errorf("learners disagree")
+	}
+}
+
+// TestProposerUnboundedPipeline keeps the default unbounded behavior: a
+// burst all goes out immediately and still learns.
+func TestProposerUnboundedPipeline(t *testing.T) {
+	cl := NewCluster(ClusterOpts{
+		NCoords: 3, NAcceptors: 3, F: 1, Seed: 2,
+		Set: cstruct.NewHistorySet(cstruct.KeyConflict),
+	})
+	cl.Start(0)
+	const n = 12
+	for i := 0; i < n; i++ {
+		cl.Props[0].Propose(cstruct.Cmd{ID: uint64(1 + i), Key: fmt.Sprintf("k%d", i)})
+	}
+	if got := cl.Props[0].Inflight(); got != n {
+		t.Fatalf("unbounded proposer held back: inflight=%d", got)
+	}
+	cl.Sim.Run()
+	if got := cl.Learners[0].LearnedCount(); got != n {
+		t.Fatalf("learned %d/%d", got, n)
+	}
+}

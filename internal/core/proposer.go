@@ -19,9 +19,16 @@ type Proposer struct {
 	Balance bool
 	// RetryEvery > 0 re-proposes unlearned commands periodically.
 	RetryEvery int64
-	rng        *rand.Rand
-	inflight   map[uint64]cstruct.Cmd
-	retryArmed bool
+	// MaxInflight > 0 bounds how many unlearned commands this proposer keeps
+	// submitted at once (the pipeline window, Paxos' alpha): further Propose
+	// calls queue and drain as learns come back via MarkLearned. 0 leaves
+	// submission unbounded.
+	MaxInflight int
+	rng         *rand.Rand
+	inflight    map[uint64]cstruct.Cmd
+	queue       []cstruct.Cmd
+	queued      map[uint64]bool // command IDs currently in queue (dedup)
+	retryArmed  bool
 }
 
 // Proposer timer tags.
@@ -38,11 +45,36 @@ func NewProposer(env node.Env, cfg Config, seed int64) *Proposer {
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(seed)),
 		inflight: make(map[uint64]cstruct.Cmd),
+		queued:   make(map[uint64]bool),
 	}
 }
 
-// MarkLearned quiesces retransmission for a command.
-func (p *Proposer) MarkLearned(cmdID uint64) { delete(p.inflight, cmdID) }
+// MarkLearned quiesces retransmission for a command and refills the
+// pipeline window from the queue.
+func (p *Proposer) MarkLearned(cmdID uint64) {
+	delete(p.inflight, cmdID)
+	p.drain()
+}
+
+// Queued reports how many commands wait for a pipeline slot.
+func (p *Proposer) Queued() int { return len(p.queue) }
+
+// Inflight reports how many submitted commands are not yet learned.
+func (p *Proposer) Inflight() int { return len(p.inflight) }
+
+// drain submits queued commands while the window has room.
+func (p *Proposer) drain() {
+	for len(p.queue) > 0 && (p.MaxInflight <= 0 || len(p.inflight) < p.MaxInflight) {
+		cmd := p.queue[0]
+		p.queue = p.queue[1:]
+		delete(p.queued, cmd.ID)
+		p.inflight[cmd.ID] = cmd
+		p.send(cmd)
+	}
+	if len(p.inflight) > 0 {
+		p.armRetry()
+	}
+}
 
 // OnTimer implements node.TimerHandler.
 func (p *Proposer) OnTimer(tag int) {
@@ -68,7 +100,21 @@ func (p *Proposer) armRetry() {
 
 // Propose submits a command (action Propose): to every coordinator and — so
 // fast rounds work — every acceptor, unless Balance restricts the targets.
+// With MaxInflight set, commands beyond the window queue until earlier ones
+// are learned.
 func (p *Proposer) Propose(cmd cstruct.Cmd) {
+	if p.MaxInflight > 0 && len(p.inflight) >= p.MaxInflight {
+		// Duplicate submissions of a waiting or in-flight command must not
+		// re-enter the queue: the copy would resubmit after the original is
+		// learned and retransmit forever (nothing re-learns it).
+		if !p.queued[cmd.ID] {
+			if _, inflight := p.inflight[cmd.ID]; !inflight {
+				p.queued[cmd.ID] = true
+				p.queue = append(p.queue, cmd)
+			}
+		}
+		return
+	}
 	p.inflight[cmd.ID] = cmd
 	p.send(cmd)
 	p.armRetry()

@@ -6,7 +6,11 @@
 package runtime
 
 import (
+	"bytes"
+	rt "runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcpaxos/internal/msg"
@@ -110,6 +114,27 @@ type Agent struct {
 	done    chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
+	// loopGID is the goroutine ID of the mailbox loop, so Do can detect
+	// re-entrant calls from handler code and run them inline instead of
+	// deadlocking on its own mailbox.
+	loopGID atomic.Uint64
+}
+
+// gid returns the calling goroutine's ID, parsed from the runtime stack
+// header ("goroutine N [...]"). Only Do pays this cost; the message hot
+// path never calls it.
+func gid() uint64 {
+	var buf [64]byte
+	n := rt.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return 0
+	}
+	id, err := strconv.ParseUint(string(fields[1]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
 }
 
 // ID returns the agent's node ID.
@@ -124,8 +149,14 @@ func (a *Agent) Inject(from msg.NodeID, m msg.Message) {
 }
 
 // Do runs fn on the agent's mailbox goroutine and waits for it: safe
-// synchronous access to handler state.
+// synchronous access to handler state. Calling Do from the mailbox
+// goroutine itself (handler code calling back into its own agent) runs fn
+// inline — already serialized — instead of deadlocking on the mailbox.
 func (a *Agent) Do(fn func(h node.Handler)) {
+	if g := gid(); g != 0 && a.loopGID.Load() == g {
+		fn(a.handler)
+		return
+	}
 	doneCh := make(chan struct{})
 	select {
 	case a.inbox <- inbound{kind: kindMsg, from: 0, m: doFunc{fn: fn, done: doneCh}}:
@@ -155,6 +186,7 @@ func (a *Agent) enqueue(in inbound) {
 
 func (a *Agent) loop() {
 	defer a.wg.Done()
+	a.loopGID.Store(gid())
 	for {
 		select {
 		case in := <-a.inbox:

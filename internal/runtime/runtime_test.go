@@ -62,6 +62,47 @@ func TestAgentDoSerializes(t *testing.T) {
 	}
 }
 
+// selfCaller is a handler that calls back into its own agent via Do when it
+// receives a message — the re-entrant pattern that used to deadlock.
+type selfCaller struct {
+	agent *Agent
+	ran   chan struct{}
+}
+
+func (s *selfCaller) OnMessage(_ msg.NodeID, m msg.Message) {
+	if _, ok := m.(msg.Heartbeat); !ok {
+		return
+	}
+	s.agent.Do(func(node.Handler) {
+		close(s.ran)
+	})
+}
+
+// TestAgentDoFromOwnGoroutine is the regression test for the Do self-call
+// deadlock: a handler invoking Do on its own agent (directly or nested) must
+// run the closure inline instead of waiting on its own mailbox forever.
+func TestAgentDoFromOwnGoroutine(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	sc := &selfCaller{ran: make(chan struct{})}
+	sc.agent = n.Spawn(1, func(node.Env) node.Handler { return sc })
+	sc.agent.Inject(2, msg.Heartbeat{From: 2})
+	select {
+	case <-sc.ran:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Do from the agent's own goroutine deadlocked")
+	}
+
+	// Nested Do inside Do must also run inline.
+	nested := false
+	sc.agent.Do(func(node.Handler) {
+		sc.agent.Do(func(node.Handler) { nested = true })
+	})
+	if !nested {
+		t.Fatal("nested Do did not run")
+	}
+}
+
 // TestLiveMulticoordinatedDeployment runs the full core protocol over the
 // goroutine network: three coordinators, three acceptors, one learner.
 func TestLiveMulticoordinatedDeployment(t *testing.T) {

@@ -1,6 +1,9 @@
 package smr
 
 import (
+	"fmt"
+
+	"mcpaxos/internal/batch"
 	"mcpaxos/internal/core"
 	"mcpaxos/internal/cstruct"
 )
@@ -9,7 +12,9 @@ import (
 // attached as the learner's update callback: each newly learned command is
 // applied exactly once, in an order consistent with the learned c-struct —
 // which is a total order when the conflict relation orders everything, and
-// a commutativity-respecting order otherwise.
+// a commutativity-respecting order otherwise. Batch commands
+// (internal/batch) are unpacked transparently: the constituents are applied
+// in batch order, each exactly once.
 type Replica struct {
 	machine Machine
 	applied map[uint64]string
@@ -36,14 +41,23 @@ func (r *Replica) ApplyOnce(c cstruct.Cmd) string {
 	if res, ok := r.applied[c.ID]; ok {
 		return res
 	}
+	if sub, ok := batch.Unpack(c); ok {
+		for _, s := range sub {
+			r.ApplyOnce(s)
+		}
+		res := fmt.Sprintf("batch:%d", len(sub))
+		r.applied[c.ID] = res
+		return res
+	}
 	res := r.machine.Apply(c)
 	r.applied[c.ID] = res
 	r.order = append(r.order, c)
 	return res
 }
 
-// Applied reports how many distinct commands were applied.
-func (r *Replica) Applied() int { return len(r.applied) }
+// Applied reports how many distinct commands reached the machine. Batch
+// wrappers are not counted — only the constituent commands they carry.
+func (r *Replica) Applied() int { return len(r.order) }
 
 // Order returns the application order, for checking replica agreement.
 func (r *Replica) Order() []cstruct.Cmd { return r.order }

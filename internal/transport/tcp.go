@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,21 +15,41 @@ import (
 // RecvFn consumes inbound messages.
 type RecvFn func(from msg.NodeID, m msg.Message)
 
+// sendQueueDepth bounds the frames buffered per peer; a full queue drops
+// the frame (the asynchronous model allows loss, and the protocols
+// retransmit).
+const sendQueueDepth = 1024
+
 // TCP is a TCP transport endpoint for one node: it listens on its own
 // address and opens one client connection per peer on demand. Frames are
 // length-prefixed gob-encoded wire messages, preceded by the sender ID.
+//
+// Sends are asynchronous: each peer has a dedicated writer goroutine
+// draining a frame queue through a bufio.Writer, so a slow or stalled peer
+// never delays traffic to the others, header and payload leave in one
+// write, and consecutive frames to the same peer coalesce into one flush.
 type TCP struct {
 	id    msg.NodeID
 	codec Codec
 	addrs map[msg.NodeID]string
 	recv  RecvFn
 
-	ln       net.Listener
-	mu       sync.Mutex
-	conns    map[msg.NodeID]net.Conn
-	accepted map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   chan struct{}
+	ln        net.Listener
+	mu        sync.Mutex
+	peers     map[msg.NodeID]*peer
+	accepted  map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// peer is one outbound connection with its writer goroutine.
+type peer struct {
+	conn net.Conn
+	ch   chan []byte
+	// dead is closed when the writer exits; frames enqueued after that are
+	// lost, and the next Send redials.
+	dead chan struct{}
 }
 
 // NewTCP starts a TCP endpoint for node id: addrs maps every node to a
@@ -44,7 +65,7 @@ func NewTCP(id msg.NodeID, addrs map[msg.NodeID]string, codec Codec, recv RecvFn
 		addrs:    addrs,
 		recv:     recv,
 		ln:       ln,
-		conns:    make(map[msg.NodeID]net.Conn),
+		peers:    make(map[msg.NodeID]*peer),
 		accepted: make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 	}
@@ -87,9 +108,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 		delete(t.accepted, conn)
 		t.mu.Unlock()
 	}()
+	br := bufio.NewReader(conn)
 	for {
 		var hdr [12]byte
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
 		from := msg.NodeID(binary.BigEndian.Uint32(hdr[0:4]))
@@ -98,7 +120,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 			return // refuse absurd frames
 		}
 		buf := make([]byte, size)
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		if _, err := io.ReadFull(br, buf); err != nil {
 			return
 		}
 		m, err := t.codec.Decode(buf)
@@ -114,64 +136,136 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}
 }
 
-// Send transmits m to node `to`, dialing on first use. Errors are returned
-// for diagnostics but callers may treat failures as message loss.
+// Send transmits m to node `to`, dialing on first use. The write itself is
+// asynchronous — a nil return means the frame was queued, not delivered —
+// and errors are returned for diagnostics; callers may treat failures as
+// message loss.
 func (t *TCP) Send(to msg.NodeID, m msg.Message) error {
 	data, err := t.codec.Encode(m)
 	if err != nil {
 		return err
 	}
-	conn, err := t.conn(to)
+	// Header and payload travel as one frame so they reach the wire in one
+	// write, never interleaved with other peers' traffic.
+	frame := make([]byte, 12+len(data))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(t.id))
+	binary.BigEndian.PutUint64(frame[4:12], uint64(len(data)))
+	copy(frame[12:], data)
+
+	p, err := t.peer(to)
 	if err != nil {
 		return err
 	}
-	var hdr [12]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(t.id))
-	binary.BigEndian.PutUint64(hdr[4:12], uint64(len(data)))
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, err := conn.Write(hdr[:]); err != nil {
-		delete(t.conns, to)
-		return err
+	select {
+	case p.ch <- frame:
+		return nil
+	case <-p.dead:
+		return fmt.Errorf("transport: connection to %v lost", to)
+	case <-t.closed:
+		return fmt.Errorf("transport: endpoint closed")
+	default:
+		return fmt.Errorf("transport: send queue to %v full", to)
 	}
-	if _, err := conn.Write(data); err != nil {
-		delete(t.conns, to)
-		return err
-	}
-	return nil
 }
 
-func (t *TCP) conn(to msg.NodeID) (net.Conn, error) {
+// peer returns the live peer for `to`, dialing and starting its writer on
+// first use (or after an eviction).
+func (t *TCP) peer(to msg.NodeID) (*peer, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if c, ok := t.conns[to]; ok {
-		return c, nil
+	if p, ok := t.peers[to]; ok {
+		t.mu.Unlock()
+		return p, nil
 	}
 	addr, ok := t.addrs[to]
+	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown node %v", to)
 	}
+	// Dial outside the lock: a slow dial to one peer must not block sends
+	// to the others.
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %v: %w", to, err)
 	}
-	t.conns[to] = c
-	return c, nil
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[to]; ok { // lost the dial race
+		c.Close()
+		return p, nil
+	}
+	select {
+	case <-t.closed:
+		c.Close()
+		return nil, fmt.Errorf("transport: endpoint closed")
+	default:
+	}
+	p := &peer{conn: c, ch: make(chan []byte, sendQueueDepth), dead: make(chan struct{})}
+	t.peers[to] = p
+	t.wg.Add(1)
+	go t.writeLoop(to, p)
+	return p, nil
+}
+
+// writeLoop drains one peer's frame queue. The writer owns the connection:
+// on any error (or shutdown) it evicts itself and closes the conn, so an
+// evicted connection never leaks its fd or leaves the remote reader blocked
+// mid-frame.
+func (t *TCP) writeLoop(to msg.NodeID, p *peer) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		if t.peers[to] == p {
+			delete(t.peers, to)
+		}
+		t.mu.Unlock()
+		close(p.dead)
+		p.conn.Close()
+	}()
+	bw := bufio.NewWriterSize(p.conn, 64<<10)
+	for {
+		select {
+		case frame := <-p.ch:
+			if _, err := bw.Write(frame); err != nil {
+				return
+			}
+			// Coalesce: drain whatever else is queued before flushing once.
+			for more := true; more; {
+				select {
+				case frame = <-p.ch:
+					if _, err := bw.Write(frame); err != nil {
+						return
+					}
+				default:
+					more = false
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case <-t.closed:
+			bw.Flush()
+			return
+		}
+	}
 }
 
 // Close shuts the endpoint down and waits for its goroutines.
 func (t *TCP) Close() error {
-	close(t.closed)
-	err := t.ln.Close()
-	t.mu.Lock()
-	for _, c := range t.conns {
-		c.Close()
-	}
-	t.conns = make(map[msg.NodeID]net.Conn)
-	for c := range t.accepted {
-		c.Close()
-	}
-	t.mu.Unlock()
-	t.wg.Wait()
+	var err error
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		err = t.ln.Close()
+		t.mu.Lock()
+		// Closing the conns unblocks writers stuck inside a write; each
+		// writer closes its conn again on exit, which is harmless.
+		for _, p := range t.peers {
+			p.conn.Close()
+		}
+		for c := range t.accepted {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+	})
 	return err
 }
