@@ -10,7 +10,10 @@ package mcpaxos
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+
+	"mcpaxos/internal/wal"
 )
 
 func BenchmarkE1StepsToLearn(b *testing.B) {
@@ -195,3 +198,74 @@ func BenchmarkE9SpontaneousOrder(b *testing.B) {
 		b.ReportMetric(r.MultiCollisionFrac, fmt.Sprintf("mc-j%d-collisions", r.Jitter))
 	}
 }
+
+// E11: durable group commit. The cluster benchmarks push a command stream
+// through WAL-backed acceptors doing real fsyncs, so ns/op is durable
+// throughput; fsyncs/cmd/acc is the paper-shaped claim (1 unbatched, 1/B at
+// batch B). The GroupCommit benchmarks hammer one WAL with concurrent
+// appenders and report how many physical fsyncs each append actually cost.
+const e11Commands = 64
+
+func reportE11(b *testing.B, r E11Row, err error) {
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r.Commands != e11Commands {
+		b.Fatalf("incomplete run: %+v", r)
+	}
+	b.ReportMetric(float64(e11Commands)*float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
+	b.ReportMetric(r.FsyncsPerCmdPerAcc, "fsyncs/cmd/acc")
+}
+
+func BenchmarkE11DurableUnbatched(b *testing.B) {
+	var (
+		r   E11Row
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = RunE11Sequential(b.TempDir(), int64(i+1), e11Commands)
+	}
+	reportE11(b, r, err)
+}
+
+func BenchmarkE11DurableBatch32(b *testing.B) {
+	var (
+		r   E11Row
+		err error
+	)
+	for i := 0; i < b.N; i++ {
+		r, err = RunE11Batched(b.TempDir(), int64(i+1), e11Commands, 32)
+	}
+	reportE11(b, r, err)
+}
+
+func benchE11GroupCommit(b *testing.B, appenders int) {
+	w, err := wal.Open(b.TempDir(), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	per := b.N/appenders + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("a%d", g)
+			for i := 0; i < per; i++ {
+				if err := w.Append([]wal.Rec{{Key: key, Val: uint64(i)}}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(w.Fsyncs())/float64(per*appenders), "fsyncs/append")
+}
+
+func BenchmarkE11GroupCommitAppenders1(b *testing.B)  { benchE11GroupCommit(b, 1) }
+func BenchmarkE11GroupCommitAppenders8(b *testing.B)  { benchE11GroupCommit(b, 8) }
+func BenchmarkE11GroupCommitAppenders32(b *testing.B) { benchE11GroupCommit(b, 32) }

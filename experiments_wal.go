@@ -1,0 +1,160 @@
+package mcpaxos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mcpaxos/internal/batch"
+	"mcpaxos/internal/classic"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/storage"
+	"mcpaxos/internal/wal"
+)
+
+// This file implements E11, the durable group-commit experiment: E10's
+// command stream runs again, but the acceptors now write through a real
+// on-disk WAL (internal/wal) instead of the simulated in-memory Disk. The
+// measured currency changes from logical synchronous writes to physical
+// fsyncs: unbatched, every accepted value costs each acceptor one fsync
+// (the paper's Section 4.4 floor); with batching, one group-commit fsync
+// covers a whole batch of commands, driving fsyncs per command per acceptor
+// to 1/B. This is the stable-storage half of the heavy-traffic story — the
+// message-count half is E10.
+
+// E11Row is one sweep point of the durable group-commit experiment.
+type E11Row struct {
+	// Mode names the configuration: sequential or batch=B.
+	Mode string
+	// Commands is the number of client commands pushed through.
+	Commands int
+	// Instances is the number of consensus instances consumed.
+	Instances int
+	// Writes is the total logical stable writes across all acceptor WALs.
+	Writes uint64
+	// Fsyncs is the total physical data-file fsyncs across all acceptor
+	// WALs.
+	Fsyncs uint64
+	// WritesPerCmdPerAcc and FsyncsPerCmdPerAcc normalize per command per
+	// acceptor, the paper's unit (E6 reports the simulated counterpart).
+	WritesPerCmdPerAcc, FsyncsPerCmdPerAcc float64
+}
+
+// e11Cluster builds the classic SMR deployment on WAL-backed acceptors:
+// one leader, three acceptors writing to real log files under dir.
+func e11Cluster(dir string, seed int64) (*classic.Cluster, []*wal.WAL, error) {
+	var (
+		wals    []*wal.WAL
+		openErr error
+	)
+	cl := classic.NewCluster(classic.ClusterOpts{
+		NCoords: 1, NAcceptors: 3, F: 1, Seed: seed,
+		Stable: func(i int) storage.Stable {
+			w, err := wal.Open(filepath.Join(dir, fmt.Sprintf("acc%d", i)), wal.Options{})
+			if err != nil {
+				openErr = err
+				return &storage.Disk{}
+			}
+			wals = append(wals, w)
+			return w
+		},
+	})
+	if openErr != nil {
+		for _, w := range wals {
+			w.Close()
+		}
+		return nil, nil, openErr
+	}
+	cl.Lead(0)
+	for _, w := range wals {
+		w.ResetWrites()
+		w.ResetFsyncs()
+	}
+	return cl, wals, nil
+}
+
+func e11Finish(mode string, cl *classic.Cluster, wals []*wal.WAL, commands int) E11Row {
+	learned := 0
+	for _, cmd := range cl.LearnedCmds {
+		if sub, ok := batch.Unpack(cmd); ok {
+			learned += len(sub)
+		} else {
+			learned++
+		}
+	}
+	row := E11Row{Mode: mode, Commands: learned, Instances: len(cl.LearnedCmds)}
+	for _, w := range wals {
+		row.Writes += w.Writes()
+		row.Fsyncs += w.Fsyncs()
+	}
+	if learned != commands {
+		row.Mode += "(INCOMPLETE)"
+	}
+	if learned > 0 && len(wals) > 0 {
+		denom := float64(learned) * float64(len(wals))
+		row.WritesPerCmdPerAcc = float64(row.Writes) / denom
+		row.FsyncsPerCmdPerAcc = float64(row.Fsyncs) / denom
+	}
+	for _, w := range wals {
+		w.Close()
+	}
+	return row
+}
+
+// RunE11Sequential is the durable baseline: one command per instance, each
+// proposed only after the previous one is learned. Every accept is one
+// group-commit batch of its own, so fsyncs per command per acceptor is 1 —
+// the paper's one-write-per-accept floor made physical.
+func RunE11Sequential(dir string, seed int64, commands int) (E11Row, error) {
+	cl, wals, err := e11Cluster(dir, seed)
+	if err != nil {
+		return E11Row{}, err
+	}
+	for i := 0; i < commands; i++ {
+		cl.Prop.Propose(e10Cmd(i))
+		cl.Sim.Run()
+	}
+	return e11Finish("sequential", cl, wals, commands), nil
+}
+
+// RunE11Batched groups the stream into batches of batchSize commands: each
+// batch is one consensus instance, so each acceptor persists it with one
+// group-commit write — one fsync per B commands.
+func RunE11Batched(dir string, seed int64, commands, batchSize int) (E11Row, error) {
+	cl, wals, err := e11Cluster(dir, seed)
+	if err != nil {
+		return E11Row{}, err
+	}
+	b := batch.NewBatcher(batchSize, 0, cl.Sim.Now, func(c cstruct.Cmd) {
+		cl.Prop.Propose(c)
+	})
+	for i := 0; i < commands; i++ {
+		b.Add(e10Cmd(i))
+	}
+	b.Flush()
+	cl.Sim.Run()
+	return e11Finish(fmt.Sprintf("batch=%d", batchSize), cl, wals, commands), nil
+}
+
+// RunE11GroupCommit sweeps the durable modes. Log directories are created
+// under a fresh temporary directory that is removed afterwards.
+func RunE11GroupCommit(seed int64, commands int, batchSizes []int) ([]E11Row, error) {
+	root, err := os.MkdirTemp("", "mcpaxos-e11-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	row, err := RunE11Sequential(filepath.Join(root, "seq"), seed, commands)
+	if err != nil {
+		return nil, err
+	}
+	out := []E11Row{row}
+	for _, bs := range batchSizes {
+		row, err := RunE11Batched(filepath.Join(root, fmt.Sprintf("batch%d", bs)), seed, commands, bs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

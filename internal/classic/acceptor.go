@@ -20,10 +20,14 @@ type vote struct {
 // written to stable storage before the 2b message is sent (they must survive
 // crashes, Section 4.4); the current round is volatile and is outrun on
 // recovery by bumping the MCount incarnation counter.
+//
+// The stable store may be the simulated in-memory Disk or the on-disk WAL
+// (internal/wal): building a fresh Acceptor over a replayed store — what a
+// process restart does — rebuilds the vote map from the persisted records.
 type Acceptor struct {
 	env  node.Env
 	cfg  Config
-	disk *storage.Disk
+	disk storage.Stable
 
 	rnd   ballot.Ballot // volatile: highest round heard of
 	votes map[uint64]vote
@@ -33,13 +37,13 @@ var _ node.Handler = (*Acceptor)(nil)
 var _ node.Recoverable = (*Acceptor)(nil)
 
 // NewAcceptor builds an acceptor bound to env and disk.
-func NewAcceptor(env node.Env, cfg Config, disk *storage.Disk) *Acceptor {
+func NewAcceptor(env node.Env, cfg Config, disk storage.Stable) *Acceptor {
 	a := &Acceptor{env: env, cfg: cfg, disk: disk, votes: make(map[uint64]vote)}
 	a.restore()
 	// First start: persist the incarnation record once (the paper's "in the
 	// normal case, acceptors write on disk only once, when started").
-	if _, ok := disk.Get("mcount"); !ok {
-		disk.Put("mcount", uint32(0))
+	if _, ok := disk.Get(storage.KeyMCount); !ok {
+		disk.Put(storage.KeyMCount, uint32(0))
 	}
 	return a
 }
@@ -100,10 +104,13 @@ func (a *Acceptor) onP2a(from msg.NodeID, mm msg.P2a) {
 	// synchronous write per accepted value, Section 4.4). The high-water
 	// mark rides along in the same write for recovery scans.
 	hi := mm.Inst
-	if rec, ok := a.disk.Get("maxinst"); ok && rec.(uint64) > hi {
+	if rec, ok := a.disk.Get(storage.KeyMaxInst); ok && rec.(uint64) > hi {
 		hi = rec.(uint64)
 	}
-	a.disk.PutAll(map[string]any{voteKey(mm.Inst): v, "maxinst": hi})
+	a.disk.PutAll(map[string]any{
+		voteKey(mm.Inst):   storage.VoteRec{Inst: mm.Inst, VRnd: mm.Rnd, Cmds: []cstruct.Cmd{cmd}},
+		storage.KeyMaxInst: hi,
+	})
 	for _, l := range a.cfg.Learners {
 		a.env.Send(l, msg.P2b{Inst: mm.Inst, Rnd: mm.Rnd, Acc: a.env.ID(), Val: wrap(cmd)})
 	}
@@ -126,16 +133,16 @@ func (a *Acceptor) OnRecover() {
 	a.votes = make(map[uint64]vote)
 	a.restore()
 	mc := uint32(0)
-	if rec, ok := a.disk.Get("mcount"); ok {
+	if rec, ok := a.disk.Get(storage.KeyMCount); ok {
 		mc = rec.(uint32)
 	}
 	mc++
-	a.disk.Put("mcount", mc)
+	a.disk.Put(storage.KeyMCount, mc)
 	a.rnd = ballot.Max(a.rnd, ballot.Ballot{MCount: mc})
 }
 
 func (a *Acceptor) restore() {
-	rec, ok := a.disk.Get("maxinst")
+	rec, ok := a.disk.Get(storage.KeyMaxInst)
 	if !ok {
 		return
 	}
@@ -145,10 +152,13 @@ func (a *Acceptor) restore() {
 		if !ok {
 			continue
 		}
-		v := rec.(vote)
-		a.votes[inst] = v
-		if a.rnd.Less(v.vrnd) {
-			a.rnd = v.vrnd
+		vr := rec.(storage.VoteRec)
+		if len(vr.Cmds) == 0 {
+			continue
+		}
+		a.votes[inst] = vote{vrnd: vr.VRnd, vval: vr.Cmds[0]}
+		if a.rnd.Less(vr.VRnd) {
+			a.rnd = vr.VRnd
 		}
 	}
 }

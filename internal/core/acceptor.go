@@ -18,7 +18,7 @@ import (
 type Acceptor struct {
 	env  node.Env
 	cfg  Config
-	disk *storage.Disk
+	disk storage.Stable
 
 	rnd  ballot.Ballot
 	vrnd ballot.Ballot
@@ -44,8 +44,10 @@ type Acceptor struct {
 var _ node.Handler = (*Acceptor)(nil)
 var _ node.Recoverable = (*Acceptor)(nil)
 
-// NewAcceptor builds an acceptor bound to env and disk.
-func NewAcceptor(env node.Env, cfg Config, disk *storage.Disk) *Acceptor {
+// NewAcceptor builds an acceptor bound to env and disk. The stable store
+// may be the simulated Disk or the on-disk WAL: a fresh Acceptor over a
+// replayed store rebuilds its accepted value from the persisted record.
+func NewAcceptor(env node.Env, cfg Config, disk storage.Stable) *Acceptor {
 	a := &Acceptor{
 		env:      env,
 		cfg:      cfg,
@@ -55,8 +57,8 @@ func NewAcceptor(env node.Env, cfg Config, disk *storage.Disk) *Acceptor {
 		proposed: make(map[uint64]bool),
 	}
 	a.restore()
-	if _, ok := disk.Get("mcount"); !ok {
-		disk.Put("mcount", uint32(0))
+	if _, ok := disk.Get(storage.KeyMCount); !ok {
+		disk.Put(storage.KeyMCount, uint32(0))
 	}
 	return a
 }
@@ -101,7 +103,7 @@ func (a *Acceptor) onP1a(mm msg.P1a) {
 func (a *Acceptor) joinRound(r ballot.Ballot) {
 	a.rnd = r
 	if a.PersistRnd {
-		a.disk.Put("rnd", r) // ablation: naive per-round-change write
+		a.disk.Put(storage.KeyRnd, r) // ablation: naive per-round-change write
 	}
 	if a.twoARnd.Less(r) {
 		a.twoARnd = r
@@ -230,7 +232,10 @@ func (a *Acceptor) accept(r ballot.Ballot, v cstruct.CStruct) {
 	a.rnd = ballot.Max(a.rnd, r)
 	a.vrnd = r
 	a.vval = v
-	a.disk.Put("vote", acceptRecord{VRnd: r, VVal: v})
+	// The accepted c-struct is flattened to its representative command
+	// sequence (⊥ • σ) so the record serializes backend-independently;
+	// restore rebuilds it with the deployment's c-struct set.
+	a.disk.Put(storage.KeyVote, storage.VoteRec{VRnd: r, Cmds: v.Commands()})
 	out := msg.P2b{Rnd: r, Acc: a.env.ID(), Val: v}
 	node.Broadcast(a.env, a.cfg.Learners, out)
 	if a.cfg.Exchange2b {
@@ -282,26 +287,21 @@ func (a *Acceptor) OnRecover() {
 	a.proposed = make(map[uint64]bool)
 	a.restore()
 	mc := uint32(0)
-	if rec, ok := a.disk.Get("mcount"); ok {
+	if rec, ok := a.disk.Get(storage.KeyMCount); ok {
 		mc = rec.(uint32)
 	}
 	mc++
-	a.disk.Put("mcount", mc)
+	a.disk.Put(storage.KeyMCount, mc)
 	a.rnd = ballot.Max(a.rnd, ballot.Ballot{MCount: mc})
 }
 
 func (a *Acceptor) restore() {
-	if rec, ok := a.disk.Get("vote"); ok {
-		v := rec.(acceptRecord)
-		a.vrnd, a.vval = v.VRnd, v.VVal
+	if rec, ok := a.disk.Get(storage.KeyVote); ok {
+		v := rec.(storage.VoteRec)
+		a.vrnd = v.VRnd
+		a.vval = cstruct.AppendSeq(a.cfg.Set.Bottom(), v.Cmds)
 		a.rnd = ballot.Max(a.rnd, v.VRnd)
 	}
-}
-
-// acceptRecord is the stable accept record.
-type acceptRecord struct {
-	VRnd ballot.Ballot
-	VVal cstruct.CStruct
 }
 
 func valsOf(m map[msg.NodeID]cstruct.CStruct) []cstruct.CStruct {

@@ -15,7 +15,7 @@ type Cluster struct {
 	Cfg      Config
 	Coords   []*Coordinator
 	Accs     []*Acceptor
-	Disks    []*storage.Disk
+	Disks    []storage.Stable
 	Learners []*Learner
 	Props    []*Proposer
 
@@ -40,6 +40,9 @@ type ClusterOpts struct {
 	RetryEvery int64
 	// MaxInflight bounds each proposer's pipeline window; 0 is unbounded.
 	MaxInflight int
+	// Stable supplies acceptor i's stable store (e.g. a WAL opened on a
+	// real directory); nil defaults to a fresh in-memory Disk.
+	Stable func(i int) storage.Stable
 }
 
 // NewCluster builds and registers a deployment: proposers 1+i, coordinators
@@ -82,8 +85,11 @@ func NewCluster(o ClusterOpts) *Cluster {
 		s.Register(id, c)
 		cl.Coords = append(cl.Coords, c)
 	}
-	for _, id := range cfg.Acceptors {
-		disk := &storage.Disk{}
+	for i, id := range cfg.Acceptors {
+		var disk storage.Stable = &storage.Disk{}
+		if o.Stable != nil {
+			disk = o.Stable(i)
+		}
 		a := NewAcceptor(s.Env(id), cfg, disk)
 		s.Register(id, a)
 		cl.Accs = append(cl.Accs, a)

@@ -18,7 +18,7 @@ import (
 type Acceptor struct {
 	env  node.Env
 	cfg  Config
-	disk *storage.Disk
+	disk storage.Stable
 
 	rnd    ballot.Ballot
 	vrnd   ballot.Ballot
@@ -45,12 +45,14 @@ const MaxUncoordRecoveries = 8
 var _ node.Handler = (*Acceptor)(nil)
 var _ node.Recoverable = (*Acceptor)(nil)
 
-// NewAcceptor builds an acceptor bound to env and disk.
-func NewAcceptor(env node.Env, cfg Config, disk *storage.Disk) *Acceptor {
+// NewAcceptor builds an acceptor bound to env and disk. The stable store
+// may be the simulated Disk or the on-disk WAL: a fresh Acceptor over a
+// replayed store rebuilds its vote from the persisted record.
+func NewAcceptor(env node.Env, cfg Config, disk storage.Stable) *Acceptor {
 	a := &Acceptor{env: env, cfg: cfg, disk: disk, seen2b: make(map[msg.NodeID]msg.P2b)}
 	a.restore()
-	if _, ok := disk.Get("mcount"); !ok {
-		disk.Put("mcount", uint32(0))
+	if _, ok := disk.Get(storage.KeyMCount); !ok {
+		disk.Put(storage.KeyMCount, uint32(0))
 	}
 	return a
 }
@@ -146,7 +148,7 @@ func (a *Acceptor) accept(r ballot.Ballot, cmd cstruct.Cmd) {
 	a.vrnd = r
 	a.vval = cmd
 	a.hasVal = true
-	a.disk.Put("vote", vote{vrnd: r, vval: cmd})
+	a.disk.Put(storage.KeyVote, storage.VoteRec{VRnd: r, Cmds: []cstruct.Cmd{cmd}})
 	out := msg.P2b{Rnd: r, Acc: a.env.ID(), Val: wrap(cmd)}
 	for _, l := range a.cfg.Learners {
 		a.env.Send(l, out)
@@ -225,24 +227,21 @@ func (a *Acceptor) OnRecover() {
 	a.seen2b = make(map[msg.NodeID]msg.P2b)
 	a.restore()
 	mc := uint32(0)
-	if rec, ok := a.disk.Get("mcount"); ok {
+	if rec, ok := a.disk.Get(storage.KeyMCount); ok {
 		mc = rec.(uint32)
 	}
 	mc++
-	a.disk.Put("mcount", mc)
+	a.disk.Put(storage.KeyMCount, mc)
 	a.rnd = ballot.Max(a.rnd, ballot.Ballot{MCount: mc})
 }
 
 func (a *Acceptor) restore() {
-	if rec, ok := a.disk.Get("vote"); ok {
-		v := rec.(vote)
-		a.vrnd, a.vval, a.hasVal = v.vrnd, v.vval, true
-		a.rnd = ballot.Max(a.rnd, v.vrnd)
+	if rec, ok := a.disk.Get(storage.KeyVote); ok {
+		v := rec.(storage.VoteRec)
+		if len(v.Cmds) == 0 {
+			return
+		}
+		a.vrnd, a.vval, a.hasVal = v.VRnd, v.Cmds[0], true
+		a.rnd = ballot.Max(a.rnd, v.VRnd)
 	}
-}
-
-// vote is the stable accept record.
-type vote struct {
-	vrnd ballot.Ballot
-	vval cstruct.Cmd
 }

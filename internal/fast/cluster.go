@@ -16,7 +16,7 @@ type Cluster struct {
 	Cfg      Config
 	Coord    *Coordinator
 	Accs     []*Acceptor
-	Disks    []*storage.Disk
+	Disks    []storage.Stable
 	Learners []*Learner
 
 	// LearnTime is the simulated time of learner 0's learn event (-1 until
@@ -34,6 +34,9 @@ type ClusterOpts struct {
 	Strategy   Strategy
 	Scheme     ballot.Scheme
 	NLearners  int
+	// Stable supplies acceptor i's stable store (e.g. a WAL opened on a
+	// real directory); nil defaults to a fresh in-memory Disk.
+	Stable func(i int) storage.Stable
 }
 
 // NewCluster builds and registers a deployment: coordinator 100, acceptors
@@ -65,8 +68,11 @@ func NewCluster(o ClusterOpts) *Cluster {
 	cl := &Cluster{Sim: s, Cfg: cfg, LearnTime: -1}
 	cl.Coord = NewCoordinator(s.Env(100), cfg)
 	s.Register(100, cl.Coord)
-	for _, id := range cfg.Acceptors {
-		disk := &storage.Disk{}
+	for i, id := range cfg.Acceptors {
+		var disk storage.Stable = &storage.Disk{}
+		if o.Stable != nil {
+			disk = o.Stable(i)
+		}
 		a := NewAcceptor(s.Env(id), cfg, disk)
 		s.Register(id, a)
 		cl.Accs = append(cl.Accs, a)

@@ -72,6 +72,40 @@ func (n *Network) Spawn(id msg.NodeID, build func(env node.Env) node.Handler) *A
 	return a
 }
 
+// Restart models a process crash-and-restart of node id: the old agent is
+// stopped and its handler (the process's volatile state) discarded, build
+// constructs a fresh handler — for an acceptor, typically over a reopened
+// WAL whose replay rebuilds the durable state — and, if the new handler is
+// node.Recoverable, OnRecover runs before any message is delivered (the
+// acceptor's one incarnation write per recovery, Section 4.4). Messages
+// sent to id while it is down are dropped, as the asynchronous model
+// allows.
+func (n *Network) Restart(id msg.NodeID, build func(env node.Env) node.Handler) *Agent {
+	n.mu.Lock()
+	old := n.agents[id]
+	delete(n.agents, id)
+	n.mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+	a := &Agent{
+		id:    id,
+		net:   n,
+		inbox: make(chan inbound, 1024),
+		done:  make(chan struct{}),
+	}
+	a.handler = build(a.env())
+	if r, ok := a.handler.(node.Recoverable); ok {
+		r.OnRecover()
+	}
+	n.mu.Lock()
+	n.agents[id] = a
+	n.mu.Unlock()
+	a.wg.Add(1)
+	go a.loop()
+	return a
+}
+
 // Send routes a message to a local agent, or through Fallback for remote
 // destinations; unknown destinations without a Fallback are dropped (the
 // asynchronous model allows loss).

@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"encoding/gob"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+)
+
+// Stable is the stable-storage contract acceptors write through: the paper's
+// "some sort of local stable storage" (Section 2.1.1). Two implementations
+// exist: the simulated in-memory Disk (this package) and the on-disk
+// write-ahead log (internal/wal). Both count synchronous writes, the
+// currency of the paper's disk-write arguments (Sections 4.2 and 4.4), so
+// the writes-per-command claims stay checkable regardless of backend.
+//
+// Durability contract: Put and PutAll return only once the records are
+// stable — an acceptor may send its 2b the moment the call returns. PutAll
+// stores its records with a single synchronous write (one group-commit
+// batch); implementations may additionally coalesce concurrent calls into
+// one physical fsync. A backend that cannot make a record durable must
+// panic rather than return: acking an accept without stable storage would
+// break the Paxos safety argument (Section 4.4).
+type Stable interface {
+	// Put durably stores value under key, counting one synchronous write.
+	Put(key string, value any)
+	// PutAll durably stores several records with a single synchronous
+	// write (one group-commit batch).
+	PutAll(records map[string]any)
+	// Get reads the latest record stored under key.
+	Get(key string) (any, bool)
+	// Writes returns the number of synchronous writes performed so far.
+	Writes() uint64
+	// ResetWrites zeroes the write counter (the data stays).
+	ResetWrites()
+	// Len returns the number of distinct keys stored.
+	Len() int
+}
+
+var _ Stable = (*Disk)(nil)
+
+// VoteRec is the stable accept record every acceptor variant persists: the
+// vote's round plus the accepted value flattened to its representative
+// command sequence (every c-struct is ⊥ • σ for its Commands() σ, so the
+// value is rebuilt with the deployment's c-struct set on restore, exactly
+// as the wire codec does). A shared, gob-friendly shape keeps the on-disk
+// WAL backend-agnostic: it serializes records without knowing which
+// protocol wrote them.
+type VoteRec struct {
+	// Inst scopes the vote to one consensus instance (multi-instance
+	// classic deployments); generalized single-instance protocols use 0.
+	Inst uint64
+	// VRnd is the round the value was accepted in.
+	VRnd ballot.Ballot
+	// Cmds is the accepted value's representative command sequence.
+	Cmds []cstruct.Cmd
+}
+
+// Stable record keys shared by the acceptor implementations.
+const (
+	// KeyMCount holds the uint32 incarnation counter bumped once per
+	// recovery (Section 4.4).
+	KeyMCount = "mcount"
+	// KeyMaxInst holds the uint64 high-water instance for recovery scans
+	// of multi-instance logs.
+	KeyMaxInst = "maxinst"
+	// KeyVote holds the single VoteRec of single-instance acceptors.
+	KeyVote = "vote"
+	// KeyRnd holds the persisted round of the PersistRnd ablation.
+	KeyRnd = "rnd"
+)
+
+// The record vocabulary is registered with gob so the WAL backend can
+// serialize Stable values held as interfaces. Registration is global, so
+// importing this package (which every Stable user does) is enough.
+func init() {
+	gob.Register(uint32(0))
+	gob.Register(uint64(0))
+	gob.Register(VoteRec{})
+	gob.Register(ballot.Ballot{})
+}

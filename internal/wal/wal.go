@@ -1,0 +1,630 @@
+// Package wal implements the acceptors' stable storage as a real on-disk
+// write-ahead log: an append-only sequence of CRC32-framed, gob-encoded
+// record batches split across size-bounded segment files. It replaces the
+// simulated in-memory storage.Disk behind the storage.Stable interface with
+// something a process restart actually survives.
+//
+// Durability follows the paper's accounting (Sections 4.2 and 4.4): every
+// Put/PutAll is one logical synchronous write and returns only once its
+// records are on disk, so an acceptor may send its 2b the moment the call
+// returns. Group commit coalesces concurrent commits — records queued by
+// many appenders (concurrently pipelined instances) are flushed by a single
+// fsync, which is what drives fsyncs per command below one under batching.
+//
+// On Open the log is replayed: the newest valid snapshot seeds the key
+// index, the remaining segments are applied in order, and a torn tail
+// (a partially written final frame, the expected result of a crash during
+// a write) is detected by its CRC and truncated away. Snapshot writes the
+// compacted index as a single frame and garbage-collects the segments it
+// covers.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Rec is one key/value record. Values must be gob-encodable; interface
+// values must have their concrete types registered with encoding/gob (the
+// storage package registers the acceptor record vocabulary).
+type Rec struct {
+	Key string
+	Val any
+}
+
+// snapshot is the payload of a snapshot file: the full key index as of all
+// segments with index < Since.
+type snapshot struct {
+	Since uint64
+	Recs  []Rec
+}
+
+// Options parameterizes Open.
+type Options struct {
+	// SegmentBytes rolls to a new segment file once the current one
+	// reaches this size. Zero means the 1 MiB default.
+	SegmentBytes int64
+	// Sync flushes a data file to disk. Nil means (*os.File).Sync. Tests
+	// inject faults (failing or slow fsyncs) here.
+	Sync func(*os.File) error
+}
+
+const (
+	defaultSegmentBytes = 1 << 20
+	// maxFrameBytes bounds a frame's payload length: longer claims are
+	// treated as corruption rather than allocated.
+	maxFrameBytes = 16 << 20
+	frameHeader   = 8 // 4-byte payload length + 4-byte CRC32
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports corruption that torn-tail truncation cannot repair: a
+// bad frame in the middle of the log rather than at its end.
+var ErrCorrupt = errors.New("wal: corrupt record before log tail")
+
+// walBatch is one commit's worth of records waiting for the group-commit
+// leader.
+type walBatch struct {
+	recs  []Rec
+	frame []byte
+	err   error
+	done  chan struct{}
+}
+
+// WAL is an append-only segmented log with an in-memory key index. It is
+// safe for concurrent use and implements storage.Stable.
+type WAL struct {
+	dir  string
+	opts Options
+
+	// mu guards the index, the commit queue and the leader flag; it is
+	// never held across file I/O so appenders can enqueue while the
+	// group-commit leader is inside an fsync.
+	mu       sync.Mutex
+	notFlush *sync.Cond // signaled when flushing goes false
+	index    map[string]any
+	queue    []*walBatch
+	flushing bool
+	closed   bool
+	err      error // sticky I/O error: the log is dead once set
+
+	// fmu guards the segment file state (leader flushes, Snapshot, Close).
+	fmu     sync.Mutex
+	seg     *os.File
+	segIdx  uint64
+	segSize int64
+
+	writes atomic.Uint64 // logical synchronous writes (commit batches)
+	fsyncs atomic.Uint64 // physical data-file fsyncs
+}
+
+// Open opens (creating if needed) the log in dir, replays it into the key
+// index, truncates any torn tail, and readies the last segment for appends.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.Sync == nil {
+		opts.Sync = (*os.File).Sync
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, index: make(map[string]any)}
+	w.notFlush = sync.NewCond(&w.mu)
+	if err := w.replay(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Dir returns the log's directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Writes returns the number of logical synchronous writes performed: one
+// per Put or PutAll, matching the simulated Disk's accounting.
+func (w *WAL) Writes() uint64 { return w.writes.Load() }
+
+// ResetWrites zeroes the logical write counter (the data stays).
+func (w *WAL) ResetWrites() { w.writes.Store(0) }
+
+// Fsyncs returns the number of physical data-file fsyncs performed. Group
+// commit makes this at most — and under concurrent or batched load well
+// below — Writes().
+func (w *WAL) Fsyncs() uint64 { return w.fsyncs.Load() }
+
+// ResetFsyncs zeroes the fsync counter.
+func (w *WAL) ResetFsyncs() { w.fsyncs.Store(0) }
+
+// Len returns the number of distinct keys stored.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.index)
+}
+
+// Get reads the latest record stored under key.
+func (w *WAL) Get(key string) (any, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	v, ok := w.index[key]
+	return v, ok
+}
+
+// Put durably stores value under key: one logical synchronous write. It
+// panics if the record cannot be made durable — acking an accept without
+// stable storage would break the safety argument (Section 4.4).
+func (w *WAL) Put(key string, value any) {
+	if err := w.Append([]Rec{{Key: key, Val: value}}); err != nil {
+		panic(fmt.Sprintf("wal: stable storage lost: %v", err))
+	}
+}
+
+// PutAll durably stores several records as one atomic batch: one logical
+// synchronous write (torn-tail truncation removes the batch wholly or not
+// at all). It panics if durability cannot be provided.
+func (w *WAL) PutAll(records map[string]any) {
+	recs := make([]Rec, 0, len(records))
+	for k, v := range records {
+		recs = append(recs, Rec{Key: k, Val: v})
+	}
+	if err := w.Append(recs); err != nil {
+		panic(fmt.Sprintf("wal: stable storage lost: %v", err))
+	}
+}
+
+// Append durably stores one batch of records and returns once they are on
+// disk. Concurrent Appends are group-committed: the first appender becomes
+// the flush leader and drains everything queued behind it with a single
+// fsync per drain.
+func (w *WAL) Append(recs []Rec) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	frame, err := encodeFrame(recs)
+	if err != nil {
+		return err
+	}
+	b := &walBatch{recs: recs, frame: frame, done: make(chan struct{})}
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return errors.New("wal: closed")
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	// The index reflects a record as soon as it is queued (like Disk);
+	// the commit still blocks below until the record is on disk, and a
+	// concurrent Snapshot folds queued records in, so nothing covered by
+	// segment GC can be lost.
+	for _, r := range recs {
+		w.index[r.Key] = r.Val
+	}
+	w.writes.Add(1)
+	w.queue = append(w.queue, b)
+	if w.flushing {
+		// A leader is active: it will flush this batch. Wait for it.
+		w.mu.Unlock()
+		<-b.done
+		return b.err
+	}
+	// Become the group-commit leader: drain the queue (which keeps
+	// filling while we are inside the fsync) until it is empty.
+	w.flushing = true
+	for {
+		q := w.queue
+		w.queue = nil
+		if len(q) == 0 {
+			w.flushing = false
+			w.notFlush.Broadcast()
+			w.mu.Unlock()
+			break
+		}
+		// Once the log is dead, fail the remaining queued batches without
+		// touching the file: a batch whose physical predecessor failed its
+		// fsync must never be acked, or replay would find it stranded
+		// behind a corrupt frame.
+		ferr := w.err
+		w.mu.Unlock()
+		if ferr == nil {
+			ferr = w.flush(q)
+		}
+		w.mu.Lock()
+		if ferr != nil && w.err == nil {
+			w.err = ferr
+		}
+		for _, p := range q {
+			p.err = ferr
+			close(p.done)
+		}
+	}
+	<-b.done // b was in the first drained queue
+	return b.err
+}
+
+// flush writes every queued frame and makes them durable with one fsync.
+func (w *WAL) flush(q []*walBatch) error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	for _, b := range q {
+		if w.segSize >= w.opts.SegmentBytes {
+			if err := w.roll(); err != nil {
+				return err
+			}
+		}
+		if _, err := w.seg.Write(b.frame); err != nil {
+			return fmt.Errorf("wal: append: %w", err)
+		}
+		w.segSize += int64(len(b.frame))
+	}
+	return w.sync(w.seg)
+}
+
+// sync flushes f through the (possibly fault-injected) Sync hook.
+func (w *WAL) sync(f *os.File) error {
+	w.fsyncs.Add(1)
+	if err := w.opts.Sync(f); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// roll seals the current segment and starts the next one. Callers hold fmu.
+func (w *WAL) roll() error {
+	if w.seg != nil {
+		if err := w.sync(w.seg); err != nil {
+			return err
+		}
+		if err := w.seg.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+	}
+	return w.openSegment(w.segIdx + 1)
+}
+
+// openSegment opens segment idx for appending. Callers hold fmu.
+func (w *WAL) openSegment(idx uint64) error {
+	f, err := os.OpenFile(w.segPath(idx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: seek segment: %w", err)
+	}
+	w.seg, w.segIdx, w.segSize = f, idx, size
+	return w.syncDir()
+}
+
+func (w *WAL) segPath(idx uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("%08d.wal", idx))
+}
+
+func (w *WAL) snapPath(since uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("%08d.snap", since))
+}
+
+// syncDir flushes directory metadata so newly created files survive a
+// crash. Directory syncs are not counted as data fsyncs.
+func (w *WAL) syncDir() error {
+	d, err := os.Open(w.dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Snapshot writes the current key index as a snapshot file and deletes the
+// segments (and older snapshots) it makes redundant, bounding replay work
+// and disk use. One data fsync.
+func (w *WAL) Snapshot() error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	// Seal the current segment: records flushed from here on land in
+	// segment segIdx+1, which the snapshot does not cover.
+	if err := w.roll(); err != nil {
+		return err
+	}
+	since := w.segIdx
+	w.mu.Lock()
+	snap := snapshot{Since: since, Recs: make([]Rec, 0, len(w.index))}
+	for k, v := range w.index {
+		snap.Recs = append(snap.Recs, Rec{Key: k, Val: v})
+	}
+	w.mu.Unlock()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return fmt.Errorf("wal: encode snapshot: %w", err)
+	}
+	tmp := w.snapPath(since) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.Write(frameBytes(payload.Bytes())); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := w.sync(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, w.snapPath(since)); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := w.syncDir(); err != nil {
+		return err
+	}
+	// GC everything the snapshot covers.
+	segs, snaps, err := w.scanDir()
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		if idx < since {
+			os.Remove(w.segPath(idx))
+		}
+	}
+	for _, s := range snaps {
+		if s < since {
+			os.Remove(w.snapPath(s))
+		}
+	}
+	return w.syncDir()
+}
+
+// SegmentCount reports how many segment files exist, for tests.
+func (w *WAL) SegmentCount() int {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	segs, _, err := w.scanDir()
+	if err != nil {
+		return -1
+	}
+	return len(segs)
+}
+
+// Close waits for any in-flight group commit, seals the segment and closes
+// the file. The log cannot be used afterwards.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	for w.flushing {
+		w.notFlush.Wait()
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.seg == nil {
+		return nil
+	}
+	err := w.seg.Close()
+	w.seg = nil
+	return err
+}
+
+// ---------------------------------------------------------------- replay --
+
+// scanDir lists segment and snapshot indices, ascending. Callers hold fmu
+// or are inside Open.
+func (w *WAL) scanDir() (segs, snaps []uint64, err error) {
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".wal"):
+			var idx uint64
+			if _, err := fmt.Sscanf(name, "%08d.wal", &idx); err == nil {
+				segs = append(segs, idx)
+			}
+		case strings.HasSuffix(name, ".snap"):
+			var idx uint64
+			if _, err := fmt.Sscanf(name, "%08d.snap", &idx); err == nil {
+				snaps = append(snaps, idx)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return segs, snaps, nil
+}
+
+// replay rebuilds the index: newest valid snapshot first, then every
+// surviving segment in order, truncating a torn tail on the last one.
+func (w *WAL) replay() error {
+	segs, snaps, err := w.scanDir()
+	if err != nil {
+		return err
+	}
+	since := uint64(0)
+	loaded := len(snaps) == 0
+	for i := len(snaps) - 1; i >= 0; i-- {
+		snap, ok := w.loadSnapshot(snaps[i])
+		if !ok {
+			continue // unreadable snapshot: fall back to an older one
+		}
+		for _, r := range snap.Recs {
+			w.index[r.Key] = r.Val
+		}
+		since = snap.Since
+		loaded = true
+		break
+	}
+	if !loaded {
+		// Snapshots only appear via fsync-then-rename, so an unreadable
+		// one is media corruption — and its segments are already GC'd.
+		// Opening with an empty index would silently forget acked votes.
+		return fmt.Errorf("%w: none of %d snapshots is readable", ErrCorrupt, len(snaps))
+	}
+	replayable := segs[:0:0]
+	for _, idx := range segs {
+		if idx >= since {
+			replayable = append(replayable, idx)
+		}
+	}
+	for i, idx := range replayable {
+		last := i == len(replayable)-1
+		if err := w.replaySegment(idx, last); err != nil {
+			return err
+		}
+	}
+	// Append to the newest segment, or start a fresh one.
+	start := since
+	if n := len(replayable); n > 0 {
+		start = replayable[n-1]
+	}
+	if start == 0 {
+		start = 1
+	}
+	return w.openSegment(start)
+}
+
+// loadSnapshot reads one snapshot file; ok is false on any corruption.
+func (w *WAL) loadSnapshot(since uint64) (snapshot, bool) {
+	data, err := os.ReadFile(w.snapPath(since))
+	if err != nil {
+		return snapshot{}, false
+	}
+	payload, n, ok := decodeFrame(data)
+	if !ok || n != len(data) {
+		return snapshot{}, false
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return snapshot{}, false
+	}
+	return snap, true
+}
+
+// replaySegment applies one segment's frames to the index. On the last
+// segment a bad frame is a torn tail: everything from it on is truncated.
+// Anywhere else it is unrepairable corruption.
+func (w *WAL) replaySegment(idx uint64, last bool) error {
+	path := w.segPath(idx)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		payload, n, ok := decodeFrame(data[off:])
+		if !ok {
+			break
+		}
+		var recs []Rec
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&recs); err != nil {
+			break // undecodable payload: treat like a CRC failure
+		}
+		for _, r := range recs {
+			w.index[r.Key] = r.Val
+		}
+		off += n
+	}
+	if off == len(data) {
+		return nil
+	}
+	if !last {
+		return fmt.Errorf("%w: segment %d offset %d", ErrCorrupt, idx, off)
+	}
+	// Torn tail or corruption inside the tail segment? A torn write can
+	// only leave garbage after the bad frame — frames are appended in
+	// order and an fsync covers every frame before it, so an intact frame
+	// after a bad one means an acknowledged record would be silently
+	// dropped by truncation. Refuse to open instead.
+	if anyIntactFrame(data[off+1:]) {
+		return fmt.Errorf("%w: segment %d offset %d (intact records follow)", ErrCorrupt, idx, off)
+	}
+	if err := os.Truncate(path, int64(off)); err != nil {
+		return fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	return nil
+}
+
+// anyIntactFrame reports whether a replayable frame starts at any offset
+// of data. Length sanity rejects nearly all garbage before the CRC runs.
+func anyIntactFrame(data []byte) bool {
+	for o := 0; o+frameHeader < len(data); o++ {
+		payload, _, ok := decodeFrame(data[o:])
+		if !ok {
+			continue
+		}
+		var recs []Rec
+		if gob.NewDecoder(bytes.NewReader(payload)).Decode(&recs) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- frames --
+
+// frameBytes wraps payload as [len][crc][payload].
+func frameBytes(payload []byte) []byte {
+	out := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.Checksum(payload, crcTable))
+	copy(out[frameHeader:], payload)
+	return out
+}
+
+// encodeFrame serializes one record batch as a single frame.
+func encodeFrame(recs []Rec) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(recs); err != nil {
+		return nil, fmt.Errorf("wal: encode: %w", err)
+	}
+	if payload.Len() > maxFrameBytes {
+		return nil, fmt.Errorf("wal: record batch of %d bytes exceeds frame limit", payload.Len())
+	}
+	return frameBytes(payload.Bytes()), nil
+}
+
+// decodeFrame reads one frame from the head of data. It returns the
+// payload, the total frame size consumed, and whether the frame was intact
+// (sane length and matching CRC).
+func decodeFrame(data []byte) (payload []byte, n int, ok bool) {
+	if len(data) < frameHeader {
+		return nil, 0, false
+	}
+	length := binary.BigEndian.Uint32(data[0:4])
+	if length == 0 || length > maxFrameBytes || int(length) > len(data)-frameHeader {
+		return nil, 0, false
+	}
+	sum := binary.BigEndian.Uint32(data[4:8])
+	payload = data[frameHeader : frameHeader+int(length)]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, false
+	}
+	return payload, frameHeader + int(length), true
+}
