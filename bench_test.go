@@ -269,3 +269,27 @@ func benchE11GroupCommit(b *testing.B, appenders int) {
 func BenchmarkE11GroupCommitAppenders1(b *testing.B)  { benchE11GroupCommit(b, 1) }
 func BenchmarkE11GroupCommitAppenders8(b *testing.B)  { benchE11GroupCommit(b, 8) }
 func BenchmarkE11GroupCommitAppenders32(b *testing.B) { benchE11GroupCommit(b, 32) }
+
+// E12: sharded instance space. Each iteration drains the same 256-command
+// stream (batch=8, per-leader window 4) through N concurrent shard-leaders;
+// sim-steps is the hardware-independent drain time and must fall roughly N×
+// as leaders are added at a fixed per-leader pipeline window.
+const e12Commands = 256
+
+func benchE12(b *testing.B, shards int) {
+	var r E12Row
+	for i := 0; i < b.N; i++ {
+		r = RunE12Sharded(int64(i+1), e12Commands, shards, 8, 4)
+	}
+	if r.Commands != e12Commands {
+		b.Fatalf("incomplete run: %+v", r)
+	}
+	b.ReportMetric(float64(e12Commands)*float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
+	b.ReportMetric(r.CmdsPerStep, "cmds/step")
+	b.ReportMetric(float64(r.SimSteps), "sim-steps")
+}
+
+func BenchmarkE12Shards1(b *testing.B) { benchE12(b, 1) }
+func BenchmarkE12Shards2(b *testing.B) { benchE12(b, 2) }
+func BenchmarkE12Shards4(b *testing.B) { benchE12(b, 4) }
+func BenchmarkE12Shards8(b *testing.B) { benchE12(b, 8) }

@@ -180,3 +180,48 @@ func TestConflictLifting(t *testing.T) {
 		t.Errorf("conflict must stay irreflexive")
 	}
 }
+
+// The shard router must spread a stream round-robin, flush full batches to
+// the owning shard only, and flush stragglers on FlushAll.
+func TestRouterSpreadsAcrossShards(t *testing.T) {
+	var now int64
+	clock := func() int64 { return now }
+	got := make(map[int][]cstruct.Cmd)
+	r := NewRouter(4, 4, 0, clock, func(shard int, c cstruct.Cmd) {
+		got[shard] = append(got[shard], c)
+	})
+	const n = 70 // not a multiple of 4×4: stragglers on every shard
+	for i := 0; i < n; i++ {
+		r.Route(cstruct.Cmd{ID: uint64(1 + i), Key: "k"})
+	}
+	r.FlushAll()
+	counts := r.Counts()
+	total := 0
+	for shard, want := range []uint64{18, 18, 17, 17} {
+		if counts[shard] != want {
+			t.Errorf("shard %d routed %d commands, want %d", shard, counts[shard], want)
+		}
+		unpacked := 0
+		for _, c := range got[shard] {
+			if sub, ok := Unpack(c); ok {
+				unpacked += len(sub)
+				// Every constituent must belong to this shard's residue
+				// class of the round-robin split.
+				for _, s := range sub {
+					if int((s.ID-1)%4) != shard {
+						t.Errorf("shard %d flushed foreign command c%d", shard, s.ID)
+					}
+				}
+			} else {
+				unpacked++
+			}
+		}
+		total += unpacked
+	}
+	if total != n {
+		t.Fatalf("flushed %d commands, want %d", total, n)
+	}
+	if p := r.Pending(); p != 0 {
+		t.Fatalf("%d commands still pending after FlushAll", p)
+	}
+}

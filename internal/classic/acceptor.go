@@ -21,6 +21,14 @@ type vote struct {
 // crashes, Section 4.4); the current round is volatile and is outrun on
 // recovery by bumping the MCount incarnation counter.
 //
+// Sharded deployments (cfg.Shards > 1) run one leader per instance residue
+// class, so the acceptor keeps one current round per shard: leader k's phase
+// 1 claims only instances ≡ k (mod shards) and cannot stale-out the other
+// shards' leaders. Accepts are persisted through the shard's commit stream
+// when the backend has one (storage.ShardedStable) — all streams feed the
+// one replayable log, so a restart rebuilds every shard from a single
+// replay.
+//
 // The stable store may be the simulated in-memory Disk or the on-disk WAL
 // (internal/wal): building a fresh Acceptor over a replayed store — what a
 // process restart does — rebuilds the vote map from the persisted records.
@@ -29,7 +37,7 @@ type Acceptor struct {
 	cfg  Config
 	disk storage.Stable
 
-	rnd   ballot.Ballot // volatile: highest round heard of
+	rnds  []ballot.Ballot // volatile: highest round heard of, per shard
 	votes map[uint64]vote
 }
 
@@ -38,7 +46,11 @@ var _ node.Recoverable = (*Acceptor)(nil)
 
 // NewAcceptor builds an acceptor bound to env and disk.
 func NewAcceptor(env node.Env, cfg Config, disk storage.Stable) *Acceptor {
-	a := &Acceptor{env: env, cfg: cfg, disk: disk, votes: make(map[uint64]vote)}
+	a := &Acceptor{
+		env: env, cfg: cfg, disk: disk,
+		rnds:  make([]ballot.Ballot, cfg.NShards()),
+		votes: make(map[uint64]vote),
+	}
 	a.restore()
 	// First start: persist the incarnation record once (the paper's "in the
 	// normal case, acceptors write on disk only once, when started").
@@ -48,8 +60,18 @@ func NewAcceptor(env node.Env, cfg Config, disk storage.Stable) *Acceptor {
 	return a
 }
 
-// Rnd exposes the acceptor's current round, for tests.
-func (a *Acceptor) Rnd() ballot.Ballot { return a.rnd }
+// Rnd exposes the acceptor's highest current round across shards, for tests
+// and recovery checks.
+func (a *Acceptor) Rnd() ballot.Ballot {
+	hi := a.rnds[0]
+	for _, r := range a.rnds[1:] {
+		hi = ballot.Max(hi, r)
+	}
+	return hi
+}
+
+// ShardRnd exposes the acceptor's current round for one shard, for tests.
+func (a *Acceptor) ShardRnd(shard int) ballot.Ballot { return a.rnds[shard] }
 
 // Vote exposes the acceptor's vote for an instance, for tests.
 func (a *Acceptor) Vote(inst uint64) (ballot.Ballot, cstruct.Cmd, bool) {
@@ -67,26 +89,35 @@ func (a *Acceptor) OnMessage(from msg.NodeID, m msg.Message) {
 	}
 }
 
-// onP1a is action Phase1b: join round mm.Rnd if it is news, reporting every
-// past vote so the new leader can finish interrupted instances.
+// onP1a is action Phase1b scoped to the claimed shard: join round mm.Rnd for
+// that shard if it is news, reporting every past vote of the shard's
+// instances so the new leader can finish interrupted ones.
 func (a *Acceptor) onP1a(_ msg.NodeID, mm msg.P1a) {
-	if !a.rnd.Less(mm.Rnd) {
-		a.env.Send(mm.Coord, msg.Stale{Acc: a.env.ID(), Rnd: a.rnd, Got: mm.Rnd})
+	shard := int(mm.Shard)
+	if shard >= a.cfg.NShards() {
+		return // misconfigured sender; no shard of ours to promise
+	}
+	if !a.rnds[shard].Less(mm.Rnd) {
+		a.env.Send(mm.Coord, msg.Stale{Acc: a.env.ID(), Rnd: a.rnds[shard], Got: mm.Rnd})
 		return
 	}
-	a.setRnd(mm.Rnd)
+	a.setRnd(shard, mm.Rnd)
 	votes := make([]msg.InstVote, 0, len(a.votes))
 	for inst, v := range a.votes {
+		if a.cfg.ShardOf(inst) != shard {
+			continue
+		}
 		votes = append(votes, msg.InstVote{Inst: inst, VRnd: v.vrnd, VVal: wrap(v.vval)})
 	}
 	a.env.Send(mm.Coord, msg.P1bMulti{Rnd: mm.Rnd, Acc: a.env.ID(), Votes: votes})
 }
 
 // onP2a is action Phase2b: accept the value unless a higher round was heard
-// of, then notify every learner.
+// of on the instance's shard, then notify every learner.
 func (a *Acceptor) onP2a(from msg.NodeID, mm msg.P2a) {
-	if mm.Rnd.Less(a.rnd) {
-		a.env.Send(from, msg.Stale{Inst: mm.Inst, Acc: a.env.ID(), Rnd: a.rnd, Got: mm.Rnd})
+	shard := a.cfg.ShardOf(mm.Inst)
+	if mm.Rnd.Less(a.rnds[shard]) {
+		a.env.Send(from, msg.Stale{Inst: mm.Inst, Acc: a.env.ID(), Rnd: a.rnds[shard], Got: mm.Rnd})
 		return
 	}
 	cmd, ok := unwrap(mm.Val)
@@ -97,17 +128,19 @@ func (a *Acceptor) onP2a(from msg.NodeID, mm msg.P2a) {
 		// An acceptor accepts at most one value per round (Section 2.1.2).
 		return
 	}
-	a.setRnd(mm.Rnd)
+	a.setRnd(shard, mm.Rnd)
 	v := vote{vrnd: mm.Rnd, vval: cmd}
 	a.votes[mm.Inst] = v
 	// The accept must hit stable storage before the 2b leaves (one
 	// synchronous write per accepted value, Section 4.4). The high-water
-	// mark rides along in the same write for recovery scans.
+	// mark rides along in the same write for recovery scans. In sharded
+	// deployments the write goes through the shard's commit stream — still
+	// one logical write on the one shared log.
 	hi := mm.Inst
 	if rec, ok := a.disk.Get(storage.KeyMaxInst); ok && rec.(uint64) > hi {
 		hi = rec.(uint64)
 	}
-	a.disk.PutAll(map[string]any{
+	storage.PutAllSharded(a.disk, shard, map[string]any{
 		voteKey(mm.Inst):   storage.VoteRec{Inst: mm.Inst, VRnd: mm.Rnd, Cmds: []cstruct.Cmd{cmd}},
 		storage.KeyMaxInst: hi,
 	})
@@ -116,20 +149,20 @@ func (a *Acceptor) onP2a(from msg.NodeID, mm msg.P2a) {
 	}
 }
 
-// setRnd advances the volatile round. Following Section 4.4, plain round
-// changes are not persisted: recovery bumps MCount instead.
-func (a *Acceptor) setRnd(r ballot.Ballot) {
-	if a.rnd.Less(r) {
-		a.rnd = r
+// setRnd advances the volatile round of one shard. Following Section 4.4,
+// plain round changes are not persisted: recovery bumps MCount instead.
+func (a *Acceptor) setRnd(shard int, r ballot.Ballot) {
+	if a.rnds[shard].Less(r) {
+		a.rnds[shard] = r
 	}
 }
 
 // OnRecover implements node.Recoverable: volatile state is rebuilt from the
 // journal and the incarnation counter is bumped with one disk write so that
-// the recovered acceptor's round dominates anything it may have promised
-// before the crash (Section 4.4).
+// the recovered acceptor's rounds — every shard's — dominate anything it may
+// have promised before the crash (Section 4.4).
 func (a *Acceptor) OnRecover() {
-	a.rnd = ballot.Zero
+	a.rnds = make([]ballot.Ballot, a.cfg.NShards())
 	a.votes = make(map[uint64]vote)
 	a.restore()
 	mc := uint32(0)
@@ -138,9 +171,13 @@ func (a *Acceptor) OnRecover() {
 	}
 	mc++
 	a.disk.Put(storage.KeyMCount, mc)
-	a.rnd = ballot.Max(a.rnd, ballot.Ballot{MCount: mc})
+	for i := range a.rnds {
+		a.rnds[i] = ballot.Max(a.rnds[i], ballot.Ballot{MCount: mc})
+	}
 }
 
+// restore rebuilds the vote map — and each shard's round floor — from the
+// stable store. One scan covers every shard: the log is shared.
 func (a *Acceptor) restore() {
 	rec, ok := a.disk.Get(storage.KeyMaxInst)
 	if !ok {
@@ -157,9 +194,7 @@ func (a *Acceptor) restore() {
 			continue
 		}
 		a.votes[inst] = vote{vrnd: vr.VRnd, vval: vr.Cmds[0]}
-		if a.rnd.Less(vr.VRnd) {
-			a.rnd = vr.VRnd
-		}
+		a.setRnd(a.cfg.ShardOf(inst), vr.VRnd)
 	}
 }
 

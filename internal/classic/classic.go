@@ -29,6 +29,43 @@ type Config struct {
 	// Quorums is the acceptor quorum system; classic Paxos only uses its
 	// classic (n−F) size.
 	Quorums quorum.AcceptorSystem
+	// Shards partitions the instance space Mencius-style: the leader of
+	// shard k exclusively sequences instances ≡ k (mod Shards), so up to
+	// Shards leaders run concurrently, each with its own pipeline window.
+	// Acceptors keep one round per shard; learners are unaffected (learning
+	// stays per-instance) and the SMR layer merges the shards back into one
+	// total order by instance number (internal/smr.Merger). 0 or 1 means the
+	// classic single-sequencer deployment.
+	Shards int
+}
+
+// NShards returns the number of instance-space shards (at least 1).
+func (c Config) NShards() int {
+	if c.Shards < 2 {
+		return 1
+	}
+	return c.Shards
+}
+
+// ShardOf returns the shard owning instance inst.
+func (c Config) ShardOf(inst uint64) int { return int(inst % uint64(c.NShards())) }
+
+// ShardCoords returns the coordinators serving shard, by the deployment
+// convention that coordinator i serves shard i mod NShards: the shard's
+// primary plus its standbys. Proposers address the whole group so a shard
+// keeps deciding when its primary fails and a standby takes over — the
+// sharded counterpart of the unsharded broadcast-to-all-coordinators path.
+// Unsharded configurations return every coordinator.
+func (c Config) ShardCoords(shard int) []msg.NodeID {
+	n := c.NShards()
+	if n == 1 {
+		return c.Coords
+	}
+	var out []msg.NodeID
+	for i := shard; i < len(c.Coords); i += n {
+		out = append(out, c.Coords[i])
+	}
+	return out
 }
 
 // Validate checks the configuration.
@@ -41,6 +78,9 @@ func (c Config) Validate() error {
 			len(c.Acceptors), c.Quorums.N())
 	case len(c.Learners) == 0:
 		return fmt.Errorf("classic: no learners")
+	case c.NShards() > len(c.Coords):
+		return fmt.Errorf("classic: %d shards need at least as many coordinators, have %d",
+			c.NShards(), len(c.Coords))
 	}
 	return nil
 }

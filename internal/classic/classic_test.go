@@ -237,3 +237,37 @@ func TestDiskWritesOnePerAcceptedValue(t *testing.T) {
 		}
 	}
 }
+
+// A sharded proposal must reach the shard's whole coordinator group, so a
+// standby taking over the shard keeps deciding commands routed to it after
+// the primary dies.
+func TestShardedProposeSurvivesPrimaryFailover(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NCoords: 4, NAcceptors: 3, F: 1, Seed: 23, Shards: 2})
+	cl.LeadAll()
+	cl.Prop.ProposeTo(0, cstruct.Cmd{ID: 700, Key: "k"})
+	cl.Sim.Run()
+	if _, ok := cl.LearnedCmds[0]; !ok {
+		t.Fatal("shard 0 did not decide before the failover")
+	}
+
+	// Kill shard 0's primary; its standby (coordinator 2, Shard=0) takes
+	// over with a fresh round.
+	cl.Sim.Crash(cl.Cfg.Coords[0])
+	cl.Coords[2].BecomeLeader()
+	cl.Sim.Run()
+	cl.Prop.ProposeTo(0, cstruct.Cmd{ID: 701, Key: "k"})
+	cl.Sim.Run()
+	learned := false
+	for _, cmd := range cl.LearnedCmds {
+		if cmd.ID == 701 {
+			learned = true
+		}
+	}
+	if !learned {
+		t.Fatal("command routed to shard 0 lost after primary failover to the standby")
+	}
+	// Shard 1's leader must be untouched by shard 0's failover round.
+	if !cl.Coords[1].Leading() {
+		t.Error("shard 1 leader disturbed by shard 0 failover")
+	}
+}

@@ -36,10 +36,20 @@ type ClusterOpts struct {
 	Seed       int64
 	RetryEvery int64 // 0 disables retransmission
 	// MaxInflight bounds each coordinator's pipeline window; 0 is unbounded.
+	// In sharded deployments each shard-leader gets its own window, so the
+	// aggregate pipeline is Shards × MaxInflight.
 	MaxInflight int
+	// Shards > 1 partitions the instance space across that many concurrent
+	// leaders: coordinator i sequences instances ≡ i (mod Shards). NCoords
+	// is raised to Shards if lower; extra coordinators are standbys for
+	// shard i mod Shards.
+	Shards int
 	// Stable supplies acceptor i's stable store (e.g. a WAL opened on a
 	// real directory); nil defaults to a fresh in-memory Disk.
 	Stable func(i int) storage.Stable
+	// OnLearn, when set, observes every instance learned by learner 0 after
+	// the cluster's own bookkeeping (e.g. to feed an smr.Merger).
+	OnLearn LearnFn
 }
 
 // NewCluster builds and registers a deployment. Node IDs are assigned as:
@@ -48,8 +58,11 @@ func NewCluster(o ClusterOpts) *Cluster {
 	if o.NLearners == 0 {
 		o.NLearners = 1
 	}
+	if o.Shards > o.NCoords {
+		o.NCoords = o.Shards
+	}
 	s := sim.New(o.Seed)
-	cfg := Config{Quorums: quorum.MustAcceptorSystem(o.NAcceptors, o.F, 0)}
+	cfg := Config{Quorums: quorum.MustAcceptorSystem(o.NAcceptors, o.F, 0), Shards: o.Shards}
 	for i := 0; i < o.NCoords; i++ {
 		cfg.Coords = append(cfg.Coords, msg.NodeID(100+i))
 	}
@@ -67,10 +80,11 @@ func NewCluster(o ClusterOpts) *Cluster {
 		LearnedCmds: make(map[uint64]cstruct.Cmd),
 	}
 
-	for _, id := range cfg.Coords {
+	for i, id := range cfg.Coords {
 		c := NewCoordinator(s.Env(id), cfg)
 		c.RetryEvery = o.RetryEvery
 		c.MaxInflight = o.MaxInflight
+		c.Shard = i % cfg.NShards()
 		s.Register(id, c)
 		cl.Coords = append(cl.Coords, c)
 	}
@@ -96,6 +110,9 @@ func NewCluster(o ClusterOpts) *Cluster {
 				for _, co := range cl.Coords {
 					co.MarkLearned(inst)
 				}
+				if o.OnLearn != nil {
+					o.OnLearn(inst, cmd)
+				}
 			}
 		}
 		l := NewLearner(s.Env(id), cfg, fn)
@@ -112,6 +129,16 @@ func NewCluster(o ClusterOpts) *Cluster {
 // cluster ready for three-step commands.
 func (cl *Cluster) Lead(i int) {
 	cl.Coords[i].BecomeLeader()
+	cl.Sim.Run()
+}
+
+// LeadAll runs phase 1 on every shard's leader (coordinators 0..NShards−1)
+// and drains the simulator: each residue class then has an independent
+// sequencer with its own pipeline window.
+func (cl *Cluster) LeadAll() {
+	for i := 0; i < cl.Cfg.NShards(); i++ {
+		cl.Coords[i].BecomeLeader()
+	}
 	cl.Sim.Run()
 }
 

@@ -40,6 +40,12 @@ type Coordinator struct {
 	MaxInflight int
 	open        int // assigned instances not yet learned
 
+	// Shard is the residue class this coordinator sequences in a sharded
+	// deployment (cfg.Shards > 1): it only assigns instances ≡ Shard (mod
+	// cfg.NShards()) and its phase 1 claims only those instances. Set it
+	// before the first round; unsharded deployments leave it 0.
+	Shard int
+
 	// RetryEvery > 0 enables periodic retransmission of unlearned 2a
 	// messages and of the current 1a while phase 1 is incomplete.
 	RetryEvery int64
@@ -121,8 +127,34 @@ func (c *Coordinator) startRound(r ballot.Ballot) {
 	}
 	c.proposals = make(map[uint64]cstruct.Cmd)
 	c.open = 0
-	node.Broadcast(c.env, c.cfg.Acceptors, msg.P1a{Rnd: c.crnd, Coord: c.env.ID()})
+	c.send1a()
 	c.armRetry()
+}
+
+func (c *Coordinator) send1a() {
+	node.Broadcast(c.env, c.cfg.Acceptors, msg.P1a{
+		Rnd: c.crnd, Coord: c.env.ID(), Shard: uint32(c.Shard),
+	})
+}
+
+// stride is the instance-number distance between consecutive owned
+// instances: the deployment's shard count.
+func (c *Coordinator) stride() uint64 { return uint64(c.cfg.NShards()) }
+
+// owns reports whether inst belongs to this coordinator's residue class.
+func (c *Coordinator) owns(inst uint64) bool { return c.cfg.ShardOf(inst) == c.Shard }
+
+// nextOwned returns the smallest instance ≥ n in this coordinator's residue
+// class.
+func (c *Coordinator) nextOwned(n uint64) uint64 {
+	s, k := c.stride(), uint64(c.Shard)
+	if n <= k {
+		return k
+	}
+	if rem := (n - k) % s; rem != 0 {
+		return n + s - rem
+	}
+	return n
 }
 
 // OnMessage implements node.Handler.
@@ -151,6 +183,12 @@ func (c *Coordinator) Pending() int { return len(c.pending) }
 func (c *Coordinator) Inflight() int { return c.open }
 
 func (c *Coordinator) noteLearned(inst uint64) {
+	if !c.owns(inst) {
+		// Another shard's instance: no pipeline slot or retransmission of
+		// ours depends on it, so tracking it would only grow state N× in
+		// sharded runs.
+		return
+	}
 	if c.learned[inst] {
 		return
 	}
@@ -200,10 +238,10 @@ func (c *Coordinator) enqueue(cmd cstruct.Cmd) {
 	c.pending = append(c.pending, cmd)
 }
 
-// assign gives the command the next free instance and runs phase 2a.
+// assign gives the command the next free owned instance and runs phase 2a.
 func (c *Coordinator) assign(cmd cstruct.Cmd) {
-	inst := c.nextInst
-	c.nextInst++
+	inst := c.nextOwned(c.nextInst)
+	c.nextInst = inst + c.stride()
 	c.byCmd[cmd.ID] = inst
 	c.proposals[inst] = cmd
 	if !c.learned[inst] {
@@ -239,6 +277,12 @@ func (c *Coordinator) onP1b(mm msg.P1bMulti) {
 	picks := make(map[uint64]pick)
 	for _, p1b := range c.p1bs {
 		for _, v := range p1b.Votes {
+			if !c.owns(v.Inst) {
+				// Acceptors scope their promises to the claimed shard, but a
+				// pre-sharding log or a misrouted reply may report foreign
+				// instances: those belong to another shard's leader.
+				continue
+			}
 			cmd, ok := unwrap(v.VVal)
 			if !ok {
 				continue
@@ -257,7 +301,7 @@ func (c *Coordinator) onP1b(mm msg.P1bMulti) {
 	for _, inst := range insts {
 		p := picks[inst]
 		if inst >= c.nextInst {
-			c.nextInst = inst + 1
+			c.nextInst = inst + c.stride()
 		}
 		c.byCmd[p.cmd.ID] = inst
 		c.proposals[inst] = p.cmd
@@ -296,7 +340,7 @@ func (c *Coordinator) OnTimer(tag int) {
 	}
 	outstanding := false
 	if !c.leading {
-		node.Broadcast(c.env, c.cfg.Acceptors, msg.P1a{Rnd: c.crnd, Coord: c.env.ID()})
+		c.send1a()
 		outstanding = true
 	} else {
 		for inst, cmd := range c.proposals {

@@ -1,21 +1,32 @@
 package classic
 
 import (
+	"fmt"
+
 	"mcpaxos/internal/cstruct"
 	"mcpaxos/internal/msg"
 	"mcpaxos/internal/node"
 )
 
-// Proposer is a Classic Paxos proposer: it forwards commands to every
-// coordinator (only the leader acts on them) and optionally retransmits
-// until told the command was learned.
+// routed is an unlearned proposal plus where it was sent: shard ≥ 0 pins the
+// command to one shard's coordinator group, −1 broadcasts to every
+// coordinator.
+type routed struct {
+	cmd   cstruct.Cmd
+	shard int
+}
+
+// Proposer is a Classic Paxos proposer. Unsharded, it forwards commands to
+// every coordinator (only the leader acts on them); sharded, ProposeTo pins
+// a command to one shard's coordinator group — retransmissions follow the
+// same route, so a command never occupies instances in two shards.
 type Proposer struct {
 	env node.Env
 	cfg Config
 
 	// RetryEvery > 0 enables retransmission of unlearned proposals.
 	RetryEvery int64
-	inflight   map[uint64]cstruct.Cmd
+	inflight   map[uint64]routed
 }
 
 var _ node.Handler = (*Proposer)(nil)
@@ -23,13 +34,36 @@ var _ node.TimerHandler = (*Proposer)(nil)
 
 // NewProposer builds a proposer bound to env.
 func NewProposer(env node.Env, cfg Config) *Proposer {
-	return &Proposer{env: env, cfg: cfg, inflight: make(map[uint64]cstruct.Cmd)}
+	return &Proposer{env: env, cfg: cfg, inflight: make(map[uint64]routed)}
 }
 
-// Propose submits a command (action Propose).
+// Propose submits a command to every coordinator (action Propose).
 func (p *Proposer) Propose(cmd cstruct.Cmd) {
-	p.inflight[cmd.ID] = cmd
+	p.inflight[cmd.ID] = routed{cmd: cmd, shard: -1}
 	node.Broadcast(p.env, p.cfg.Coords, msg.Propose{Cmd: cmd})
+	p.armRetry()
+}
+
+// ProposeTo submits a command to one shard's coordinator group — the
+// primary that sequences the residue class plus its standbys, so the shard
+// keeps deciding across a primary failover. The shard-aware router
+// (internal/batch.Router) drives this entry point to spread batches across
+// the concurrent shard-leaders.
+func (p *Proposer) ProposeTo(shard int, cmd cstruct.Cmd) {
+	if shard < 0 || shard >= p.cfg.NShards() {
+		// A router configured for more shards than the deployment would
+		// otherwise broadcast to an empty group and retransmit into the
+		// void: fail loudly on the misconfiguration instead of silently
+		// losing commands.
+		panic(fmt.Sprintf("classic: ProposeTo shard %d of a %d-shard deployment",
+			shard, p.cfg.NShards()))
+	}
+	p.inflight[cmd.ID] = routed{cmd: cmd, shard: shard}
+	node.Broadcast(p.env, p.cfg.ShardCoords(shard), msg.Propose{Cmd: cmd})
+	p.armRetry()
+}
+
+func (p *Proposer) armRetry() {
 	if p.RetryEvery > 0 {
 		p.env.SetTimer(p.RetryEvery, timerRetry)
 	}
@@ -46,8 +80,12 @@ func (p *Proposer) OnTimer(tag int) {
 	if tag != timerRetry || p.RetryEvery <= 0 || len(p.inflight) == 0 {
 		return
 	}
-	for _, cmd := range p.inflight {
-		node.Broadcast(p.env, p.cfg.Coords, msg.Propose{Cmd: cmd})
+	for _, r := range p.inflight {
+		if r.shard >= 0 {
+			node.Broadcast(p.env, p.cfg.ShardCoords(r.shard), msg.Propose{Cmd: r.cmd})
+			continue
+		}
+		node.Broadcast(p.env, p.cfg.Coords, msg.Propose{Cmd: r.cmd})
 	}
 	p.env.SetTimer(p.RetryEvery, timerRetry)
 }

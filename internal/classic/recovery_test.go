@@ -3,10 +3,12 @@ package classic
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"mcpaxos/internal/batch"
 	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/smr"
 	"mcpaxos/internal/storage"
 	"mcpaxos/internal/wal"
 )
@@ -243,5 +245,147 @@ func TestWALRecoveryMidBatch(t *testing.T) {
 	}
 	if !found {
 		t.Error("cluster stopped deciding after mid-batch recovery")
+	}
+}
+
+// TestWALRecoveryShardedMidBatch is the sharded crash scenario: two
+// concurrent shard-leaders drive batched, pipelined streams over their
+// residue classes, an acceptor is hard-killed mid-stream with both shards
+// active, and the restart must rebuild both shards' votes and round floors
+// from ONE replayed log. Afterwards both leaders re-establish themselves and
+// every command of every shard is learned exactly once, in a mergeable total
+// order.
+func TestWALRecoveryShardedMidBatch(t *testing.T) {
+	wc := newWALCluster(t, ClusterOpts{NCoords: 2, NAcceptors: 3, F: 1, Seed: 17,
+		NLearners: 2, MaxInflight: 2, Shards: 2})
+	wc.LeadAll()
+
+	const commands, batchSize = 48, 4
+	router := batch.NewRouter(2, batchSize, 0, wc.Sim.Now, func(shard int, c cstruct.Cmd) {
+		wc.Prop.ProposeTo(shard, c)
+	})
+	for i := 0; i < commands; i++ {
+		router.Route(cstruct.Cmd{ID: uint64(400 + i), Key: "k", Op: cstruct.OpWrite})
+	}
+	router.FlushAll()
+
+	// Let both shards persist a few batches, then kill acceptor 0 with
+	// instances of BOTH residue classes in flight.
+	wc.Sim.RunUntil(wc.Sim.Now() + 2)
+	mid := snapshotLearned(wc.LearnedCmds)
+	wc.hardCrash(0)
+	wc.Sim.Run()
+
+	a := wc.restart(0)
+	// One replay must have rebuilt votes in both residue classes.
+	shardsSeen := make(map[int]int)
+	for inst := uint64(0); inst < uint64(commands); inst++ {
+		if _, _, ok := a.Vote(inst); ok {
+			shardsSeen[wc.Cfg.ShardOf(inst)]++
+		}
+	}
+	if len(shardsSeen) != 2 {
+		t.Fatalf("replayed votes cover shards %v, want both shards of one log", shardsSeen)
+	}
+	// Recovery bumps the incarnation for every shard's round floor.
+	for shard := 0; shard < 2; shard++ {
+		if a.ShardRnd(shard).MCount == 0 {
+			t.Errorf("shard %d round floor not bumped on recovery", shard)
+		}
+	}
+
+	// Both shard-leaders step to rounds dominating the recovered floors.
+	wc.Coords[0].BecomeLeaderAt(a.Rnd().MCount + 1)
+	wc.Coords[1].BecomeLeaderAt(a.Rnd().MCount + 1)
+	wc.Sim.Run()
+
+	// Every command learned exactly once (batches unpacked, dedup by ID).
+	got := make(map[uint64]int)
+	for _, cmd := range wc.LearnedCmds {
+		if sub, ok := batch.Unpack(cmd); ok {
+			for _, c := range sub {
+				got[c.ID]++
+			}
+		} else {
+			got[cmd.ID]++
+		}
+	}
+	for i := 0; i < commands; i++ {
+		id := uint64(400 + i)
+		if got[id] == 0 {
+			t.Errorf("command c%d lost across sharded mid-batch crash", id)
+		}
+	}
+	wc.checkNoLossNoConflict(mid)
+
+	// The learned instances merge back into one gapless total order.
+	m := smr.NewMerger(nil)
+	insts := make([]uint64, 0, len(wc.LearnedCmds))
+	for inst := range wc.LearnedCmds {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		m.Add(inst, wc.LearnedCmds[inst])
+	}
+	if m.Buffered() != 0 {
+		t.Errorf("merged total order has a permanent gap at instance %d (%d buffered)",
+			m.Next(), m.Buffered())
+	}
+
+	// Both shards keep deciding with the recovered acceptor back in.
+	wc.Prop.ProposeTo(0, cstruct.Cmd{ID: 990, Key: "k"})
+	wc.Prop.ProposeTo(1, cstruct.Cmd{ID: 991, Key: "k"})
+	wc.Sim.Run()
+	found := map[uint64]bool{}
+	for _, cmd := range wc.LearnedCmds {
+		found[cmd.ID] = true
+	}
+	if !found[990] || !found[991] {
+		t.Errorf("shards stopped deciding after recovery: got 990=%v 991=%v", found[990], found[991])
+	}
+}
+
+// TestWALShardedRoundIsolation checks the per-shard round state: one
+// shard-leader starting a new round must not stale-out the other shard's
+// leader, and each shard's promise reports only that shard's votes.
+func TestWALShardedRoundIsolation(t *testing.T) {
+	wc := newWALCluster(t, ClusterOpts{NCoords: 2, NAcceptors: 3, F: 1, Seed: 19,
+		NLearners: 2, Shards: 2})
+	wc.LeadAll()
+	for i := 0; i < 6; i++ {
+		wc.Prop.ProposeTo(i%2, cstruct.Cmd{ID: uint64(500 + i), Key: "k", Op: cstruct.OpWrite})
+	}
+	wc.Sim.Run()
+	if got := len(wc.LearnedCmds); got != 6 {
+		t.Fatalf("learned %d/6 across two shards", got)
+	}
+
+	// Shard 1's leader starts a fresh round; shard 0's leader must stay
+	// leading and able to decide without a round change.
+	r0 := wc.Coords[0].Rnd()
+	wc.Coords[1].BecomeLeader()
+	wc.Sim.Run()
+	if !wc.Coords[0].Leading() || !wc.Coords[0].Rnd().Equal(r0) {
+		t.Fatalf("shard 0 leader disturbed by shard 1 round change (leading=%v rnd=%v, was %v)",
+			wc.Coords[0].Leading(), wc.Coords[0].Rnd(), r0)
+	}
+	wc.Prop.ProposeTo(0, cstruct.Cmd{ID: 600, Key: "k"})
+	wc.Sim.Run()
+	learned := false
+	for _, cmd := range wc.LearnedCmds {
+		if cmd.ID == 600 {
+			learned = true
+		}
+	}
+	if !learned {
+		t.Fatal("shard 0 could not decide after shard 1's round change")
+	}
+
+	// Acceptor per-shard rounds diverge: shard 1's is now higher.
+	a := wc.Accs[0]
+	if !a.ShardRnd(0).Less(a.ShardRnd(1)) {
+		t.Errorf("expected shard 1 round %v above shard 0 round %v after shard 1 re-led",
+			a.ShardRnd(1), a.ShardRnd(0))
 	}
 }

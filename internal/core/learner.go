@@ -66,26 +66,35 @@ func (l *Learner) OnMessage(_ msg.NodeID, m msg.Message) {
 	default:
 		return
 	}
-	l.relearn(mm.Rnd)
+	l.relearn(mm.Rnd, mm.Acc)
 }
 
-// relearn folds every r-quorum's glb into learned.
-func (l *Learner) relearn(r ballot.Ballot) {
-	var present []msg.NodeID
+// relearn folds r-quorum glbs into learned, incrementally: only quorums
+// containing the acceptor whose vote just changed can produce a new glb —
+// every other quorum's members are untouched since the last fold that
+// covered them, and folding by lub is monotone — so instead of enumerating
+// all C(present, q) quorums per 2b, only the C(present−1, q−1) quorums
+// through the changed acceptor are visited (the ROADMAP's learner
+// quorum-subset caching lever; quorum.Subsets itself memoizes the
+// enumeration).
+func (l *Learner) relearn(r ballot.Ballot, changed msg.NodeID) {
+	var others []msg.NodeID
 	for acc, v := range l.votes {
-		if v.Rnd.Equal(r) {
-			present = append(present, acc)
+		if acc != changed && v.Rnd.Equal(r) {
+			others = append(others, acc)
 		}
 	}
 	qsize := l.cfg.Quorums.Size(l.cfg.Scheme.IsFast(r))
-	if len(present) < qsize {
+	if len(others)+1 < qsize {
 		return
 	}
+	changedVal := l.votes[changed].Val
 	var grown []cstruct.CStruct
-	for _, sub := range quorum.Subsets(len(present), qsize) {
+	for _, sub := range quorum.Subsets(len(others), qsize-1) {
 		vals := make([]cstruct.CStruct, 0, qsize)
+		vals = append(vals, changedVal)
 		for _, j := range sub {
-			vals = append(vals, l.votes[present[j]].Val)
+			vals = append(vals, l.votes[others[j]].Val)
 		}
 		grown = append(grown, l.cfg.Set.GLB(vals...))
 	}

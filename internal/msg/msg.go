@@ -86,11 +86,16 @@ func (Propose) Type() Type { return TPropose }
 // Instance implements Message.
 func (m Propose) Instance() uint64 { return m.Inst }
 
-// P1a starts phase 1 of round Rnd ("1a", Section 2.1.2).
+// P1a starts phase 1 of round Rnd ("1a", Section 2.1.2). In sharded
+// deployments (Mencius-style residue-class ownership of the instance space)
+// Shard names the residue class the round covers: the promise and the
+// per-shard round it establishes apply only to instances ≡ Shard (mod the
+// deployment's shard count). Unsharded deployments use shard 0 of 1.
 type P1a struct {
 	Inst  uint64
 	Rnd   ballot.Ballot
 	Coord NodeID
+	Shard uint32
 }
 
 // Type implements Message.

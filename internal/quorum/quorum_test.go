@@ -187,3 +187,38 @@ func TestMajoritySystem(t *testing.T) {
 		t.Errorf("MajoritySystem(5) = %v, err %v", s, err)
 	}
 }
+
+// Subsets memoizes: repeated calls must return identical enumerations, and
+// concurrent callers must be safe (run under -race in CI).
+func TestSubsetsMemoized(t *testing.T) {
+	a := Subsets(5, 3)
+	b := Subsets(5, 3)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("C(5,3)=10, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("memoized enumeration differs at %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+	if got := Subsets(4, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("C(n,0) must be the single empty subset, got %v", got)
+	}
+	if got := Subsets(3, 4); got != nil {
+		t.Fatalf("C(3,4) must be nil, got %v", got)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for k := 0; k <= 8; k++ {
+				Subsets(8, k)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,105 @@
+// Ordered merge of a sharded instance space back into one total order.
+//
+// A sharded deployment runs N concurrent leaders, leader k sequencing
+// instances ≡ k (mod N): learners still learn per instance, but instances
+// now complete out of order across shards. The Merger buffers learned
+// (instance, command) pairs and delivers them in instance-number order — the
+// total order every replica applies — stalling at a gap until the lagging
+// shard's instance arrives and reporting which shard the gap belongs to.
+package smr
+
+import (
+	"mcpaxos/internal/cstruct"
+)
+
+// DeliverFn receives each instance exactly once, in instance order.
+type DeliverFn func(inst uint64, cmd cstruct.Cmd)
+
+// Merger restores the single total order over a sharded instance space. It
+// is attached as (or fed by) the learner callback: Add buffers out-of-order
+// learns and flushes the contiguous prefix to the deliver function. An
+// optional release hook propagates the delivery frontier back to the
+// learner so applied instances can be garbage-collected.
+type Merger struct {
+	deliver DeliverFn
+	next    uint64
+	buf     map[uint64]cstruct.Cmd
+
+	// OnRelease, when set, is called after delivery advances the frontier,
+	// with the new next-expected instance: everything below it was applied.
+	// Hosts hook learner GC here (classic.Learner.Release).
+	OnRelease func(upTo uint64)
+
+	// MaxBuffered tracks the high-water mark of instances held back by a
+	// gap, a direct measure of cross-shard skew.
+	MaxBuffered int
+	delivered   uint64
+}
+
+// NewMerger builds a merger delivering via fn (may be nil — Buffered/Next
+// still track the frontier, which is enough for gap accounting).
+func NewMerger(fn DeliverFn) *Merger {
+	return &Merger{deliver: fn, buf: make(map[uint64]cstruct.Cmd)}
+}
+
+// Add feeds one learned instance. Duplicates — a second learn of the same
+// instance, or a learn below the delivery frontier from a late retransmit —
+// are ignored and reported false. Delivery happens inline: Add returns after
+// flushing the longest contiguous prefix.
+func (m *Merger) Add(inst uint64, cmd cstruct.Cmd) bool {
+	if inst < m.next {
+		return false
+	}
+	if _, dup := m.buf[inst]; dup {
+		return false
+	}
+	m.buf[inst] = cmd
+	for {
+		c, ok := m.buf[m.next]
+		if !ok {
+			break
+		}
+		delete(m.buf, m.next)
+		if m.deliver != nil {
+			m.deliver(m.next, c)
+		}
+		m.next++
+		m.delivered++
+	}
+	// Measured after the flush so an in-order learn that passes straight
+	// through never counts as held back: a gap-free run reports 0.
+	if len(m.buf) > m.MaxBuffered {
+		m.MaxBuffered = len(m.buf)
+	}
+	if m.OnRelease != nil && inst < m.next {
+		// The frontier moved (inst was delivered): let the learner GC.
+		m.OnRelease(m.next)
+	}
+	return true
+}
+
+// Next returns the next instance the total order is waiting for.
+func (m *Merger) Next() uint64 { return m.next }
+
+// Delivered returns how many instances have been delivered.
+func (m *Merger) Delivered() uint64 { return m.delivered }
+
+// Buffered reports how many learned instances are held back by a gap.
+func (m *Merger) Buffered() int { return len(m.buf) }
+
+// GapShard names the shard owning the instance the merger is stalled on,
+// given the deployment's shard count; ok is false when nothing is buffered
+// (no gap — the merger is merely waiting for traffic).
+func (m *Merger) GapShard(nShards int) (shard int, ok bool) {
+	if len(m.buf) == 0 || nShards < 1 {
+		return 0, false
+	}
+	return int(m.next % uint64(nShards)), true
+}
+
+// ReplicaDeliver adapts a Replica as the merger's deliver function: each
+// instance's command (batches unpacked) is applied exactly once, in the
+// merged total order.
+func ReplicaDeliver(r *Replica) DeliverFn {
+	return func(_ uint64, cmd cstruct.Cmd) { r.ApplyOnce(cmd) }
+}

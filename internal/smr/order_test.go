@@ -1,0 +1,154 @@
+package smr
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+)
+
+func cmdN(id uint64) cstruct.Cmd {
+	return cstruct.Cmd{ID: id, Key: "k", Op: cstruct.OpWrite}
+}
+
+// collect returns a merger plus the delivery log it appends to.
+func collect() (*Merger, *[]uint64) {
+	var order []uint64
+	m := NewMerger(func(inst uint64, _ cstruct.Cmd) { order = append(order, inst) })
+	return m, &order
+}
+
+// Out-of-order learns across shards must be delivered in instance order.
+func TestMergerOutOfOrderAcrossShards(t *testing.T) {
+	m, order := collect()
+	// Two shards: shard 0 owns {0,2,4}, shard 1 owns {1,3,5}. Shard 1 runs
+	// ahead; shard 0 trickles in.
+	for _, inst := range []uint64{1, 3, 0, 5, 2, 4} {
+		if !m.Add(inst, cmdN(100+inst)) {
+			t.Fatalf("instance %d rejected as duplicate", inst)
+		}
+	}
+	want := []uint64{0, 1, 2, 3, 4, 5}
+	if len(*order) != len(want) {
+		t.Fatalf("delivered %v, want %v", *order, want)
+	}
+	for i, inst := range want {
+		if (*order)[i] != inst {
+			t.Fatalf("delivered %v, want %v", *order, want)
+		}
+	}
+}
+
+// A lagging shard opens a gap: delivery stalls at the gap instance, the gap
+// is attributed to the lagging shard, and delivery resumes when it closes.
+func TestMergerLaggingShardGap(t *testing.T) {
+	m, order := collect()
+	const shards = 4
+	// Shards 0,2,3 complete their first instances; shard 1 lags.
+	m.Add(0, cmdN(100))
+	m.Add(2, cmdN(102))
+	m.Add(3, cmdN(103))
+	m.Add(4, cmdN(104)) // shard 0's second instance
+	if got := len(*order); got != 1 {
+		t.Fatalf("delivered %d instances past the gap, want 1 (instance 0)", got)
+	}
+	if m.Next() != 1 {
+		t.Fatalf("frontier at %d, want 1", m.Next())
+	}
+	if shard, ok := m.GapShard(shards); !ok || shard != 1 {
+		t.Fatalf("gap attributed to shard %d (ok=%v), want shard 1", shard, ok)
+	}
+	if m.Buffered() != 3 || m.MaxBuffered != 3 {
+		t.Fatalf("buffered=%d max=%d, want 3/3", m.Buffered(), m.MaxBuffered)
+	}
+	m.Add(1, cmdN(101)) // the laggard arrives
+	if got, want := len(*order), 5; got != want {
+		t.Fatalf("delivered %d instances after gap closed, want %d", got, want)
+	}
+	if _, ok := m.GapShard(shards); ok {
+		t.Fatal("gap reported on a drained merger")
+	}
+}
+
+// Duplicate 2b delivery — the same instance learned twice, or a late
+// retransmit below the frontier — must not deliver twice.
+func TestMergerDuplicateDelivery(t *testing.T) {
+	m, order := collect()
+	if !m.Add(0, cmdN(100)) {
+		t.Fatal("first add rejected")
+	}
+	if m.Add(0, cmdN(100)) {
+		t.Fatal("duplicate below frontier accepted")
+	}
+	m.Add(2, cmdN(102))
+	if m.Add(2, cmdN(102)) {
+		t.Fatal("duplicate buffered instance accepted")
+	}
+	m.Add(1, cmdN(101))
+	if got := len(*order); got != 3 {
+		t.Fatalf("delivered %d instances, want 3", got)
+	}
+	if m.Delivered() != 3 {
+		t.Fatalf("Delivered()=%d, want 3", m.Delivered())
+	}
+}
+
+// OnRelease must track the delivery frontier so the learner can GC applied
+// instances.
+func TestMergerReleaseHook(t *testing.T) {
+	m, _ := collect()
+	var releasedTo uint64
+	m.OnRelease = func(upTo uint64) { releasedTo = upTo }
+	m.Add(1, cmdN(101))
+	if releasedTo != 0 {
+		t.Fatalf("released at %d with the frontier stalled", releasedTo)
+	}
+	m.Add(0, cmdN(100))
+	if releasedTo != 2 {
+		t.Fatalf("released to %d after delivering 0-1, want 2", releasedTo)
+	}
+}
+
+// Property: for random shard counts and per-shard progress interleavings,
+// the merged sequence equals the per-shard sequences interleaved by
+// instance number.
+func TestMergerInterleaveProperty(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		shards := 1 + rng.Intn(6)
+		perShard := 1 + rng.Intn(20)
+		total := shards * perShard
+
+		// Shard k's sequence is k, k+shards, k+2·shards, ... — build a
+		// random interleaving that respects each shard's internal order
+		// (a shard's leader assigns its instances in order).
+		nextIdx := make([]int, shards)
+		var feed []uint64
+		for len(feed) < total {
+			k := rng.Intn(shards)
+			if nextIdx[k] == perShard {
+				continue
+			}
+			feed = append(feed, uint64(k+nextIdx[k]*shards))
+			nextIdx[k]++
+		}
+
+		m, order := collect()
+		for _, inst := range feed {
+			if !m.Add(inst, cmdN(1000+inst)) {
+				t.Fatalf("trial %d: instance %d rejected", trial, inst)
+			}
+		}
+		if m.Buffered() != 0 {
+			t.Fatalf("trial %d: %d instances never delivered", trial, m.Buffered())
+		}
+		if len(*order) != total {
+			t.Fatalf("trial %d: delivered %d/%d", trial, len(*order), total)
+		}
+		for i, inst := range *order {
+			if inst != uint64(i) {
+				t.Fatalf("trial %d: position %d delivered instance %d", trial, i, inst)
+			}
+		}
+	}
+}

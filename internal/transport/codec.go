@@ -32,6 +32,7 @@ type wire struct {
 	HasVal    bool
 	Any       bool
 	AccQuorum []msg.NodeID
+	Shard     uint32
 	Votes     []wireVote
 	// Multi marks a P1bMulti promise.
 	Multi bool
@@ -78,7 +79,7 @@ func toWire(m msg.Message) (wire, error) {
 	case msg.Propose:
 		return wire{Type: msg.TPropose, Inst: mm.Inst, Cmd: mm.Cmd, AccQuorum: mm.AccQuorum}, nil
 	case msg.P1a:
-		return wire{Type: msg.TP1a, Inst: mm.Inst, Rnd: mm.Rnd, Coord: mm.Coord}, nil
+		return wire{Type: msg.TP1a, Inst: mm.Inst, Rnd: mm.Rnd, Coord: mm.Coord, Shard: mm.Shard}, nil
 	case msg.P1b:
 		w := wire{Type: msg.TP1b, Inst: mm.Inst, Rnd: mm.Rnd, Acc: mm.Acc, VRnd: mm.VRnd}
 		if mm.VVal != nil {
@@ -128,7 +129,7 @@ func (c Codec) fromWire(w wire) (msg.Message, error) {
 	case msg.TPropose:
 		return msg.Propose{Inst: w.Inst, Cmd: w.Cmd, AccQuorum: w.AccQuorum}, nil
 	case msg.TP1a:
-		return msg.P1a{Inst: w.Inst, Rnd: w.Rnd, Coord: w.Coord}, nil
+		return msg.P1a{Inst: w.Inst, Rnd: w.Rnd, Coord: w.Coord, Shard: w.Shard}, nil
 	case msg.TP1b:
 		if w.Multi {
 			out := msg.P1bMulti{Rnd: w.Rnd, Acc: w.Acc}

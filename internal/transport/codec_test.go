@@ -35,7 +35,8 @@ func TestCodecRoundtripAllTypes(t *testing.T) {
 		got.Inst != 7 || len(got.AccQuorum) != 2 {
 		t.Errorf("Propose mangled: %+v", got)
 	}
-	if got := roundtrip(t, c, msg.P1a{Rnd: b, Coord: 100}).(msg.P1a); got.Rnd != b || got.Coord != 100 {
+	if got := roundtrip(t, c, msg.P1a{Rnd: b, Coord: 100, Shard: 3}).(msg.P1a); got.Rnd != b ||
+		got.Coord != 100 || got.Shard != 3 {
 		t.Errorf("P1a mangled: %+v", got)
 	}
 	p1b := roundtrip(t, c, msg.P1b{Rnd: b, Acc: 200, VRnd: b, VVal: h}).(msg.P1b)

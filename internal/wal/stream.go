@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stream is one shard's commit stream over a shared WAL. In a sharded
+// deployment (N leaders over instance residue classes) each shard's accepts
+// flow through its own Stream, giving per-shard group-commit accounting,
+// while every frame still lands in the one shared segmented log: group
+// commit coalesces concurrent appends across streams into single fsyncs,
+// and recovery replays the single log covering all shards.
+//
+// A Stream adds no buffering or ordering of its own — Append has exactly the
+// durability contract of WAL.Append — so the log's replay and torn-tail
+// semantics are untouched.
+type Stream struct {
+	w       *WAL
+	shard   int
+	appends atomic.Uint64
+	records atomic.Uint64
+}
+
+// Shard returns the stream's shard number.
+func (s *Stream) Shard() int { return s.shard }
+
+// Appends returns how many commit batches this stream has appended.
+func (s *Stream) Appends() uint64 { return s.appends.Load() }
+
+// Records returns how many records this stream has appended.
+func (s *Stream) Records() uint64 { return s.records.Load() }
+
+// Append durably stores one batch of records on the shared log, counted
+// against this stream. Concurrent appends — same stream or siblings — are
+// group-committed together.
+func (s *Stream) Append(recs []Rec) error {
+	s.appends.Add(1)
+	s.records.Add(uint64(len(recs)))
+	return s.w.Append(recs)
+}
+
+// streams is the lazily built shard → Stream table, hung off the WAL.
+type streams struct {
+	mu sync.Mutex
+	m  map[int]*Stream
+}
+
+// Stream returns the commit stream for shard, creating it on first use.
+// Streams are cheap handles: a WAL may hand out one per shard-leader.
+func (w *WAL) Stream(shard int) *Stream {
+	w.streams.mu.Lock()
+	defer w.streams.mu.Unlock()
+	if w.streams.m == nil {
+		w.streams.m = make(map[int]*Stream)
+	}
+	s, ok := w.streams.m[shard]
+	if !ok {
+		s = &Stream{w: w, shard: shard}
+		w.streams.m[shard] = s
+	}
+	return s
+}
+
+// StreamStat is one shard stream's append accounting.
+type StreamStat struct {
+	Shard   int
+	Appends uint64
+	Records uint64
+}
+
+// StreamStats reports per-shard append accounting, ascending by shard.
+func (w *WAL) StreamStats() []StreamStat {
+	w.streams.mu.Lock()
+	defer w.streams.mu.Unlock()
+	out := make([]StreamStat, 0, len(w.streams.m))
+	for _, s := range w.streams.m {
+		out = append(out, StreamStat{Shard: s.shard, Appends: s.Appends(), Records: s.Records()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}
+
+// PutAllShard implements storage.ShardedStable: PutAll routed through the
+// shard's commit stream. Like PutAll it panics if durability cannot be
+// provided (Section 4.4).
+func (w *WAL) PutAllShard(shard int, records map[string]any) {
+	recs := make([]Rec, 0, len(records))
+	for k, v := range records {
+		recs = append(recs, Rec{Key: k, Val: v})
+	}
+	if err := w.Stream(shard).Append(recs); err != nil {
+		panic(fmt.Sprintf("wal: stable storage lost: %v", err))
+	}
+}

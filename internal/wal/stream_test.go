@@ -1,0 +1,109 @@
+package wal_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mcpaxos/internal/wal"
+)
+
+// TestShardStreamsShareOneLog drives N shard commit streams concurrently —
+// the sharded acceptor's write pattern, one stream per shard-leader — and
+// checks the contract: per-stream accounting, group commit coalescing
+// ACROSS streams into shared fsyncs, and one replayable log covering every
+// shard's records. Run with -race.
+func TestShardStreamsShareOneLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(dir, wal.Options{Sync: wal.SlowSync(200 * time.Microsecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards, per = 4, 40
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			st := w.Stream(shard)
+			if st.Shard() != shard {
+				t.Errorf("stream reports shard %d, want %d", st.Shard(), shard)
+				return
+			}
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("vote/%d", shard+i*shards) // residue-class keys
+				if err := st.Append([]wal.Rec{{Key: key, Val: uint64(i)}}); err != nil {
+					t.Errorf("shard %d: %v", shard, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	stats := w.StreamStats()
+	if len(stats) != shards {
+		t.Fatalf("StreamStats reports %d streams, want %d", len(stats), shards)
+	}
+	var appends uint64
+	for _, st := range stats {
+		if st.Appends != per || st.Records != per {
+			t.Errorf("shard %d: appends=%d records=%d, want %d/%d",
+				st.Shard, st.Appends, st.Records, per, per)
+		}
+		appends += st.Appends
+	}
+	if got := w.Writes(); got != appends {
+		t.Errorf("Writes = %d, want %d (streams feed the shared log's accounting)", got, appends)
+	}
+	if w.Fsyncs() >= appends {
+		t.Errorf("group commit never coalesced across streams: %d fsyncs for %d appends",
+			w.Fsyncs(), appends)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One replay covers all shards.
+	r, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for s := 0; s < shards; s++ {
+		for i := 0; i < per; i++ {
+			key := fmt.Sprintf("vote/%d", s+i*shards)
+			v, ok := r.Get(key)
+			if !ok || v.(uint64) != uint64(i) {
+				t.Fatalf("shard %d record %s lost or wrong after replay: %v (ok=%v)", s, key, v, ok)
+			}
+		}
+	}
+	// A reopened log hands out fresh streams with zeroed accounting.
+	if got := r.Stream(0).Appends(); got != 0 {
+		t.Errorf("reopened stream carries stale accounting: %d", got)
+	}
+}
+
+// PutAllShard is the storage.ShardedStable entry point: one logical write
+// per call, routed through the shard's stream.
+func TestPutAllShardAccounting(t *testing.T) {
+	w, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.PutAllShard(2, map[string]any{"vote/2": uint64(9), "maxinst": uint64(2)})
+	w.PutAllShard(2, map[string]any{"vote/6": uint64(9), "maxinst": uint64(6)})
+	stats := w.StreamStats()
+	if len(stats) != 1 || stats[0].Shard != 2 || stats[0].Appends != 2 || stats[0].Records != 4 {
+		t.Fatalf("unexpected stream stats: %+v", stats)
+	}
+	if w.Writes() != 2 {
+		t.Fatalf("Writes = %d, want 2 (one logical write per PutAllShard)", w.Writes())
+	}
+	if v, ok := w.Get("vote/6"); !ok || v.(uint64) != 9 {
+		t.Fatalf("record not readable through the shared index: %v (ok=%v)", v, ok)
+	}
+}

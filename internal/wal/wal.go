@@ -108,6 +108,9 @@ type WAL struct {
 
 	writes atomic.Uint64 // logical synchronous writes (commit batches)
 	fsyncs atomic.Uint64 // physical data-file fsyncs
+
+	// streams holds the per-shard commit streams (stream.go).
+	streams streams
 }
 
 // Open opens (creating if needed) the log in dir, replays it into the key
