@@ -293,3 +293,29 @@ func BenchmarkE12Shards1(b *testing.B) { benchE12(b, 1) }
 func BenchmarkE12Shards2(b *testing.B) { benchE12(b, 2) }
 func BenchmarkE12Shards4(b *testing.B) { benchE12(b, 4) }
 func BenchmarkE12Shards8(b *testing.B) { benchE12(b, 8) }
+
+// E13: multicoordinated shards. Each iteration drains the same 192-command
+// stream (2 shards, batch=8, window 4) through coordinator groups of size
+// c, optionally killing one group member per shard mid-stream; round
+// changes is the masking claim (0 under c=3 even with the crash) and
+// msgs/cmd the redundancy price.
+const e13Commands = 192
+
+func benchE13(b *testing.B, coordsPerShard int, crash bool) {
+	var r E13Row
+	for i := 0; i < b.N; i++ {
+		r = RunE13One(int64(i+1), e13Commands, coordsPerShard, crash, 8, 4)
+	}
+	if r.Commands != e13Commands {
+		b.Fatalf("incomplete run: %+v", r)
+	}
+	b.ReportMetric(float64(e13Commands)*float64(b.N)/b.Elapsed().Seconds(), "cmds/s")
+	b.ReportMetric(float64(r.SimSteps), "sim-steps")
+	b.ReportMetric(r.MsgsPerCmd, "msgs/cmd")
+	b.ReportMetric(float64(r.RoundChanges), "round-changes")
+}
+
+func BenchmarkE13Coords1(b *testing.B)      { benchE13(b, 1, false) }
+func BenchmarkE13Coords1Crash(b *testing.B) { benchE13(b, 1, true) }
+func BenchmarkE13Coords3(b *testing.B)      { benchE13(b, 3, false) }
+func BenchmarkE13Coords3Crash(b *testing.B) { benchE13(b, 3, true) }

@@ -74,8 +74,8 @@ func RunE12Sharded(seed int64, commands, shards, batchSize, window int) E12Row {
 	cl, m, rep := e12Cluster(seed, shards, window, nil)
 	cl.Sim.Metrics().Reset()
 	start := cl.Sim.Now()
-	router := batch.NewRouter(shards, batchSize, 0, cl.Sim.Now, func(shard int, c cstruct.Cmd) {
-		cl.Prop.ProposeTo(shard, c)
+	router := batch.NewRouter(shards, batchSize, 0, cl.Sim.Now, func(shard int, seq uint64, c cstruct.Cmd) {
+		cl.Prop.ProposeSeq(shard, seq, c)
 	})
 	for i := 0; i < commands; i++ {
 		router.Route(e10Cmd(i))
@@ -158,8 +158,8 @@ func RunE12Durable(dir string, seed int64, commands, shards, batchSize, window i
 		w.ResetWrites()
 		w.ResetFsyncs()
 	}
-	router := batch.NewRouter(shards, batchSize, 0, cl.Sim.Now, func(shard int, c cstruct.Cmd) {
-		cl.Prop.ProposeTo(shard, c)
+	router := batch.NewRouter(shards, batchSize, 0, cl.Sim.Now, func(shard int, seq uint64, c cstruct.Cmd) {
+		cl.Prop.ProposeSeq(shard, seq, c)
 	})
 	for i := 0; i < commands; i++ {
 		router.Route(e10Cmd(i))

@@ -187,7 +187,7 @@ func TestRouterSpreadsAcrossShards(t *testing.T) {
 	var now int64
 	clock := func() int64 { return now }
 	got := make(map[int][]cstruct.Cmd)
-	r := NewRouter(4, 4, 0, clock, func(shard int, c cstruct.Cmd) {
+	r := NewRouter(4, 4, 0, clock, func(shard int, _ uint64, c cstruct.Cmd) {
 		got[shard] = append(got[shard], c)
 	})
 	const n = 70 // not a multiple of 4×4: stragglers on every shard

@@ -3,9 +3,13 @@ package batch
 import "mcpaxos/internal/cstruct"
 
 // Submit receives each flushed batch (or lone command) together with the
-// shard it is bound for; hosts forward it to that shard-leader (e.g.
-// classic.Proposer.ProposeTo).
-type Submit func(shard int, cmd cstruct.Cmd)
+// shard it is bound for and the shard's next sequence number; hosts forward
+// it to that shard's coordinator group (e.g. classic.Proposer.ProposeSeq).
+// seq numbers each shard's flush stream 0, 1, 2, … — multicoordinated
+// groups derive the consensus instance from it (instance = seq·N + shard),
+// so every group member assigns the same batch to the same instance without
+// coordination.
+type Submit func(shard int, seq uint64, cmd cstruct.Cmd)
 
 // Router spreads a client command stream across the shard-leaders of a
 // sharded deployment (leader k sequences instances ≡ k mod N): each shard
@@ -19,12 +23,13 @@ type Submit func(shard int, cmd cstruct.Cmd)
 type Router struct {
 	batchers []*Batcher
 	counts   []uint64
+	seqs     []uint64
 	rr       int
 }
 
 // NewRouter builds a router over nShards per-shard batchers, each flushing
-// through submit with its shard number. maxCmds, maxWait and clock are the
-// per-shard Batcher parameters.
+// through submit with its shard number and the shard's next sequence
+// number. maxCmds, maxWait and clock are the per-shard Batcher parameters.
 func NewRouter(nShards, maxCmds int, maxWait int64, clock Clock, submit Submit) *Router {
 	if nShards < 1 {
 		nShards = 1
@@ -32,11 +37,14 @@ func NewRouter(nShards, maxCmds int, maxWait int64, clock Clock, submit Submit) 
 	r := &Router{
 		batchers: make([]*Batcher, nShards),
 		counts:   make([]uint64, nShards),
+		seqs:     make([]uint64, nShards),
 	}
 	for k := 0; k < nShards; k++ {
 		shard := k
 		r.batchers[k] = NewBatcher(maxCmds, maxWait, clock, func(c cstruct.Cmd) {
-			submit(shard, c)
+			seq := r.seqs[shard]
+			r.seqs[shard]++
+			submit(shard, seq, c)
 		})
 	}
 	return r
@@ -78,6 +86,14 @@ func (r *Router) FlushAll() {
 func (r *Router) Counts() []uint64 {
 	out := make([]uint64, len(r.counts))
 	copy(out, r.counts)
+	return out
+}
+
+// Seqs returns each shard's next sequence number — equivalently, how many
+// batches (or lone commands) have been flushed to that shard so far.
+func (r *Router) Seqs() []uint64 {
+	out := make([]uint64, len(r.seqs))
+	copy(out, r.seqs)
 	return out
 }
 

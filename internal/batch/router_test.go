@@ -1,0 +1,140 @@
+package batch
+
+import (
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+)
+
+// flushRec records one router flush: the shard, its sequence number and the
+// flushed (possibly batched) command.
+type flushRec struct {
+	shard int
+	seq   uint64
+	cmd   cstruct.Cmd
+}
+
+func recordingRouter(nShards, maxCmds int) (*Router, *[]flushRec) {
+	var recs []flushRec
+	r := NewRouter(nShards, maxCmds, 0, func() int64 { return 0 }, func(shard int, seq uint64, c cstruct.Cmd) {
+		recs = append(recs, flushRec{shard: shard, seq: seq, cmd: c})
+	})
+	return r, &recs
+}
+
+// An N=1 router is a pass-through batcher: everything lands on shard 0 with
+// a dense sequence 0, 1, 2, … and lone commands flush unwrapped.
+func TestRouterSinglePassthrough(t *testing.T) {
+	r, recs := recordingRouter(1, 2)
+	for i := 0; i < 5; i++ {
+		r.Route(cstruct.Cmd{ID: uint64(1 + i), Key: "k"})
+	}
+	r.FlushAll() // the straggler (cmd 5) flushes alone, unwrapped
+	if len(*recs) != 3 {
+		t.Fatalf("flushed %d times, want 3 (2 batches + 1 single)", len(*recs))
+	}
+	for i, rec := range *recs {
+		if rec.shard != 0 {
+			t.Errorf("flush %d went to shard %d, want 0", i, rec.shard)
+		}
+		if rec.seq != uint64(i) {
+			t.Errorf("flush %d carried seq %d, want dense numbering", i, rec.seq)
+		}
+	}
+	if last := (*recs)[2].cmd; IsBatch(last) || last.ID != 5 {
+		t.Errorf("lone straggler wrapped: %+v", last)
+	}
+	if got := r.Seqs(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Seqs() = %v, want [3]", got)
+	}
+}
+
+// Pinned traffic drains unevenly: each shard's batcher fills, flushes and
+// numbers its stream independently, and FlushAll clears every straggler.
+func TestRouterUnevenDrain(t *testing.T) {
+	r, recs := recordingRouter(3, 4)
+	// Shard 0 gets 9 commands, shard 1 gets 4, shard 2 none.
+	for i := 0; i < 9; i++ {
+		r.RouteTo(0, cstruct.Cmd{ID: uint64(100 + i), Key: "k"})
+	}
+	for i := 0; i < 4; i++ {
+		r.RouteTo(1, cstruct.Cmd{ID: uint64(200 + i), Key: "k"})
+	}
+	if got := r.Pending(); got != 1 {
+		t.Fatalf("pending %d before FlushAll, want 1 (shard 0's straggler)", got)
+	}
+	r.FlushAll()
+	if got := r.Pending(); got != 0 {
+		t.Fatalf("pending %d after FlushAll, want 0", got)
+	}
+	perShard := map[int][]uint64{}
+	cmds := 0
+	for _, rec := range *recs {
+		perShard[rec.shard] = append(perShard[rec.shard], rec.seq)
+		if sub, ok := Unpack(rec.cmd); ok {
+			cmds += len(sub)
+		} else {
+			cmds++
+		}
+	}
+	if cmds != 13 {
+		t.Errorf("flushed %d commands, want 13", cmds)
+	}
+	if len(perShard[0]) != 3 || len(perShard[1]) != 1 || len(perShard[2]) != 0 {
+		t.Errorf("per-shard flush counts %v, want shard0=3 shard1=1 shard2=0", perShard)
+	}
+	for shard, seqs := range perShard {
+		for i, s := range seqs {
+			if s != uint64(i) {
+				t.Errorf("shard %d seq stream %v not dense from 0", shard, seqs)
+			}
+		}
+	}
+	if got := r.Counts(); got[0] != 9 || got[1] != 4 || got[2] != 0 {
+		t.Errorf("Counts() = %v, want [9 4 0]", got)
+	}
+}
+
+// Round-robin fairness must survive one shard's batcher running hot: extra
+// pinned traffic keeps filling (and auto-flushing) shard 0's batcher, but
+// Route must keep spreading the shared stream evenly across all shards.
+func TestRouterRoundRobinFairnessUnderHotShard(t *testing.T) {
+	r, recs := recordingRouter(4, 4)
+	routed := make([]uint64, 4)
+	for i := 0; i < 64; i++ {
+		// Shard 0 runs hot: pinned traffic fills its batcher ahead of the
+		// shared stream, flushing it every 4th command.
+		r.RouteTo(0, cstruct.Cmd{ID: uint64(1000 + i), Key: "hot"})
+		// The shared stream must stay round-robin regardless.
+		r.Route(cstruct.Cmd{ID: uint64(1 + i), Key: "k"})
+		routed[i%4]++
+	}
+	r.FlushAll()
+	counts := r.Counts()
+	if counts[0] != 64+routed[0] {
+		t.Errorf("hot shard routed %d, want %d", counts[0], 64+routed[0])
+	}
+	for shard := 1; shard < 4; shard++ {
+		if counts[shard] != routed[shard] {
+			t.Errorf("shard %d routed %d of the shared stream, want %d (round-robin unfair)",
+				shard, counts[shard], routed[shard])
+		}
+	}
+	// Every routed command must come back out exactly once.
+	seen := map[uint64]int{}
+	for _, rec := range *recs {
+		if sub, ok := Unpack(rec.cmd); ok {
+			for _, c := range sub {
+				seen[c.ID]++
+			}
+		} else {
+			seen[rec.cmd.ID]++
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if seen[uint64(1+i)] != 1 || seen[uint64(1000+i)] != 1 {
+			t.Fatalf("command loss/duplication under hot shard: shared c%d=%d, hot c%d=%d",
+				1+i, seen[uint64(1+i)], 1000+i, seen[uint64(1000+i)])
+		}
+	}
+}

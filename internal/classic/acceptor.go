@@ -2,6 +2,7 @@ package classic
 
 import (
 	"fmt"
+	"sort"
 
 	"mcpaxos/internal/ballot"
 	"mcpaxos/internal/cstruct"
@@ -14,6 +15,16 @@ import (
 type vote struct {
 	vrnd ballot.Ballot
 	vval cstruct.Cmd
+}
+
+// coordTally is the 2a bookkeeping of one instance in a multicoordinated
+// round: the latest value forwarded by each group member for the tally's
+// round. The instance is accepted once a coordinator quorum has forwarded
+// the same value; two different values within one round are the Section 4.2
+// collision.
+type coordTally struct {
+	rnd  ballot.Ballot
+	vals map[msg.NodeID]cstruct.Cmd
 }
 
 // Acceptor is a multi-instance Classic Paxos acceptor. Accepted votes are
@@ -29,6 +40,15 @@ type vote struct {
 // one replayable log, so a restart rebuilds every shard from a single
 // replay.
 //
+// Multicoordinated deployments (cfg.CoordsPerShard ≥ 2) serve each shard's
+// round with a coordinator group: the acceptor tallies 2a messages per
+// (instance, round) by group member and accepts only once ⌊c/2⌋+1 members
+// forwarded the same value (Section 4.1 per shard). Conflicting values
+// within one round promote the shard to the successor round, with the
+// promise broadcast to the whole group (the Section 4.2 coordinated
+// recovery). Partial tallies are persisted alongside votes so a restart
+// replays the in-flight coordinator votes too.
+//
 // The stable store may be the simulated in-memory Disk or the on-disk WAL
 // (internal/wal): building a fresh Acceptor over a replayed store — what a
 // process restart does — rebuilds the vote map from the persisted records.
@@ -37,8 +57,12 @@ type Acceptor struct {
 	cfg  Config
 	disk storage.Stable
 
-	rnds  []ballot.Ballot // volatile: highest round heard of, per shard
-	votes map[uint64]vote
+	rnds    []ballot.Ballot // volatile: highest round heard of, per shard
+	votes   map[uint64]vote
+	tallies map[uint64]*coordTally
+
+	// promotions counts collision-triggered round jumps, for experiments.
+	promotions int
 }
 
 var _ node.Handler = (*Acceptor)(nil)
@@ -48,8 +72,9 @@ var _ node.Recoverable = (*Acceptor)(nil)
 func NewAcceptor(env node.Env, cfg Config, disk storage.Stable) *Acceptor {
 	a := &Acceptor{
 		env: env, cfg: cfg, disk: disk,
-		rnds:  make([]ballot.Ballot, cfg.NShards()),
-		votes: make(map[uint64]vote),
+		rnds:    make([]ballot.Ballot, cfg.NShards()),
+		votes:   make(map[uint64]vote),
+		tallies: make(map[uint64]*coordTally),
 	}
 	a.restore()
 	// First start: persist the incarnation record once (the paper's "in the
@@ -79,6 +104,25 @@ func (a *Acceptor) Vote(inst uint64) (ballot.Ballot, cstruct.Cmd, bool) {
 	return v.vrnd, v.vval, ok
 }
 
+// Tally exposes the coordinator-vote tally of an instance: the round and
+// the sorted group members whose matching 2a messages have been received.
+func (a *Acceptor) Tally(inst uint64) (ballot.Ballot, []msg.NodeID, bool) {
+	t, ok := a.tallies[inst]
+	if !ok {
+		return ballot.Ballot{}, nil, false
+	}
+	coords := make([]msg.NodeID, 0, len(t.vals))
+	for co := range t.vals {
+		coords = append(coords, co)
+	}
+	sort.Slice(coords, func(i, j int) bool { return coords[i] < coords[j] })
+	return t.rnd, coords, true
+}
+
+// Promotions reports how many collision-triggered round changes this
+// acceptor initiated (Section 4.2).
+func (a *Acceptor) Promotions() int { return a.promotions }
+
 // OnMessage implements node.Handler.
 func (a *Acceptor) OnMessage(from msg.NodeID, m msg.Message) {
 	switch mm := m.(type) {
@@ -91,17 +135,36 @@ func (a *Acceptor) OnMessage(from msg.NodeID, m msg.Message) {
 
 // onP1a is action Phase1b scoped to the claimed shard: join round mm.Rnd for
 // that shard if it is news, reporting every past vote of the shard's
-// instances so the new leader can finish interrupted ones.
+// instances so the new leader can finish interrupted ones. In
+// multicoordinated mode the promise is broadcast to the whole shard group —
+// every member completes phase 1 independently — and a 1a for the round
+// already joined (a competing member's 1a, or a retransmission) re-sends
+// the promise instead of a Stale, keeping concurrent group starts from
+// chasing each other.
 func (a *Acceptor) onP1a(_ msg.NodeID, mm msg.P1a) {
 	shard := int(mm.Shard)
 	if shard >= a.cfg.NShards() {
 		return // misconfigured sender; no shard of ours to promise
 	}
 	if !a.rnds[shard].Less(mm.Rnd) {
+		if a.cfg.Multicoordinated() && mm.Rnd.Equal(a.rnds[shard]) {
+			a.send1b(shard, mm.Rnd, nil)
+			return
+		}
 		a.env.Send(mm.Coord, msg.Stale{Acc: a.env.ID(), Rnd: a.rnds[shard], Got: mm.Rnd})
 		return
 	}
 	a.setRnd(shard, mm.Rnd)
+	var to []msg.NodeID
+	if !a.cfg.Multicoordinated() {
+		to = []msg.NodeID{mm.Coord}
+	}
+	a.send1b(shard, mm.Rnd, to)
+}
+
+// send1b reports the shard's past votes in a promise for round r. An empty
+// destination list broadcasts to the shard's coordinator group.
+func (a *Acceptor) send1b(shard int, r ballot.Ballot, to []msg.NodeID) {
 	votes := make([]msg.InstVote, 0, len(a.votes))
 	for inst, v := range a.votes {
 		if a.cfg.ShardOf(inst) != shard {
@@ -109,11 +172,18 @@ func (a *Acceptor) onP1a(_ msg.NodeID, mm msg.P1a) {
 		}
 		votes = append(votes, msg.InstVote{Inst: inst, VRnd: v.vrnd, VVal: wrap(v.vval)})
 	}
-	a.env.Send(mm.Coord, msg.P1bMulti{Rnd: mm.Rnd, Acc: a.env.ID(), Votes: votes})
+	if len(to) == 0 {
+		to = a.cfg.ShardGroup(shard)
+	}
+	node.Broadcast(a.env, to, msg.P1bMulti{
+		Rnd: r, Acc: a.env.ID(), Votes: votes, Shard: uint32(shard),
+	})
 }
 
 // onP2a is action Phase2b: accept the value unless a higher round was heard
-// of on the instance's shard, then notify every learner.
+// of on the instance's shard, then notify every learner. Multicoordinated
+// shards route through the coordinator-quorum tally instead of accepting
+// the first 2a.
 func (a *Acceptor) onP2a(from msg.NodeID, mm msg.P2a) {
 	shard := a.cfg.ShardOf(mm.Inst)
 	if mm.Rnd.Less(a.rnds[shard]) {
@@ -124,29 +194,126 @@ func (a *Acceptor) onP2a(from msg.NodeID, mm msg.P2a) {
 	if !ok {
 		return
 	}
+	if a.cfg.Multicoordinated() {
+		a.onP2aMulti(shard, mm, cmd)
+		return
+	}
 	if v, voted := a.votes[mm.Inst]; voted && v.vrnd.Equal(mm.Rnd) && !v.vval.Equal(cmd) {
 		// An acceptor accepts at most one value per round (Section 2.1.2).
 		return
 	}
 	a.setRnd(shard, mm.Rnd)
-	v := vote{vrnd: mm.Rnd, vval: cmd}
-	a.votes[mm.Inst] = v
+	a.accept(shard, mm.Inst, mm.Rnd, cmd)
+}
+
+// onP2aMulti is the multicoordinated Phase2b (Section 4.1 per shard): tally
+// the member's 2a for (instance, round) and accept only once a coordinator
+// quorum forwarded the same value. Conflicting values within the round are
+// the Section 4.2 collision: promote the shard to the successor round so
+// the group re-establishes it (coordinated recovery).
+func (a *Acceptor) onP2aMulti(shard int, mm msg.P2a, cmd cstruct.Cmd) {
+	if !a.cfg.InShardGroup(shard, mm.Coord) {
+		return // a non-member 2a never counts toward a coordinator quorum
+	}
+	if v, voted := a.votes[mm.Inst]; voted && !v.vrnd.Less(mm.Rnd) {
+		// Already voted at this round (or a higher one): the extra member's
+		// or retransmitted 2a adds nothing to tally — re-announce the vote
+		// so lost 2b messages are eventually replaced.
+		if v.vrnd.Equal(mm.Rnd) && v.vval.Equal(cmd) {
+			a.announce(mm.Inst, v)
+		}
+		return
+	}
+	t := a.tallies[mm.Inst]
+	if t == nil || t.rnd.Less(mm.Rnd) {
+		t = &coordTally{rnd: mm.Rnd, vals: make(map[msg.NodeID]cstruct.Cmd)}
+		a.tallies[mm.Inst] = t
+	} else if mm.Rnd.Less(t.rnd) {
+		return // stale 2a for a round this instance already left
+	}
+	if prev, seen := t.vals[mm.Coord]; seen && prev.Equal(cmd) {
+		return // pure retransmission of a 2a already tallied
+	}
+	for _, other := range t.vals {
+		if !other.Equal(cmd) {
+			// Two group members forwarded different values for the same
+			// (shard, round, instance): collision, Section 4.2.
+			a.promote(shard, ballot.SingleScheme{}.Next(t.rnd, t.rnd.ID))
+			return
+		}
+	}
+	t.vals[mm.Coord] = cmd
+	a.setRnd(shard, mm.Rnd)
+	if len(t.vals) < a.cfg.CoordQuorumSize(shard) {
+		// Partial tally: persist the in-flight coordinator votes through the
+		// shard's commit stream so a restart replays them with the votes.
+		a.persistTally(shard, mm.Inst, t, cmd)
+		return
+	}
+	a.accept(shard, mm.Inst, mm.Rnd, cmd)
+}
+
+// accept persists the vote (one group-commit write on the shard's stream)
+// and announces it to every learner.
+func (a *Acceptor) accept(shard int, inst uint64, r ballot.Ballot, cmd cstruct.Cmd) {
+	v := vote{vrnd: r, vval: cmd}
+	a.votes[inst] = v
+	// The completed tally's job is done; the persisted vote shadows its
+	// on-disk record at restore. Dropping it bounds acceptor memory at the
+	// in-flight instances instead of every instance ever decided.
+	delete(a.tallies, inst)
 	// The accept must hit stable storage before the 2b leaves (one
 	// synchronous write per accepted value, Section 4.4). The high-water
 	// mark rides along in the same write for recovery scans. In sharded
 	// deployments the write goes through the shard's commit stream — still
 	// one logical write on the one shared log.
-	hi := mm.Inst
-	if rec, ok := a.disk.Get(storage.KeyMaxInst); ok && rec.(uint64) > hi {
-		hi = rec.(uint64)
-	}
 	storage.PutAllSharded(a.disk, shard, map[string]any{
-		voteKey(mm.Inst):   storage.VoteRec{Inst: mm.Inst, VRnd: mm.Rnd, Cmds: []cstruct.Cmd{cmd}},
-		storage.KeyMaxInst: hi,
+		voteKey(inst):      storage.VoteRec{Inst: inst, VRnd: r, Cmds: []cstruct.Cmd{cmd}},
+		storage.KeyMaxInst: a.highWater(inst),
 	})
+	a.announce(inst, v)
+}
+
+// announce sends the vote's 2b to every learner.
+func (a *Acceptor) announce(inst uint64, v vote) {
 	for _, l := range a.cfg.Learners {
-		a.env.Send(l, msg.P2b{Inst: mm.Inst, Rnd: mm.Rnd, Acc: a.env.ID(), Val: wrap(cmd)})
+		a.env.Send(l, msg.P2b{Inst: inst, Rnd: v.vrnd, Acc: a.env.ID(), Val: wrap(v.vval)})
 	}
+}
+
+// persistTally writes the partial coordinator tally of one instance, with
+// the high-water mark riding along for the recovery scan.
+func (a *Acceptor) persistTally(shard int, inst uint64, t *coordTally, cmd cstruct.Cmd) {
+	coords := make([]uint32, 0, len(t.vals))
+	for co := range t.vals {
+		coords = append(coords, uint32(co))
+	}
+	sort.Slice(coords, func(i, j int) bool { return coords[i] < coords[j] })
+	storage.PutAllSharded(a.disk, shard, map[string]any{
+		tallyRecKey(inst):  storage.TallyRec{Inst: inst, Rnd: t.rnd, Coords: coords, Cmds: []cstruct.Cmd{cmd}},
+		storage.KeyMaxInst: a.highWater(inst),
+	})
+}
+
+// highWater returns the recovery-scan bound covering inst.
+func (a *Acceptor) highWater(inst uint64) uint64 {
+	if rec, ok := a.disk.Get(storage.KeyMaxInst); ok && rec.(uint64) > inst {
+		return rec.(uint64)
+	}
+	return inst
+}
+
+// promote acts as if a 1a for round j had been received on the shard
+// (Section 4.2's collision escape): join j and broadcast the promise to the
+// shard's coordinator group, which re-establishes the round and re-forwards
+// the interrupted instances.
+func (a *Acceptor) promote(shard int, j ballot.Ballot) {
+	if !a.rnds[shard].Less(j) {
+		return
+	}
+	a.promotions++
+	a.setRnd(shard, j)
+	a.send1b(shard, j, nil)
 }
 
 // setRnd advances the volatile round of one shard. Following Section 4.4,
@@ -164,6 +331,7 @@ func (a *Acceptor) setRnd(shard int, r ballot.Ballot) {
 func (a *Acceptor) OnRecover() {
 	a.rnds = make([]ballot.Ballot, a.cfg.NShards())
 	a.votes = make(map[uint64]vote)
+	a.tallies = make(map[uint64]*coordTally)
 	a.restore()
 	mc := uint32(0)
 	if rec, ok := a.disk.Get(storage.KeyMCount); ok {
@@ -177,7 +345,8 @@ func (a *Acceptor) OnRecover() {
 }
 
 // restore rebuilds the vote map — and each shard's round floor — from the
-// stable store. One scan covers every shard: the log is shared.
+// stable store, plus the in-flight coordinator tallies of multicoordinated
+// deployments. One scan covers every shard: the log is shared.
 func (a *Acceptor) restore() {
 	rec, ok := a.disk.Get(storage.KeyMaxInst)
 	if !ok {
@@ -185,17 +354,36 @@ func (a *Acceptor) restore() {
 	}
 	hi := rec.(uint64)
 	for inst := uint64(0); inst <= hi; inst++ {
-		rec, ok := a.disk.Get(voteKey(inst))
+		if rec, ok := a.disk.Get(voteKey(inst)); ok {
+			vr := rec.(storage.VoteRec)
+			if len(vr.Cmds) > 0 {
+				a.votes[inst] = vote{vrnd: vr.VRnd, vval: vr.Cmds[0]}
+				a.setRnd(a.cfg.ShardOf(inst), vr.VRnd)
+			}
+		}
+		if !a.cfg.Multicoordinated() {
+			continue
+		}
+		rec, ok := a.disk.Get(tallyRecKey(inst))
 		if !ok {
 			continue
 		}
-		vr := rec.(storage.VoteRec)
-		if len(vr.Cmds) == 0 {
+		tr := rec.(storage.TallyRec)
+		if len(tr.Cmds) == 0 {
 			continue
 		}
-		a.votes[inst] = vote{vrnd: vr.VRnd, vval: vr.Cmds[0]}
-		a.setRnd(a.cfg.ShardOf(inst), vr.VRnd)
+		if v, voted := a.votes[inst]; voted && !v.vrnd.Less(tr.Rnd) {
+			continue // the tally completed into a persisted vote
+		}
+		t := &coordTally{rnd: tr.Rnd, vals: make(map[msg.NodeID]cstruct.Cmd, len(tr.Coords))}
+		for _, co := range tr.Coords {
+			t.vals[msg.NodeID(co)] = tr.Cmds[0]
+		}
+		a.tallies[inst] = t
+		a.setRnd(a.cfg.ShardOf(inst), tr.Rnd)
 	}
 }
 
 func voteKey(inst uint64) string { return fmt.Sprintf("vote/%d", inst) }
+
+func tallyRecKey(inst uint64) string { return fmt.Sprintf("tally/%d", inst) }

@@ -37,6 +37,19 @@ type Config struct {
 	// total order by instance number (internal/smr.Merger). 0 or 1 means the
 	// classic single-sequencer deployment.
 	Shards int
+	// CoordsPerShard is the size c of each shard's coordinator group. With
+	// c ≥ 2 a shard's round is multicoordinated (Section 4.1 applied per
+	// shard): the first c coordinators of ShardCoords(k) form shard k's
+	// group, every member independently forwards the shard's proposal
+	// stream as 2a messages, and acceptors accept an instance only once a
+	// coordinator quorum (⌊c/2⌋+1, a quorum.CoordSystem per shard) has
+	// forwarded the same value for it — so ⌊c/2⌋ coordinator crashes per
+	// shard mask without a round change, at unchanged latency and acceptor
+	// quorum size. Conflicting 2a values within one round are the Section
+	// 4.2 collision: acceptors promote the shard to the successor round and
+	// the group re-establishes it. 0 or 1 keeps the single-coordinated
+	// rounds of Classic Paxos.
+	CoordsPerShard int
 }
 
 // NShards returns the number of instance-space shards (at least 1).
@@ -68,6 +81,59 @@ func (c Config) ShardCoords(shard int) []msg.NodeID {
 	return out
 }
 
+// NCoordsPerShard returns the coordinator group size per shard (at least 1).
+func (c Config) NCoordsPerShard() int {
+	if c.CoordsPerShard < 2 {
+		return 1
+	}
+	return c.CoordsPerShard
+}
+
+// Multicoordinated reports whether shard rounds are served by coordinator
+// groups with quorum-counted 2a forwarding (CoordsPerShard ≥ 2).
+func (c Config) Multicoordinated() bool { return c.NCoordsPerShard() > 1 }
+
+// ShardGroup returns the coordinator group serving shard's rounds: the
+// first CoordsPerShard coordinators of ShardCoords(shard). With c = 1 the
+// group is the shard's primary alone.
+func (c Config) ShardGroup(shard int) []msg.NodeID {
+	g := c.ShardCoords(shard)
+	if n := c.NCoordsPerShard(); len(g) > n {
+		return g[:n]
+	}
+	return g
+}
+
+// InShardGroup reports whether id belongs to shard's coordinator group.
+func (c Config) InShardGroup(shard int, id msg.NodeID) bool {
+	for _, co := range c.ShardGroup(shard) {
+		if co == id {
+			return true
+		}
+	}
+	return false
+}
+
+// CoordSystems builds the per-shard coordinator quorum systems, verifying
+// at cluster-build time that every shard has a full group of CoordsPerShard
+// coordinators and that majority quorums are feasible (Assumption 3).
+func (c Config) CoordSystems() ([]quorum.CoordSystem, error) {
+	for k := 0; k < c.NShards(); k++ {
+		if got := len(c.ShardGroup(k)); got < c.NCoordsPerShard() {
+			return nil, fmt.Errorf("classic: shard %d has %d coordinators, group size %d requires more deployed coordinators",
+				k, got, c.NCoordsPerShard())
+		}
+	}
+	return quorum.ShardCoordSystems(c.NShards(), c.NCoordsPerShard())
+}
+
+// CoordQuorumSize returns the 2a quorum a value needs from shard's
+// coordinator group before an acceptor may accept it: ⌊c/2⌋+1, which is 1
+// in single-coordinated deployments.
+func (c Config) CoordQuorumSize(shard int) int {
+	return quorum.MustCoordSystem(len(c.ShardGroup(shard))).Size()
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	switch {
@@ -81,6 +147,11 @@ func (c Config) Validate() error {
 	case c.NShards() > len(c.Coords):
 		return fmt.Errorf("classic: %d shards need at least as many coordinators, have %d",
 			c.NShards(), len(c.Coords))
+	}
+	if c.Multicoordinated() {
+		if _, err := c.CoordSystems(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package classic
 
 import (
+	"mcpaxos/internal/ballot"
 	"mcpaxos/internal/cstruct"
 	"mcpaxos/internal/msg"
 	"mcpaxos/internal/quorum"
@@ -44,6 +45,12 @@ type ClusterOpts struct {
 	// is raised to Shards if lower; extra coordinators are standbys for
 	// shard i mod Shards.
 	Shards int
+	// CoordsPerShard ≥ 2 makes each shard's round multicoordinated: the
+	// first CoordsPerShard coordinators of shard k's residue class form its
+	// group and acceptors accept on a coordinator quorum of matching 2a
+	// messages, so ⌊c/2⌋ coordinator crashes per shard mask without a round
+	// change. NCoords is raised to Shards×CoordsPerShard if lower.
+	CoordsPerShard int
 	// Stable supplies acceptor i's stable store (e.g. a WAL opened on a
 	// real directory); nil defaults to a fresh in-memory Disk.
 	Stable func(i int) storage.Stable
@@ -61,8 +68,17 @@ func NewCluster(o ClusterOpts) *Cluster {
 	if o.Shards > o.NCoords {
 		o.NCoords = o.Shards
 	}
+	if o.CoordsPerShard > 1 {
+		if need := max(o.Shards, 1) * o.CoordsPerShard; o.NCoords < need {
+			o.NCoords = need
+		}
+	}
 	s := sim.New(o.Seed)
-	cfg := Config{Quorums: quorum.MustAcceptorSystem(o.NAcceptors, o.F, 0), Shards: o.Shards}
+	cfg := Config{
+		Quorums:        quorum.MustAcceptorSystem(o.NAcceptors, o.F, 0),
+		Shards:         o.Shards,
+		CoordsPerShard: o.CoordsPerShard,
+	}
 	for i := 0; i < o.NCoords; i++ {
 		cfg.Coords = append(cfg.Coords, msg.NodeID(100+i))
 	}
@@ -71,6 +87,13 @@ func NewCluster(o ClusterOpts) *Cluster {
 	}
 	for i := 0; i < o.NLearners; i++ {
 		cfg.Learners = append(cfg.Learners, msg.NodeID(300+i))
+	}
+
+	if err := cfg.Validate(); err != nil {
+		// Assumption 3 and the group sizing are checked at cluster build:
+		// a deployment whose shard groups cannot form coordinator quorums
+		// must not come up at all.
+		panic(err)
 	}
 
 	cl := &Cluster{
@@ -132,14 +155,36 @@ func (cl *Cluster) Lead(i int) {
 	cl.Sim.Run()
 }
 
-// LeadAll runs phase 1 on every shard's leader (coordinators 0..NShards−1)
+// LeadAll runs phase 1 on every shard's primary (coordinators 0..NShards−1)
 // and drains the simulator: each residue class then has an independent
-// sequencer with its own pipeline window.
+// sequencer with its own pipeline window. In multicoordinated deployments
+// the acceptors broadcast their promises to the whole group, so one 1a per
+// shard establishes the round at every group member.
 func (cl *Cluster) LeadAll() {
 	for i := 0; i < cl.Cfg.NShards(); i++ {
 		cl.Coords[i].BecomeLeader()
 	}
 	cl.Sim.Run()
+}
+
+// ShardRound returns the highest round any acceptor has joined for shard:
+// the observable round the shard's group is serving.
+func (cl *Cluster) ShardRound(shard int) ballot.Ballot {
+	hi := ballot.Zero
+	for _, a := range cl.Accs {
+		hi = ballot.Max(hi, a.ShardRnd(shard))
+	}
+	return hi
+}
+
+// RoundChanges sums the post-establishment round changes across every
+// coordinator: a crash-masked multicoordinated drain reports 0.
+func (cl *Cluster) RoundChanges() int {
+	n := 0
+	for _, co := range cl.Coords {
+		n += co.RoundChanges()
+	}
+	return n
 }
 
 // TotalDiskWrites sums the synchronous writes of every acceptor disk.

@@ -14,17 +14,33 @@ const (
 	timerRetry = 1
 )
 
-// Coordinator is a Classic Paxos coordinator. At most one coordinator
-// should believe itself leader at a time for liveness; safety holds
-// regardless (Section 2.1.2). Coordinators keep no stable state: a
-// recovered coordinator simply starts a fresh, higher round (Section 4.4).
+// Coordinator drives phase 2 of a shard's rounds. In single-coordinated
+// deployments (CoordsPerShard ≤ 1) it is the Classic Paxos leader: at most
+// one coordinator should believe itself leader at a time for liveness;
+// safety holds regardless (Section 2.1.2).
+//
+// In multicoordinated deployments (CoordsPerShard = c ≥ 2) it is one member
+// of its shard's coordinator group (Section 4.1 applied per shard): every
+// member independently forwards the shard's sequence-numbered proposal
+// stream as 2a messages for deterministically identical instances
+// (instance = Seq·N + shard), and acceptors accept only on a coordinator
+// quorum of matching 2as — so ⌊c/2⌋ member crashes mask without a round
+// change. Any member may start a round (1a); acceptors broadcast their
+// promise to the whole group and each member completes phase 1
+// independently, the group analogue of Phase2Start.
+//
+// Coordinators keep no stable state: a recovered coordinator simply starts
+// (or adopts) a fresh, higher round (Section 4.4).
 type Coordinator struct {
 	env node.Env
 	cfg Config
 
 	crnd    ballot.Ballot
 	leading bool // phase 1 completed for crnd
-	p1bs    map[msg.NodeID]msg.P1bMulti
+	// p1bs buffers promises per candidate round: single-coordinated mode
+	// only ever fills the entry for crnd, group members also collect rounds
+	// started by their peers (or by an acceptor's collision promotion).
+	p1bs map[ballot.Ballot]map[msg.NodeID]msg.P1bMulti
 
 	nextInst uint64
 	// accepted values the new leader must re-propose, per instance.
@@ -52,8 +68,22 @@ type Coordinator struct {
 	learned    map[uint64]bool
 	// wantLead records whether this coordinator currently tries to lead;
 	// only aspiring leaders chase Stale rejections (Section 4.3 expects a
-	// single leader driving round changes).
+	// single leader driving round changes). Group members are co-equal and
+	// ignore it.
 	wantLead bool
+
+	// Group-member state (multicoordinated mode only).
+	sent   map[uint64]bool // instances whose 2a went out in crnd
+	unsent []uint64        // assigned instances awaiting a window slot
+	// attempt is the highest round this member sent a 1a for; it damps the
+	// stale-chase so one rejection wave yields one new round.
+	attempt ballot.Ballot
+
+	// everLed marks that some round has been established; roundChanges then
+	// counts every later establishment — the currency of the crash-masking
+	// claim (a masked coordinator crash costs zero round changes).
+	everLed      bool
+	roundChanges int
 }
 
 var _ node.Handler = (*Coordinator)(nil)
@@ -64,12 +94,26 @@ func NewCoordinator(env node.Env, cfg Config) *Coordinator {
 	return &Coordinator{
 		env:       env,
 		cfg:       cfg,
-		p1bs:      make(map[msg.NodeID]msg.P1bMulti),
+		p1bs:      make(map[ballot.Ballot]map[msg.NodeID]msg.P1bMulti),
 		proposals: make(map[uint64]cstruct.Cmd),
 		byCmd:     make(map[uint64]uint64),
 		queued:    make(map[uint64]bool),
 		learned:   make(map[uint64]bool),
+		sent:      make(map[uint64]bool),
 	}
+}
+
+// multi reports whether this coordinator runs as a shard-group member.
+func (c *Coordinator) multi() bool { return c.cfg.Multicoordinated() }
+
+// member reports whether this coordinator belongs to its shard's group.
+// Standbys beyond the group stay passive in multicoordinated mode: a 2a
+// from a non-member would never count toward a coordinator quorum.
+func (c *Coordinator) member() bool {
+	if !c.multi() {
+		return true
+	}
+	return c.cfg.InShardGroup(c.Shard, c.env.ID())
 }
 
 // Leading reports whether phase 1 has completed for the current round.
@@ -78,11 +122,17 @@ func (c *Coordinator) Leading() bool { return c.leading }
 // Rnd returns the coordinator's current round.
 func (c *Coordinator) Rnd() ballot.Ballot { return c.crnd }
 
+// RoundChanges counts round establishments after the first: a crash-free
+// multicoordinated drain reports 0 even when a group member died.
+func (c *Coordinator) RoundChanges() int { return c.roundChanges }
+
 // BecomeLeader starts phase 1 of a round higher than any this coordinator
-// has seen, claiming leadership (action Phase1a).
+// has seen, claiming leadership (action Phase1a). In multicoordinated mode
+// the started round is served by the whole shard group, not this member
+// alone.
 func (c *Coordinator) BecomeLeader() {
 	c.wantLead = true
-	c.startRound(ballot.SingleScheme{}.Next(c.crnd, uint32(c.env.ID())))
+	c.startRound(ballot.SingleScheme{}.Next(ballot.Max(c.crnd, c.attempt), uint32(c.env.ID())))
 }
 
 // StepDown makes the coordinator stop acting as leader: it keeps queueing
@@ -105,7 +155,27 @@ func (c *Coordinator) startRound(r ballot.Ballot) {
 	}
 	c.crnd = r
 	c.leading = false
-	c.p1bs = make(map[msg.NodeID]msg.P1bMulti)
+	c.attempt = ballot.Max(c.attempt, r)
+	// Promise buffers at or below the new round are dead — onP1b drops
+	// their remaining 1bs against the advanced crnd — so abandoned rounds
+	// must not retain their partial vote lists. Higher rounds (a peer's
+	// concurrent start) stay collectable.
+	for past := range c.p1bs {
+		if past.LessEq(r) {
+			delete(c.p1bs, past)
+		}
+	}
+	if c.multi() {
+		// Group members never re-queue: every assignment is bound to its
+		// instance by the proposal's sequence number, so the new round
+		// re-forwards the same (instance, value) pairs once established.
+		c.sent = make(map[uint64]bool)
+		c.unsent = nil
+		c.open = 0
+		c.send1a()
+		c.armRetry()
+		return
+	}
 	// Unlearned assignments from the abandoned round may have reached no
 	// acceptor, so their 2a will not resurface in the new round's 1b picks:
 	// release the dedup claim and re-queue the command. If the old 2a did
@@ -157,8 +227,15 @@ func (c *Coordinator) nextOwned(n uint64) uint64 {
 	return n
 }
 
+// seqInst maps a per-shard sequence number to its instance: the fixed,
+// coordination-free assignment every group member agrees on.
+func (c *Coordinator) seqInst(seq uint64) uint64 { return seq*c.stride() + uint64(c.Shard) }
+
 // OnMessage implements node.Handler.
 func (c *Coordinator) OnMessage(_ msg.NodeID, m msg.Message) {
+	if !c.member() {
+		return
+	}
 	switch mm := m.(type) {
 	case msg.Propose:
 		c.onPropose(mm)
@@ -177,7 +254,7 @@ func (c *Coordinator) OnMessage(_ msg.NodeID, m msg.Message) {
 func (c *Coordinator) MarkLearned(inst uint64) { c.noteLearned(inst) }
 
 // Pending reports how many proposals wait for leadership or a window slot.
-func (c *Coordinator) Pending() int { return len(c.pending) }
+func (c *Coordinator) Pending() int { return len(c.pending) + len(c.unsent) }
 
 // Inflight reports how many assigned instances are not yet learned.
 func (c *Coordinator) Inflight() int { return c.open }
@@ -193,6 +270,13 @@ func (c *Coordinator) noteLearned(inst uint64) {
 		return
 	}
 	c.learned[inst] = true
+	if c.multi() {
+		if c.sent[inst] && c.open > 0 {
+			c.open--
+		}
+		c.drainUnsent()
+		return
+	}
 	if _, assigned := c.proposals[inst]; assigned && c.open > 0 {
 		c.open--
 	}
@@ -217,6 +301,10 @@ func (c *Coordinator) drainPending() {
 }
 
 func (c *Coordinator) onPropose(mm msg.Propose) {
+	if c.multi() {
+		c.onProposeMulti(mm)
+		return
+	}
 	if _, dup := c.byCmd[mm.Cmd.ID]; dup {
 		return
 	}
@@ -225,6 +313,68 @@ func (c *Coordinator) onPropose(mm msg.Propose) {
 		return
 	}
 	c.assign(mm.Cmd)
+}
+
+// onProposeMulti records a sequence-numbered proposal at its fixed instance
+// and forwards it within the window. Proposals without a sequence number
+// cannot be placed deterministically across the group and are dropped (the
+// proposer always stamps them).
+func (c *Coordinator) onProposeMulti(mm msg.Propose) {
+	if !mm.HasSeq {
+		return
+	}
+	inst := c.seqInst(mm.Seq)
+	if cmd, dup := c.proposals[inst]; dup {
+		// Retransmitted proposal: refresh the in-flight 2a so a lost one is
+		// eventually replaced.
+		if c.leading && c.sent[inst] && !c.learned[inst] {
+			c.send2a(inst, cmd)
+			c.armRetry()
+		}
+		return
+	}
+	// Dedup is by instance here, not byCmd: the seq fixes the placement, so
+	// the single-path command-ID map stays untouched in group mode.
+	c.proposals[inst] = mm.Cmd
+	if inst >= c.nextInst {
+		c.nextInst = inst + c.stride()
+	}
+	c.trySend(inst)
+}
+
+// trySend forwards an assigned instance's 2a if the member is leading and
+// the window has room; otherwise the instance queues until a learn frees a
+// slot (or until the next round establishment sweeps it).
+func (c *Coordinator) trySend(inst uint64) {
+	if !c.leading || c.learned[inst] || c.sent[inst] {
+		return
+	}
+	if c.MaxInflight > 0 && c.open >= c.MaxInflight {
+		c.unsent = append(c.unsent, inst)
+		return
+	}
+	c.sent[inst] = true
+	c.open++
+	c.send2a(inst, c.proposals[inst])
+	c.armRetry()
+}
+
+func (c *Coordinator) drainUnsent() {
+	sentAny := false
+	for len(c.unsent) > 0 && (c.MaxInflight <= 0 || c.open < c.MaxInflight) {
+		inst := c.unsent[0]
+		c.unsent = c.unsent[1:]
+		if c.learned[inst] || c.sent[inst] {
+			continue
+		}
+		c.sent[inst] = true
+		c.open++
+		c.send2a(inst, c.proposals[inst])
+		sentAny = true
+	}
+	if sentAny {
+		c.armRetry()
+	}
 }
 
 // enqueue adds a command to pending unless it is already waiting there
@@ -257,25 +407,60 @@ func (c *Coordinator) send2a(inst uint64, cmd cstruct.Cmd) {
 	})
 }
 
-// onP1b collects promises; once a classic quorum has joined the round the
+// onP1b collects promises; once a classic quorum has joined a round the
 // coordinator adopts the constrained values (highest vrnd per instance,
 // Section 2.1.2's picking rule) and opens the floor for new proposals.
+// Group members also accept promises for rounds their peers (or an
+// acceptor's collision promotion) started: acceptors broadcast each
+// promise to the whole group, so every member establishes the round
+// independently — the group analogue of Phase2Start.
 func (c *Coordinator) onP1b(mm msg.P1bMulti) {
-	if c.leading || !mm.Rnd.Equal(c.crnd) {
+	if c.multi() {
+		if int(mm.Shard) != c.Shard {
+			return
+		}
+		if mm.Rnd.Less(c.crnd) || (mm.Rnd.Equal(c.crnd) && c.leading) {
+			return
+		}
+	} else if c.leading || !mm.Rnd.Equal(c.crnd) {
 		return
 	}
-	c.p1bs[mm.Acc] = mm
-	if !c.cfg.Quorums.IsQuorum(len(c.p1bs), false) {
+	byAcc, ok := c.p1bs[mm.Rnd]
+	if !ok {
+		byAcc = make(map[msg.NodeID]msg.P1bMulti)
+		c.p1bs[mm.Rnd] = byAcc
+	}
+	byAcc[mm.Acc] = mm
+	if !c.cfg.Quorums.IsQuorum(len(byAcc), false) {
 		return
 	}
+	c.establish(mm.Rnd, byAcc)
+}
+
+// establish completes phase 1 for round r from the collected promises:
+// adopt the picked values, re-forward everything unlearned, and open the
+// floor for new proposals.
+func (c *Coordinator) establish(r ballot.Ballot, byAcc map[msg.NodeID]msg.P1bMulti) {
+	c.crnd = r
+	c.attempt = ballot.Max(c.attempt, r)
 	c.leading = true
+	for past := range c.p1bs {
+		if past.LessEq(r) {
+			delete(c.p1bs, past)
+		}
+	}
+	if c.everLed {
+		c.roundChanges++
+	} else {
+		c.everLed = true
+	}
 	// Pick, per instance, the vval of the highest vrnd reported.
 	type pick struct {
 		vrnd ballot.Ballot
 		cmd  cstruct.Cmd
 	}
 	picks := make(map[uint64]pick)
-	for _, p1b := range c.p1bs {
+	for _, p1b := range byAcc {
 		for _, v := range p1b.Votes {
 			if !c.owns(v.Inst) {
 				// Acceptors scope their promises to the claimed shard, but a
@@ -298,6 +483,32 @@ func (c *Coordinator) onP1b(mm msg.P1bMulti) {
 		insts = append(insts, inst)
 	}
 	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	if c.multi() {
+		// Picked values override local assignments (a pick may already be
+		// chosen), then every unlearned assignment is re-forwarded under the
+		// new round in instance order, respecting the window.
+		for _, inst := range insts {
+			p := picks[inst]
+			if inst >= c.nextInst {
+				c.nextInst = inst + c.stride()
+			}
+			c.proposals[inst] = p.cmd
+		}
+		c.sent = make(map[uint64]bool)
+		c.unsent = nil
+		c.open = 0
+		all := make([]uint64, 0, len(c.proposals))
+		for inst := range c.proposals {
+			all = append(all, inst)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for _, inst := range all {
+			if !c.learned[inst] {
+				c.trySend(inst)
+			}
+		}
+		return
+	}
 	for _, inst := range insts {
 		p := picks[inst]
 		if inst >= c.nextInst {
@@ -314,8 +525,18 @@ func (c *Coordinator) onP1b(mm msg.P1bMulti) {
 }
 
 // onStale reacts to an acceptor whose round outruns ours: start a higher
-// round to regain the ability to get values accepted (Section 4.3).
+// round to regain the ability to get values accepted (Section 4.3). Group
+// members are co-equal, so any member may chase, damped by attempt so one
+// rejection wave yields one new round per member.
 func (c *Coordinator) onStale(mm msg.Stale) {
+	if c.multi() {
+		cur := ballot.Max(c.attempt, c.crnd)
+		if mm.Rnd.Less(cur) {
+			return // rejection of an attempt already superseded
+		}
+		c.startRound(ballot.SingleScheme{}.Next(ballot.Max(cur, mm.Rnd), uint32(c.env.ID())))
+		return
+	}
 	if !c.wantLead {
 		return
 	}
@@ -339,10 +560,20 @@ func (c *Coordinator) OnTimer(tag int) {
 		return
 	}
 	outstanding := false
-	if !c.leading {
-		c.send1a()
-		outstanding = true
-	} else {
+	switch {
+	case !c.leading:
+		if !c.crnd.IsZero() {
+			c.send1a()
+			outstanding = true
+		}
+	case c.multi():
+		for inst := range c.sent {
+			if !c.learned[inst] {
+				c.send2a(inst, c.proposals[inst])
+				outstanding = true
+			}
+		}
+	default:
 		for inst, cmd := range c.proposals {
 			if !c.learned[inst] {
 				c.send2a(inst, cmd)

@@ -10,16 +10,25 @@ import (
 
 // routed is an unlearned proposal plus where it was sent: shard ≥ 0 pins the
 // command to one shard's coordinator group, −1 broadcasts to every
-// coordinator.
+// coordinator. seq is the command's per-shard sequence number, which
+// multicoordinated groups map to a fixed instance — retransmissions carry
+// the same seq so every group member keeps the same placement.
 type routed struct {
-	cmd   cstruct.Cmd
-	shard int
+	cmd    cstruct.Cmd
+	shard  int
+	seq    uint64
+	hasSeq bool
 }
 
 // Proposer is a Classic Paxos proposer. Unsharded, it forwards commands to
 // every coordinator (only the leader acts on them); sharded, ProposeTo pins
 // a command to one shard's coordinator group — retransmissions follow the
-// same route, so a command never occupies instances in two shards.
+// same route, so a command never occupies instances in two shards. Each
+// shard's proposal stream is numbered 0, 1, 2, … (ProposeSeq takes the
+// caller's numbering, e.g. the batch router's; ProposeTo stamps from the
+// proposer's own per-shard counter): multicoordinated groups derive the
+// instance from the sequence number, so every member forwards the same
+// proposal for the same instance with no coordination.
 type Proposer struct {
 	env node.Env
 	cfg Config
@@ -27,6 +36,7 @@ type Proposer struct {
 	// RetryEvery > 0 enables retransmission of unlearned proposals.
 	RetryEvery int64
 	inflight   map[uint64]routed
+	nextSeq    []uint64 // per-shard sequence counter for ProposeTo
 }
 
 var _ node.Handler = (*Proposer)(nil)
@@ -34,11 +44,21 @@ var _ node.TimerHandler = (*Proposer)(nil)
 
 // NewProposer builds a proposer bound to env.
 func NewProposer(env node.Env, cfg Config) *Proposer {
-	return &Proposer{env: env, cfg: cfg, inflight: make(map[uint64]routed)}
+	return &Proposer{
+		env: env, cfg: cfg,
+		inflight: make(map[uint64]routed),
+		nextSeq:  make([]uint64, cfg.NShards()),
+	}
 }
 
 // Propose submits a command to every coordinator (action Propose).
+// Multicoordinated deployments need a shard-pinned, sequence-numbered
+// stream, so the command is routed to the shard its ID hashes to instead.
 func (p *Proposer) Propose(cmd cstruct.Cmd) {
+	if p.cfg.Multicoordinated() {
+		p.ProposeTo(int(cmd.ID%uint64(p.cfg.NShards())), cmd)
+		return
+	}
 	p.inflight[cmd.ID] = routed{cmd: cmd, shard: -1}
 	node.Broadcast(p.env, p.cfg.Coords, msg.Propose{Cmd: cmd})
 	p.armRetry()
@@ -46,10 +66,37 @@ func (p *Proposer) Propose(cmd cstruct.Cmd) {
 
 // ProposeTo submits a command to one shard's coordinator group — the
 // primary that sequences the residue class plus its standbys, so the shard
-// keeps deciding across a primary failover. The shard-aware router
-// (internal/batch.Router) drives this entry point to spread batches across
-// the concurrent shard-leaders.
+// keeps deciding across a primary failover. The command is stamped with the
+// shard's next sequence number from the proposer's own counter; callers
+// that already number the stream (the batch router) use ProposeSeq.
 func (p *Proposer) ProposeTo(shard int, cmd cstruct.Cmd) {
+	p.checkShard(shard)
+	seq := p.nextSeq[shard]
+	p.nextSeq[shard]++
+	p.submit(shard, seq, cmd)
+}
+
+// ProposeSeq submits a command to one shard's coordinator group under the
+// caller's per-shard sequence number (the batch router numbers each shard's
+// flushed batches 0, 1, 2, …). The proposer's own counter advances past it,
+// so ProposeTo may safely follow ProposeSeq traffic; the reverse mix would
+// reuse a sequence number the counter already consumed — in a
+// multicoordinated deployment that maps two commands to one instance and
+// silently strands the second, so it panics instead (attach the router
+// before any ProposeTo traffic, or route everything through it).
+func (p *Proposer) ProposeSeq(shard int, seq uint64, cmd cstruct.Cmd) {
+	p.checkShard(shard)
+	if seq < p.nextSeq[shard] && p.cfg.Multicoordinated() {
+		panic(fmt.Sprintf("classic: ProposeSeq reuses shard %d seq %d (next unused: %d)",
+			shard, seq, p.nextSeq[shard]))
+	}
+	if seq >= p.nextSeq[shard] {
+		p.nextSeq[shard] = seq + 1
+	}
+	p.submit(shard, seq, cmd)
+}
+
+func (p *Proposer) checkShard(shard int) {
 	if shard < 0 || shard >= p.cfg.NShards() {
 		// A router configured for more shards than the deployment would
 		// otherwise broadcast to an empty group and retransmit into the
@@ -58,9 +105,22 @@ func (p *Proposer) ProposeTo(shard int, cmd cstruct.Cmd) {
 		panic(fmt.Sprintf("classic: ProposeTo shard %d of a %d-shard deployment",
 			shard, p.cfg.NShards()))
 	}
-	p.inflight[cmd.ID] = routed{cmd: cmd, shard: shard}
-	node.Broadcast(p.env, p.cfg.ShardCoords(shard), msg.Propose{Cmd: cmd})
+}
+
+func (p *Proposer) submit(shard int, seq uint64, cmd cstruct.Cmd) {
+	p.inflight[cmd.ID] = routed{cmd: cmd, shard: shard, seq: seq, hasSeq: true}
+	node.Broadcast(p.env, p.shardTargets(shard), msg.Propose{Cmd: cmd, Seq: seq, HasSeq: true})
 	p.armRetry()
+}
+
+// shardTargets returns where a shard-pinned proposal is broadcast: the
+// whole coordinator group in multicoordinated mode (every member forwards
+// it), the primary plus standbys otherwise.
+func (p *Proposer) shardTargets(shard int) []msg.NodeID {
+	if p.cfg.Multicoordinated() {
+		return p.cfg.ShardGroup(shard)
+	}
+	return p.cfg.ShardCoords(shard)
 }
 
 func (p *Proposer) armRetry() {
@@ -82,7 +142,8 @@ func (p *Proposer) OnTimer(tag int) {
 	}
 	for _, r := range p.inflight {
 		if r.shard >= 0 {
-			node.Broadcast(p.env, p.cfg.ShardCoords(r.shard), msg.Propose{Cmd: r.cmd})
+			node.Broadcast(p.env, p.shardTargets(r.shard),
+				msg.Propose{Cmd: r.cmd, Seq: r.seq, HasSeq: r.hasSeq})
 			continue
 		}
 		node.Broadcast(p.env, p.cfg.Coords, msg.Propose{Cmd: r.cmd})

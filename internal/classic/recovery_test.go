@@ -8,6 +8,7 @@ import (
 
 	"mcpaxos/internal/batch"
 	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
 	"mcpaxos/internal/smr"
 	"mcpaxos/internal/storage"
 	"mcpaxos/internal/wal"
@@ -261,8 +262,8 @@ func TestWALRecoveryShardedMidBatch(t *testing.T) {
 	wc.LeadAll()
 
 	const commands, batchSize = 48, 4
-	router := batch.NewRouter(2, batchSize, 0, wc.Sim.Now, func(shard int, c cstruct.Cmd) {
-		wc.Prop.ProposeTo(shard, c)
+	router := batch.NewRouter(2, batchSize, 0, wc.Sim.Now, func(shard int, seq uint64, c cstruct.Cmd) {
+		wc.Prop.ProposeSeq(shard, seq, c)
 	})
 	for i := 0; i < commands; i++ {
 		router.Route(cstruct.Cmd{ID: uint64(400 + i), Key: "k", Op: cstruct.OpWrite})
@@ -344,6 +345,82 @@ func TestWALRecoveryShardedMidBatch(t *testing.T) {
 	if !found[990] || !found[991] {
 		t.Errorf("shards stopped deciding after recovery: got 990=%v 991=%v", found[990], found[991])
 	}
+}
+
+// TestWALRecoveryMulticoordTallyReplay crashes a WAL-backed acceptor while
+// it holds a partial coordinator tally (one of the required two matching
+// 2as of a 3-member group arrived). The restart must replay the coord-vote
+// state — round, tallied members and value — from the one log, alongside
+// the votes, and the cluster must then drain a batched stream through the
+// recovered deployment without losing or conflicting anything.
+func TestWALRecoveryMulticoordTallyReplay(t *testing.T) {
+	wc := newWALCluster(t, ClusterOpts{NAcceptors: 3, F: 1, Seed: 29,
+		NLearners: 2, CoordsPerShard: 3})
+	wc.LeadAll()
+	r := wc.Coords[0].Rnd()
+
+	// A real decided instance first, so the replay covers votes and tallies.
+	wc.Prop.ProposeTo(0, cstruct.Cmd{ID: 800, Key: "k"})
+	wc.Sim.Run()
+	if _, ok := wc.LearnedCmds[0]; !ok {
+		t.Fatal("baseline instance undecided")
+	}
+
+	// One member's 2a for instance 1 reaches acceptor 0 and nothing else:
+	// a partial tally, persisted through the shard stream.
+	wc.Accs[0].OnMessage(wc.Cfg.Coords[0], msg.P2a{
+		Inst: 1, Rnd: r, Coord: wc.Cfg.Coords[0], Val: wrap(cstruct.Cmd{ID: 801, Key: "k"}),
+	})
+	wc.hardCrash(0)
+	a := wc.restart(0)
+
+	if _, _, ok := a.Vote(0); !ok {
+		t.Error("decided instance's vote lost across restart")
+	}
+	tr, coords, ok := a.Tally(1)
+	if !ok {
+		t.Fatal("partial coordinator tally lost across restart")
+	}
+	if !tr.Equal(r) || len(coords) != 1 || coords[0] != wc.Cfg.Coords[0] {
+		t.Errorf("replayed tally = (%v, %v), want (%v, [%v])", tr, coords, r, wc.Cfg.Coords[0])
+	}
+	if a.Rnd().MCount == 0 {
+		t.Error("recovery did not bump the incarnation counter")
+	}
+
+	// The recovered deployment keeps deciding: a batched stream drains with
+	// every command learned and no learner conflict (the recovered
+	// acceptor's round floor forces the group into a higher round, which
+	// re-forwards instance 1 too).
+	mid := snapshotLearned(wc.LearnedCmds)
+	const commands, batchSize = 24, 4
+	// The proposer's own per-shard counter continues past the pre-crash
+	// sequence numbers (a fresh router would restart at 0 and collide with
+	// the decided instances).
+	router := batch.NewRouter(1, batchSize, 0, wc.Sim.Now, func(shard int, _ uint64, c cstruct.Cmd) {
+		wc.Prop.ProposeTo(shard, c)
+	})
+	for i := 0; i < commands; i++ {
+		router.Route(cstruct.Cmd{ID: uint64(810 + i), Key: "k", Op: cstruct.OpWrite})
+	}
+	router.FlushAll()
+	wc.Sim.Run()
+	got := make(map[uint64]int)
+	for _, cmd := range wc.LearnedCmds {
+		if sub, ok := batch.Unpack(cmd); ok {
+			for _, c := range sub {
+				got[c.ID]++
+			}
+		} else {
+			got[cmd.ID]++
+		}
+	}
+	for i := 0; i < commands; i++ {
+		if got[uint64(810+i)] == 0 {
+			t.Errorf("command c%d lost after tally-replay recovery", 810+i)
+		}
+	}
+	wc.checkNoLossNoConflict(mid)
 }
 
 // TestWALShardedRoundIsolation checks the per-shard round state: one

@@ -78,6 +78,15 @@ type Propose struct {
 	// this command (load balancing, Section 4.1). Coordinators then send
 	// their 2a messages only to these acceptors. Empty means all acceptors.
 	AccQuorum []NodeID
+	// Seq, when HasSeq is set, is the command's per-shard sequence number in
+	// a sharded deployment: the proposal stream of shard k is numbered 0, 1,
+	// 2, … at submission. Multicoordinated shard groups (Section 4.1 applied
+	// per shard) rely on it to assign identical instances without
+	// coordination: every group member independently maps the proposal to
+	// instance Seq·N + k, so their 2a messages for the same proposal name
+	// the same instance. Single-coordinated deployments ignore it.
+	Seq    uint64
+	HasSeq bool
 }
 
 // Type implements Message.

@@ -21,6 +21,11 @@ type P1bMulti struct {
 	Rnd   ballot.Ballot
 	Acc   NodeID
 	Votes []InstVote
+	// Shard names the instance residue class the promise covers in a
+	// sharded deployment (the shard of the P1a that triggered it).
+	// Multicoordinated shard groups broadcast the promise to every group
+	// member, which uses Shard to discard promises misrouted across groups.
+	Shard uint32
 }
 
 // Type implements Message.

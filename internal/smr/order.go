@@ -33,7 +33,17 @@ type Merger struct {
 	// MaxBuffered tracks the high-water mark of instances held back by a
 	// gap, a direct measure of cross-shard skew.
 	MaxBuffered int
-	delivered   uint64
+	// Ignored counts duplicate or late re-learns dropped by Add: re-learns
+	// of an instance already delivered (below the frontier) or already
+	// buffered. Retransmitting learners make these routine; the counter
+	// keeps them observable.
+	Ignored uint64
+	// Conflicts counts re-learns that carried a different command for an
+	// instance still buffered. Paxos safety makes a real conflict
+	// impossible, so a nonzero count flags a broken learner feed; the first
+	// learn always wins.
+	Conflicts uint64
+	delivered uint64
 }
 
 // NewMerger builds a merger delivering via fn (may be nil — Buffered/Next
@@ -44,13 +54,22 @@ func NewMerger(fn DeliverFn) *Merger {
 
 // Add feeds one learned instance. Duplicates — a second learn of the same
 // instance, or a learn below the delivery frontier from a late retransmit —
-// are ignored and reported false. Delivery happens inline: Add returns after
-// flushing the longest contiguous prefix.
+// are ignored (never re-delivered, never overwriting the buffered first
+// learn) and reported false; an instance is delivered at most once, ever.
+// Delivery happens inline: Add returns after flushing the longest
+// contiguous prefix.
 func (m *Merger) Add(inst uint64, cmd cstruct.Cmd) bool {
 	if inst < m.next {
+		// Already delivered: a late retransmit can only re-report the
+		// learned value (Paxos safety), so it is dropped, not re-applied.
+		m.Ignored++
 		return false
 	}
-	if _, dup := m.buf[inst]; dup {
+	if prev, dup := m.buf[inst]; dup {
+		m.Ignored++
+		if !prev.Equal(cmd) {
+			m.Conflicts++
+		}
 		return false
 	}
 	m.buf[inst] = cmd

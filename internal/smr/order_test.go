@@ -11,6 +11,69 @@ func cmdN(id uint64) cstruct.Cmd {
 	return cstruct.Cmd{ID: id, Key: "k", Op: cstruct.OpWrite}
 }
 
+// A late re-learn of an already-delivered instance (a retransmitting
+// learner, or a second learner feeding the same merger) must be ignored:
+// never re-delivered, even if it carries a different command.
+func TestMergerRelearnAfterDeliveryIgnored(t *testing.T) {
+	m, order := collect()
+	m.Add(0, cmdN(100))
+	m.Add(1, cmdN(101))
+	if m.Delivered() != 2 {
+		t.Fatalf("delivered %d, want 2", m.Delivered())
+	}
+	for _, relearn := range []cstruct.Cmd{cmdN(100), cmdN(999)} {
+		if m.Add(0, relearn) {
+			t.Errorf("re-learn of delivered instance 0 (c%d) accepted", relearn.ID)
+		}
+	}
+	if m.Ignored != 2 {
+		t.Errorf("Ignored = %d, want 2", m.Ignored)
+	}
+	if len(*order) != 2 || m.Delivered() != 2 || m.Next() != 2 {
+		t.Errorf("frontier disturbed by late re-learns: order=%v next=%d", *order, m.Next())
+	}
+}
+
+// A re-learn of an instance still buffered behind a gap must keep the first
+// learn (no last-write-wins), and a differing command must be counted as a
+// conflict — Paxos safety makes it impossible, so it flags a broken feed.
+func TestMergerBufferedRelearnKeepsFirst(t *testing.T) {
+	var delivered []cstruct.Cmd
+	m := NewMerger(func(_ uint64, c cstruct.Cmd) { delivered = append(delivered, c) })
+	if !m.Add(1, cmdN(101)) {
+		t.Fatal("first learn of instance 1 rejected")
+	}
+	if m.Add(1, cmdN(102)) {
+		t.Fatal("duplicate learn of buffered instance 1 accepted")
+	}
+	if m.Add(1, cmdN(101)) {
+		t.Fatal("identical duplicate learn of buffered instance 1 accepted")
+	}
+	if m.Ignored != 2 || m.Conflicts != 1 {
+		t.Errorf("Ignored=%d Conflicts=%d, want 2 and 1", m.Ignored, m.Conflicts)
+	}
+	m.Add(0, cmdN(100))
+	if len(delivered) != 2 || delivered[1].ID != 101 {
+		t.Fatalf("delivered %v, want the FIRST learn (c101) for instance 1", delivered)
+	}
+}
+
+// Release-frontier interplay: re-learns below the release watermark are
+// ignored without disturbing the OnRelease hook.
+func TestMergerRelearnDoesNotRefireRelease(t *testing.T) {
+	m, _ := collect()
+	releases := 0
+	m.OnRelease = func(uint64) { releases++ }
+	m.Add(0, cmdN(100))
+	m.Add(1, cmdN(101))
+	got := releases
+	m.Add(0, cmdN(100))
+	m.Add(1, cmdN(101))
+	if releases != got {
+		t.Errorf("late re-learns re-fired OnRelease (%d → %d)", got, releases)
+	}
+}
+
 // collect returns a merger plus the delivery log it appends to.
 func collect() (*Merger, *[]uint64) {
 	var order []uint64

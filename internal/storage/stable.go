@@ -80,6 +80,26 @@ type VoteRec struct {
 	Cmds []cstruct.Cmd
 }
 
+// TallyRec is the persisted coordinator-vote tally of one in-progress
+// multicoordinated instance: the acceptor has received matching 2a messages
+// from Coords — fewer than a coordinator quorum — for the value Cmds in
+// round Rnd. Persisting the partial tally is not required for safety (the
+// recovery incarnation bump already dominates every pre-crash round) but it
+// makes the in-flight coordinator votes replayable: a restarted acceptor
+// reports exactly which group members had forwarded an instance when the
+// process died, instead of losing that evidence with the heap.
+type TallyRec struct {
+	// Inst is the tallied consensus instance.
+	Inst uint64
+	// Rnd is the multicoordinated round the 2a messages belong to.
+	Rnd ballot.Ballot
+	// Coords lists the coordinator ids (msg.NodeID values) whose matching
+	// 2a messages have been received so far.
+	Coords []uint32
+	// Cmds is the forwarded value's representative command sequence.
+	Cmds []cstruct.Cmd
+}
+
 // Stable record keys shared by the acceptor implementations.
 const (
 	// KeyMCount holds the uint32 incarnation counter bumped once per
@@ -101,5 +121,6 @@ func init() {
 	gob.Register(uint32(0))
 	gob.Register(uint64(0))
 	gob.Register(VoteRec{})
+	gob.Register(TallyRec{})
 	gob.Register(ballot.Ballot{})
 }

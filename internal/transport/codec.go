@@ -37,6 +37,10 @@ type wire struct {
 	// Multi marks a P1bMulti promise.
 	Multi bool
 	Epoch uint64
+	// Seq/HasSeq carry a proposal's per-shard sequence number
+	// (multicoordinated groups derive the instance from it).
+	Seq    uint64
+	HasSeq bool
 }
 
 type wireVote struct {
@@ -77,7 +81,8 @@ func (c Codec) Decode(data []byte) (msg.Message, error) {
 func toWire(m msg.Message) (wire, error) {
 	switch mm := m.(type) {
 	case msg.Propose:
-		return wire{Type: msg.TPropose, Inst: mm.Inst, Cmd: mm.Cmd, AccQuorum: mm.AccQuorum}, nil
+		return wire{Type: msg.TPropose, Inst: mm.Inst, Cmd: mm.Cmd, AccQuorum: mm.AccQuorum,
+			Seq: mm.Seq, HasSeq: mm.HasSeq}, nil
 	case msg.P1a:
 		return wire{Type: msg.TP1a, Inst: mm.Inst, Rnd: mm.Rnd, Coord: mm.Coord, Shard: mm.Shard}, nil
 	case msg.P1b:
@@ -87,7 +92,7 @@ func toWire(m msg.Message) (wire, error) {
 		}
 		return w, nil
 	case msg.P1bMulti:
-		w := wire{Type: msg.TP1b, Rnd: mm.Rnd, Acc: mm.Acc, Multi: true}
+		w := wire{Type: msg.TP1b, Rnd: mm.Rnd, Acc: mm.Acc, Multi: true, Shard: mm.Shard}
 		for _, v := range mm.Votes {
 			wv := wireVote{Inst: v.Inst, VRnd: v.VRnd}
 			if v.VVal != nil {
@@ -127,12 +132,13 @@ func (c Codec) rebuild(cmds []cstruct.Cmd, has bool) cstruct.CStruct {
 func (c Codec) fromWire(w wire) (msg.Message, error) {
 	switch w.Type {
 	case msg.TPropose:
-		return msg.Propose{Inst: w.Inst, Cmd: w.Cmd, AccQuorum: w.AccQuorum}, nil
+		return msg.Propose{Inst: w.Inst, Cmd: w.Cmd, AccQuorum: w.AccQuorum,
+			Seq: w.Seq, HasSeq: w.HasSeq}, nil
 	case msg.TP1a:
 		return msg.P1a{Inst: w.Inst, Rnd: w.Rnd, Coord: w.Coord, Shard: w.Shard}, nil
 	case msg.TP1b:
 		if w.Multi {
-			out := msg.P1bMulti{Rnd: w.Rnd, Acc: w.Acc}
+			out := msg.P1bMulti{Rnd: w.Rnd, Acc: w.Acc, Shard: w.Shard}
 			for _, v := range w.Votes {
 				out.Votes = append(out.Votes, msg.InstVote{
 					Inst: v.Inst, VRnd: v.VRnd, VVal: c.rebuild(v.VVal, v.Has),
