@@ -1,178 +1,75 @@
-// Command mckv is a replicated key-value store demo over real TCP: every
-// node (3 coordinators, 3 acceptors, 2 learner replicas, 1 client) runs its
-// own mailbox goroutine and its own TCP endpoint on 127.0.0.1; all protocol
-// traffic crosses the loopback network through the gob wire codec.
+// Command mckv is a replicated key-value store demo over real TCP: the
+// batched, sharded, multicoordinated stack stood up by the embedding API.
+// Every node runs behind its own loopback socket; the client round-robins
+// writes across the shards and each shard's round is served by a
+// coordinator group, so ⌊coords/2⌋ coordinator crashes per shard mask
+// without a round change.
 //
-//	go run ./cmd/mckv [-writes N]
+//	go run ./cmd/mckv [-writes N] [-shards N] [-coords C]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sync"
 	"time"
 
-	"mcpaxos/internal/ballot"
-	"mcpaxos/internal/core"
-	"mcpaxos/internal/cstruct"
-	"mcpaxos/internal/msg"
-	"mcpaxos/internal/node"
-	"mcpaxos/internal/quorum"
-	"mcpaxos/internal/runtime"
-	"mcpaxos/internal/smr"
-	"mcpaxos/internal/storage"
-	"mcpaxos/internal/transport"
+	"mcpaxos"
 )
 
 func main() {
-	writes := flag.Int("writes", 10, "number of replicated writes to issue")
+	writes := flag.Int("writes", 12, "number of replicated writes to issue")
+	shards := flag.Int("shards", 2, "instance-space shards (concurrent sequencer groups)")
+	coords := flag.Int("coords", 3, "coordinator group size per shard")
 	flag.Parse()
-	if err := run(*writes); err != nil {
+	if err := run(*writes, *shards, *coords); err != nil {
 		fmt.Fprintln(os.Stderr, "mckv:", err)
 		os.Exit(1)
 	}
 }
 
-// tcpNode hosts exactly one agent behind one TCP endpoint.
-type tcpNode struct {
-	net   *runtime.Network
-	agent *runtime.Agent
-	tcp   *transport.TCP
-}
-
-func (n *tcpNode) stop() {
-	if n.tcp != nil {
-		n.tcp.Close()
-	}
-	n.net.Stop()
-}
-
-func run(writes int) error {
-	cfg := core.Config{
-		Coords:    []msg.NodeID{100, 101, 102},
-		Acceptors: []msg.NodeID{200, 201, 202},
-		Learners:  []msg.NodeID{300, 301},
-		Quorums:   quorum.MustAcceptorSystem(3, 1, 0),
-		CoordQ:    quorum.MustCoordSystem(3),
-		Scheme:    ballot.MultiScheme{},
-		Set:       cstruct.NewHistorySet(cstruct.KeyConflict),
-	}
-	if err := cfg.Validate(); err != nil {
+func run(writes, shards, coords int) error {
+	spec, err := mcpaxos.LocalSpec(shards, coords, 3, 2, 1).ResolveEphemeral()
+	if err != nil {
 		return err
 	}
-	codec := transport.Codec{Set: cfg.Set}
-	client := msg.NodeID(1)
-	all := append(append(append([]msg.NodeID{client}, cfg.Coords...), cfg.Acceptors...), cfg.Learners...)
-
-	// Phase 1 of the bootstrap: listen everywhere on ephemeral ports.
-	addrs := make(map[msg.NodeID]string, len(all))
-	for _, id := range all {
-		addrs[id] = "127.0.0.1:0"
+	rep, err := mcpaxos.OpenReplica(spec) // every protocol node, one per socket
+	if err != nil {
+		return err
 	}
-	nodes := make(map[msg.NodeID]*tcpNode, len(all))
-	defer func() {
-		for _, n := range nodes {
-			n.stop()
-		}
-	}()
+	defer rep.Close()
+	cli, err := mcpaxos.DialClient(spec, spec.Clients[0].ID)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	fmt.Printf("%d nodes on loopback TCP: %d shards × %d-coordinator groups, 3 acceptors, 2 replicas\n",
+		len(spec.Coords)+len(spec.Acceptors)+len(spec.Learners), spec.Shards, spec.CoordsPerShard)
 
-	var mu sync.Mutex
-	replicas := make(map[msg.NodeID]*smr.Replica)
-	var prop *core.Proposer
+	calls := make([]*mcpaxos.Call, 0, writes)
+	for i := 0; i < writes; i++ {
+		calls = append(calls, cli.Set(fmt.Sprintf("key-%d", i%4), fmt.Sprintf("value-%d", i)))
+	}
+	if err := cli.Wait(calls, 15*time.Second); err != nil {
+		return err
+	}
 
-	for _, id := range all {
-		id := id
-		n := &tcpNode{net: runtime.NewNetwork()}
-		build := func(env node.Env) node.Handler {
-			switch {
-			case id == client:
-				prop = core.NewProposer(env, cfg, 1)
-				return prop
-			case contains(cfg.Coords, id):
-				return core.NewCoordinator(env, cfg)
-			case contains(cfg.Acceptors, id):
-				return core.NewAcceptor(env, cfg, &storage.Disk{})
-			default:
-				r := smr.NewReplica(smr.NewKVStore())
-				mu.Lock()
-				replicas[id] = r
-				mu.Unlock()
-				apply := r.UpdateFn()
-				return core.NewLearner(env, cfg, func(v cstruct.CStruct, fresh []cstruct.Cmd) {
-					mu.Lock()
-					defer mu.Unlock()
-					apply(v, fresh)
-				})
-			}
-		}
-		n.agent = n.net.Spawn(id, build)
-		tcp, err := transport.NewTCP(id, addrs, codec, func(from msg.NodeID, m msg.Message) {
-			n.agent.Inject(from, m)
-		})
-		if err != nil {
+	var snaps []string
+	for _, l := range spec.Learners {
+		if err := rep.WaitApplied(l.ID, writes, 10*time.Second); err != nil {
 			return err
 		}
-		n.tcp = tcp
-		addrs[id] = tcp.Addr()
-		nodes[id] = n
+		snap, _ := rep.Snapshot(l.ID)
+		n, _ := rep.Applied(l.ID)
+		fmt.Printf("replica %d applied %d/%d: %s\n", l.ID, n, writes, snap)
+		snaps = append(snaps, snap)
 	}
-	// Phase 2: route off-node traffic through TCP now that addresses are
-	// final.
-	for _, n := range nodes {
-		tcp := n.tcp
-		n.net.Fallback = func(_, to msg.NodeID, m msg.Message) {
-			_ = tcp.Send(to, m) // failures are message loss, which is allowed
-		}
+	if len(snaps) != 2 || snaps[0] != snaps[1] {
+		return fmt.Errorf("replicas did not converge")
 	}
-	fmt.Printf("%d nodes listening on loopback TCP\n", len(all))
-
-	nodes[cfg.Coords[0]].agent.Do(func(h node.Handler) {
-		h.(*core.Coordinator).StartRound(cfg.Scheme.First(0, uint32(cfg.Coords[0])))
-	})
-	time.Sleep(100 * time.Millisecond)
-
-	for i := 0; i < writes; i++ {
-		cmd := smr.SetCmd(uint64(1+i), fmt.Sprintf("key-%d", i%4), fmt.Sprintf("value-%d", i))
-		nodes[client].agent.Do(func(node.Handler) { prop.Propose(cmd) })
+	if rc := rep.RoundChanges(); rc != 0 {
+		return fmt.Errorf("replicas converged but %d round changes occurred", rc)
 	}
-
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		mu.Lock()
-		done := true
-		for _, r := range replicas {
-			if r.Applied() != writes {
-				done = false
-			}
-		}
-		mu.Unlock()
-		if done || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-
-	mu.Lock()
-	defer mu.Unlock()
-	var snaps []string
-	for _, id := range cfg.Learners {
-		r := replicas[id]
-		fmt.Printf("replica %v applied %d/%d: %s\n", id, r.Applied(), writes, r.Machine().Snapshot())
-		snaps = append(snaps, r.Machine().Snapshot())
-	}
-	if len(snaps) == 2 && snaps[0] == snaps[1] && replicas[cfg.Learners[0]].Applied() == writes {
-		fmt.Println("replicas converged over TCP ✓")
-		return nil
-	}
-	return fmt.Errorf("replicas did not converge")
-}
-
-func contains(ids []msg.NodeID, id msg.NodeID) bool {
-	for _, x := range ids {
-		if x == id {
-			return true
-		}
-	}
-	return false
+	fmt.Println("replicas converged over TCP, zero round changes ✓")
+	return nil
 }

@@ -1,113 +1,74 @@
-// KVStore: a replicated key-value store running live on goroutines (no
-// simulator): 3 coordinators, 3 acceptors, 2 learner replicas, one client.
-// The same protocol state machines as the experiments, hosted by the
-// channel-based runtime.
+// KVStore: a replicated key-value store on the embedding API, with the
+// throughput levers turned on — client-side batching per shard, two shards
+// sequencing concurrently, a coordinator group per shard, and durable
+// acceptor WALs on disk. The same protocol state machines as the
+// experiments, over real sockets.
 //
 //	go run ./examples/kvstore
 package main
 
 import (
 	"fmt"
-	"sync"
+	"os"
 	"time"
 
-	"mcpaxos/internal/ballot"
-	"mcpaxos/internal/core"
-	"mcpaxos/internal/cstruct"
-	"mcpaxos/internal/msg"
-	"mcpaxos/internal/node"
-	"mcpaxos/internal/quorum"
-	"mcpaxos/internal/runtime"
-	"mcpaxos/internal/smr"
-	"mcpaxos/internal/storage"
+	"mcpaxos"
 )
 
 func main() {
-	cfg := core.Config{
-		Coords:    []msg.NodeID{100, 101, 102},
-		Acceptors: []msg.NodeID{200, 201, 202},
-		Learners:  []msg.NodeID{300, 301},
-		Quorums:   quorum.MustAcceptorSystem(3, 1, 0),
-		CoordQ:    quorum.MustCoordSystem(3),
-		Scheme:    ballot.MultiScheme{},
-		Set:       cstruct.NewHistorySet(cstruct.KeyConflict),
+	walDir, err := os.MkdirTemp("", "mckv-wal-*")
+	if err != nil {
+		panic(err)
 	}
-	if err := cfg.Validate(); err != nil {
+	defer os.RemoveAll(walDir)
+
+	spec := mcpaxos.LocalSpec(2, 3, 3, 2, 1)
+	spec.BatchMax = 8                     // pack up to 8 writes per consensus instance
+	spec.BatchWait = 2 * time.Millisecond // ... or whatever arrived within 2ms
+	spec.WALDir = walDir                  // acceptors persist votes on disk
+	spec, err = spec.ResolveEphemeral()
+	if err != nil {
 		panic(err)
 	}
 
-	net := runtime.NewNetwork()
-	defer net.Stop()
-
-	var coordAgents []*runtime.Agent
-	for _, id := range cfg.Coords {
-		coordAgents = append(coordAgents, net.Spawn(id, func(env node.Env) node.Handler {
-			return core.NewCoordinator(env, cfg)
-		}))
+	rep, err := mcpaxos.OpenReplica(spec)
+	if err != nil {
+		panic(err)
 	}
-	for _, id := range cfg.Acceptors {
-		disk := &storage.Disk{}
-		net.Spawn(id, func(env node.Env) node.Handler {
-			return core.NewAcceptor(env, cfg, disk)
-		})
+	defer rep.Close()
+	cli, err := mcpaxos.DialClient(spec, spec.Clients[0].ID)
+	if err != nil {
+		panic(err)
 	}
+	defer cli.Close()
 
-	var mu sync.Mutex
-	replicas := make([]*smr.Replica, len(cfg.Learners))
-	for i, id := range cfg.Learners {
-		replicas[i] = smr.NewReplica(smr.NewKVStore())
-		apply := replicas[i].UpdateFn()
-		net.Spawn(id, func(env node.Env) node.Handler {
-			return core.NewLearner(env, cfg, func(v cstruct.CStruct, fresh []cstruct.Cmd) {
-				mu.Lock()
-				defer mu.Unlock()
-				apply(v, fresh)
-			})
-		})
+	const writes = 64
+	start := time.Now()
+	calls := make([]*mcpaxos.Call, 0, writes)
+	for i := 0; i < writes; i++ {
+		calls = append(calls, cli.Set(fmt.Sprintf("user-%d", i%8), fmt.Sprintf("profile-%d", i)))
 	}
-
-	var prop *core.Proposer
-	client := net.Spawn(1, func(env node.Env) node.Handler {
-		prop = core.NewProposer(env, cfg, 1)
-		return prop
-	})
-
-	// Bring up the first multicoordinated round.
-	coordAgents[0].Do(func(h node.Handler) {
-		h.(*core.Coordinator).StartRound(cfg.Scheme.First(0, 100))
-	})
-	time.Sleep(30 * time.Millisecond)
-
-	// Issue some writes.
-	writes := []struct{ k, v string }{
-		{"lang", "go"}, {"paper", "multicoordinated-paxos"}, {"year", "2007"},
-		{"lang", "Go"}, {"venue", "PODC"},
+	if err := cli.Wait(calls, 15*time.Second); err != nil {
+		panic(err)
 	}
-	for i, w := range writes {
-		cmd := smr.SetCmd(uint64(1+i), w.k, w.v)
-		client.Do(func(node.Handler) { prop.Propose(cmd) })
-	}
+	fmt.Printf("%d batched writes through 2 shards in %v\n", writes, time.Since(start).Round(time.Millisecond))
 
-	// Wait for both replicas to apply everything.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		mu.Lock()
-		done := replicas[0].Applied() == len(writes) && replicas[1].Applied() == len(writes)
-		mu.Unlock()
-		if done || time.Now().After(deadline) {
-			break
+	for _, l := range spec.Learners {
+		if err := rep.WaitApplied(l.ID, writes, 10*time.Second); err != nil {
+			panic(err)
 		}
-		time.Sleep(5 * time.Millisecond)
+		n, _ := rep.Applied(l.ID)
+		snap, _ := rep.Snapshot(l.ID)
+		fmt.Printf("replica %d (%d ops): %s\n", l.ID, n, snap)
 	}
-
-	mu.Lock()
-	defer mu.Unlock()
-	for i, r := range replicas {
-		fmt.Printf("replica %d (%d ops): %s\n", i, r.Applied(), r.Machine().Snapshot())
-	}
-	if replicas[0].Machine().Snapshot() == replicas[1].Machine().Snapshot() {
-		fmt.Println("replicas converged ✓")
+	s0, _ := rep.Snapshot(spec.Learners[0].ID)
+	s1, _ := rep.Snapshot(spec.Learners[1].ID)
+	if s0 == s1 {
+		fmt.Println("replicas converged ✓ (votes on disk under", walDir+")")
 	} else {
 		fmt.Println("replicas diverged ✗")
 	}
+	st := cli.Stats()
+	fmt.Printf("client: %d proposed, %d retries, %d duplicate replies suppressed\n",
+		st.Proposed, st.Retries, st.DupReplies)
 }

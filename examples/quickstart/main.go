@@ -1,45 +1,42 @@
-// Quickstart: decide one value with Multicoordinated Paxos on the
-// deterministic simulator, and watch the three-step latency with no single
-// leader on the critical path.
+// Quickstart: the embedding API in ~25 lines. A full Multicoordinated Paxos
+// deployment — 2 shards, a 3-coordinator group per shard, 3 acceptors, 2
+// replicas — comes up on loopback TCP from one declarative spec; the client
+// writes a few keys and reads the replicated result back.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"time"
 
-	"mcpaxos/internal/core"
-	"mcpaxos/internal/cstruct"
+	"mcpaxos"
 )
 
 func main() {
-	// 3 coordinators (any 2 form a quorum), 5 acceptors (any 3 form a
-	// quorum), 1 learner, single-value consensus.
-	cl := core.NewCluster(core.ClusterOpts{
-		NCoords:    3,
-		NAcceptors: 5,
-		F:          2,
-		Seed:       1,
-	})
-
-	// One coordinator starts the first multicoordinated round; phase 1
-	// completes against an acceptor quorum before any command arrives.
-	cl.Start(0)
-	fmt.Printf("round ready at t=%d (phase 1 pre-executed)\n", cl.Sim.Now())
-
-	// A coordinator crash does not matter: the other two still form a
-	// coordinator quorum.
-	cl.Sim.Crash(cl.Cfg.Coords[2])
-	fmt.Println("coordinator 2 crashed — no round change needed")
-
-	start := cl.Sim.Now()
-	cl.Props[0].Propose(cstruct.Cmd{ID: 42})
-	cl.Sim.Run()
-
-	if t, ok := cl.LearnTimes[42]; ok {
-		fmt.Printf("command 42 learned in %d communication steps\n", t-start)
-	} else {
-		fmt.Println("command was not learned (unexpected)")
+	spec, err := mcpaxos.LocalSpec(2, 3, 3, 2, 1).ResolveEphemeral()
+	if err != nil {
+		panic(err)
 	}
-	fmt.Printf("learner state: %v\n", cl.Learners[0].Learned())
+	rep, err := mcpaxos.OpenReplica(spec) // all nodes in this process
+	if err != nil {
+		panic(err)
+	}
+	defer rep.Close()
+	cli, err := mcpaxos.DialClient(spec, spec.Clients[0].ID)
+	if err != nil {
+		panic(err)
+	}
+	defer cli.Close()
+
+	calls := []*mcpaxos.Call{cli.Set("lang", "go"), cli.Set("paper", "multicoordinated-paxos"), cli.Set("venue", "PODC")}
+	if err := cli.Wait(calls, 10*time.Second); err != nil {
+		panic(err)
+	}
+	for _, c := range calls {
+		res, _ := c.Result()
+		fmt.Printf("applied in %v: %s\n", c.Latency().Round(time.Millisecond), res)
+	}
+	v, _, _ := rep.Get(spec.Learners[0].ID, "paper")
+	fmt.Println("replicated read:", v)
 }

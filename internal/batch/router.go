@@ -97,6 +97,9 @@ func (r *Router) Seqs() []uint64 {
 	return out
 }
 
+// PendingShard reports how many commands one shard's batcher is buffering.
+func (r *Router) PendingShard(shard int) int { return r.batchers[shard].Pending() }
+
 // Pending reports how many commands are buffered across all shards.
 func (r *Router) Pending() int {
 	n := 0

@@ -1,0 +1,528 @@
+package deploy
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mcpaxos/internal/batch"
+	"mcpaxos/internal/classic"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+	"mcpaxos/internal/runtime"
+	"mcpaxos/internal/smr"
+	"mcpaxos/internal/transport"
+)
+
+// Call is one in-flight proposal: it resolves when a learner replica
+// reports the command's apply result, or when the request times out.
+type Call struct {
+	// ID is the stamped command ID the reply is correlated by.
+	ID   uint64
+	done chan struct{}
+
+	// set before done closes, immutable after.
+	result string
+	err    error
+	start  time.Time
+	end    time.Time
+}
+
+// Done is closed once the call has resolved.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Result blocks until the call resolves and returns the apply result.
+func (c *Call) Result() (string, error) {
+	<-c.done
+	return c.result, c.err
+}
+
+// Latency reports submission-to-reply wall time; zero until resolved.
+func (c *Call) Latency() time.Duration {
+	select {
+	case <-c.done:
+		return c.end.Sub(c.start)
+	default:
+		return 0
+	}
+}
+
+// ClientStats counts the client's retry and correlation activity.
+type ClientStats struct {
+	// Proposed counts submitted commands; Resolved counts replies matched to
+	// a call; Failed counts calls that timed out.
+	Proposed, Resolved, Failed uint64
+	// Retries counts batch retransmissions (dropped connections, slow or
+	// crashed coordinators); Rotations counts quorum-window advances of the
+	// initial-send load balancer.
+	Retries, Rotations uint64
+	// DupReplies counts replies dropped because another learner replica
+	// answered first — the duplicate-response suppression at work.
+	DupReplies uint64
+	// Noops counts shard-alignment skip commands the client injected to keep
+	// the merged order gap-free under skewed flush counts.
+	Noops uint64
+}
+
+// Client is the embeddable client of a deployment: it connects over TCP,
+// spreads proposals round-robin across the shards (batching each shard's
+// stream independently), load-balances each shard's coordinator group by
+// rotating the quorum-sized window the initial send targets, retries with
+// exponential backoff — falling back to the whole group, so a crashed or
+// unreachable coordinator is masked — and resolves each command's Call when
+// the first learner replica reports its apply result.
+type Client struct {
+	id     msg.NodeID
+	net    *runtime.Network
+	tcp    *transport.TCP
+	agent  *runtime.Agent
+	h      *clientHandler
+	closed atomic.Bool
+}
+
+// Dial opens the client endpoint declared as spec client id and connects it
+// to the deployment.
+func Dial(spec ClusterSpec, id uint32) (*Client, error) {
+	cfg, err := spec.config()
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, n := range spec.Clients {
+		if n.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("deploy: %d is not a client of the spec", id)
+	}
+	c := &Client{id: msg.NodeID(id), net: runtime.NewNetwork()}
+	c.net.Tick = spec.tick()
+	c.agent = c.net.Spawn(c.id, func(env node.Env) node.Handler {
+		c.h = newClientHandler(env, cfg, spec)
+		return c.h
+	})
+	ln, err := spec.listen(spec.addrs()[c.id])
+	if err != nil {
+		c.net.Stop()
+		return nil, err
+	}
+	tcp := transport.NewTCPOnListener(c.id, ln, spec.addrs(), transport.Codec{Set: cstruct.SingleValueSet{}},
+		func(from msg.NodeID, m msg.Message) { c.agent.Inject(from, m) })
+	c.tcp = tcp
+	c.net.SetFallback(func(_, to msg.NodeID, m msg.Message) { _ = tcp.Send(to, m) })
+	return c, nil
+}
+
+// Propose submits one command and returns its in-flight Call. A zero cmd.ID
+// is stamped with the client's identity and submission counter — required
+// for reply correlation; callers supplying their own IDs must use the same
+// scheme (see cmdID) or forgo replies. Submission is asynchronous: the
+// command travels through the client's mailbox, so a burst of proposals
+// never blocks behind the protocol traffic it generates.
+func (c *Client) Propose(cmd cstruct.Cmd) *Call {
+	if cmd.ID == 0 {
+		cmd.ID = cmdID(c.id, c.h.seq.Add(1)-1)
+	}
+	call := &Call{ID: cmd.ID, done: make(chan struct{}), start: time.Now()}
+	if c.closed.Load() {
+		// The mailbox is (or is about to be) gone: resolve the call now
+		// instead of handing back one that can never complete.
+		call.err, call.end = fmt.Errorf("deploy: client closed"), time.Now()
+		close(call.done)
+		return call
+	}
+	c.agent.Inject(c.id, proposeMsg{cmd: cmd, call: call})
+	return call
+}
+
+// Set proposes a KV write and returns its Call.
+func (c *Client) Set(key, value string) *Call {
+	return c.Propose(smr.SetCmd(0, key, value))
+}
+
+// Del proposes a KV delete and returns its Call.
+func (c *Client) Del(key string) *Call {
+	return c.Propose(smr.DelCmd(0, key))
+}
+
+// Flush submits every partially filled batch immediately instead of waiting
+// for size or BatchWait, then aligns the shard streams (no-op padding) so
+// the merged order cannot stall on a never-proposed instance.
+func (c *Client) Flush() {
+	c.agent.Do(func(node.Handler) {
+		c.h.router.FlushAll()
+		c.h.alignShards()
+	})
+}
+
+// Wait flushes and blocks until every given call resolves or the timeout
+// elapses; it returns the first call error, if any.
+func (c *Client) Wait(calls []*Call, timeout time.Duration) error {
+	c.Flush()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	var firstErr error
+	for _, call := range calls {
+		select {
+		case <-call.Done():
+			if _, err := call.Result(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-deadline.C:
+			return fmt.Errorf("deploy: %v timeout waiting for call %d", timeout, call.ID)
+		}
+	}
+	return firstErr
+}
+
+// Stats snapshots the client's retry/correlation counters.
+func (c *Client) Stats() ClientStats {
+	var s ClientStats
+	c.agent.Do(func(node.Handler) { s = c.h.stats })
+	return s
+}
+
+// Close disconnects the client. Unresolved calls fail, and later Propose
+// calls return already-failed Calls.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.agent.Do(func(node.Handler) { c.h.failAll(fmt.Errorf("deploy: client closed")) })
+	c.tcp.Close()
+	c.net.Stop()
+	return nil
+}
+
+// Client timer tags.
+const (
+	tagClientRetry = 1
+	tagClientFlush = 2
+)
+
+// proposeMsg carries one submission through the client's mailbox (it never
+// crosses the wire).
+type proposeMsg struct {
+	cmd  cstruct.Cmd
+	call *Call
+}
+
+// Type implements msg.Message.
+func (proposeMsg) Type() msg.Type { return msg.TUnknown }
+
+// Instance implements msg.Message.
+func (proposeMsg) Instance() uint64 { return 0 }
+
+// pendingBatch is one flushed batch (or lone command) awaiting replies for
+// its constituents; retries resend the identical command under the identical
+// per-shard sequence number, so every coordinator group member keeps the
+// same instance placement.
+type pendingBatch struct {
+	shard    int
+	seq      uint64
+	cmd      cstruct.Cmd
+	waiting  int
+	attempts int
+	next     int64 // env time of the next retry
+	deadline int64 // env time at which the batch's calls fail
+}
+
+// clientHandler is the protocol-facing half of the Client. It runs on the
+// client agent's mailbox goroutine; the Client's exported methods reach it
+// through Agent.Do, so it needs no locking.
+type clientHandler struct {
+	env  node.Env
+	cfg  classic.Config
+	spec ClusterSpec
+
+	router *batch.Router
+	// seq is the command-ID stamp counter. It is atomic because Propose
+	// stamps on the caller's goroutine while alignShards stamps no-ops on
+	// the mailbox goroutine.
+	seq atomic.Uint64
+
+	calls   map[uint64]*Call         // inner command ID → call
+	batchOf map[uint64]uint64        // inner command ID → flushed cmd ID
+	pend    map[uint64]*pendingBatch // flushed cmd ID → retry state
+	rr      []int                    // per-shard rotation cursor of the initial-send window
+
+	retryEvery   int64
+	timeoutTicks int64
+	retryArmed   bool
+	flushArmed   bool
+	stats        ClientStats
+}
+
+var _ node.Handler = (*clientHandler)(nil)
+var _ node.TimerHandler = (*clientHandler)(nil)
+
+func newClientHandler(env node.Env, cfg classic.Config, spec ClusterSpec) *clientHandler {
+	h := &clientHandler{
+		env: env, cfg: cfg, spec: spec,
+		calls:        make(map[uint64]*Call),
+		batchOf:      make(map[uint64]uint64),
+		pend:         make(map[uint64]*pendingBatch),
+		rr:           make([]int, cfg.NShards()),
+		retryEvery:   spec.retryTicks(),
+		timeoutTicks: spec.timeoutTicks(),
+	}
+	h.router = batch.NewRouter(cfg.NShards(), spec.batchMax(), spec.batchWaitTicks(), env.Now, h.submit)
+	return h
+}
+
+// propose stamps, registers and routes one command from the mailbox
+// goroutine (test convenience; the Client submits via proposeMsg).
+func (h *clientHandler) propose(cmd cstruct.Cmd) *Call {
+	if cmd.ID == 0 {
+		cmd.ID = cmdID(h.env.ID(), h.seq.Add(1)-1)
+	}
+	call := &Call{ID: cmd.ID, done: make(chan struct{}), start: time.Now()}
+	h.proposeCall(cmd, call)
+	return call
+}
+
+// proposeCall registers and routes one stamped command.
+func (h *clientHandler) proposeCall(cmd cstruct.Cmd, call *Call) {
+	if cmd.Key == noopKey {
+		// The skip key is the deploy layer's own vocabulary: a user command
+		// carrying it would be silently discarded at apply time.
+		call.err, call.end = fmt.Errorf("deploy: key %q is reserved for shard-alignment no-ops", noopKey), time.Now()
+		close(call.done)
+		return
+	}
+	if _, dup := h.calls[cmd.ID]; dup {
+		// A duplicate ID cannot be correlated independently: fail the new
+		// call rather than strand it (stamped IDs never collide; only
+		// caller-supplied IDs can).
+		call.err, call.end = fmt.Errorf("deploy: duplicate command ID %d in flight", cmd.ID), time.Now()
+		close(call.done)
+		return
+	}
+	h.calls[cmd.ID] = call
+	h.stats.Proposed++
+	h.router.Route(cmd)
+	if wait := h.spec.batchWaitTicks(); wait > 0 && h.router.Pending() > 0 && !h.flushArmed {
+		h.flushArmed = true
+		h.env.SetTimer(wait, tagClientFlush)
+	}
+}
+
+// submit receives each flushed batch from the router and sends it to the
+// shard's initial-target window.
+func (h *clientHandler) submit(shard int, seq uint64, cmd cstruct.Cmd) {
+	inner, isBatch := batch.Unpack(cmd)
+	if !isBatch {
+		inner = []cstruct.Cmd{cmd}
+	}
+	b := &pendingBatch{
+		shard: shard, seq: seq, cmd: cmd,
+		// The first retry waits twice the base interval: under a burst the
+		// end-to-end reply time legitimately exceeds one interval, and a
+		// premature full-group rebroadcast only adds to the load it is
+		// waiting out.
+		next:     h.env.Now() + 2*h.retryEvery,
+		deadline: h.env.Now() + h.timeoutTicks,
+	}
+	for _, c := range inner {
+		if _, tracked := h.calls[c.ID]; tracked {
+			h.batchOf[c.ID] = cmd.ID
+			b.waiting++
+		}
+	}
+	h.pend[cmd.ID] = b
+	node.Broadcast(h.env, h.targets(shard, 0), msg.Propose{Cmd: cmd, Seq: seq, HasSeq: true})
+	h.armRetry()
+}
+
+// targets picks where a batch goes. The initial send of a multicoordinated
+// shard load-balances: a quorum-sized window of the group, rotated per
+// flush, is enough for acceptors to gather ⌊c/2⌋+1 matching 2as while
+// spreading forwarding work across the members (the paper's Section 4.1
+// load-balance lever applied to coordinator quorums). Retries broadcast to
+// the whole group — any live quorum of members masks the rest.
+// Single-coordinated shards always target the primary plus its standbys.
+func (h *clientHandler) targets(shard, attempt int) []msg.NodeID {
+	if !h.cfg.Multicoordinated() {
+		return h.cfg.ShardCoords(shard)
+	}
+	group := h.cfg.ShardGroup(shard)
+	if attempt > 0 {
+		return group
+	}
+	q := h.cfg.CoordQuorumSize(shard)
+	if q >= len(group) {
+		return group
+	}
+	start := h.rr[shard]
+	h.rr[shard] = (start + 1) % len(group)
+	h.stats.Rotations++
+	out := make([]msg.NodeID, 0, q)
+	for i := 0; i < q; i++ {
+		out = append(out, group[(start+i)%len(group)])
+	}
+	return out
+}
+
+// OnMessage implements node.Handler: submissions are routed, replies resolve
+// calls; everything else is ignored.
+func (h *clientHandler) OnMessage(_ msg.NodeID, m msg.Message) {
+	if pm, ok := m.(proposeMsg); ok {
+		h.proposeCall(pm.cmd, pm.call)
+		return
+	}
+	mm, ok := m.(msg.Reply)
+	if !ok {
+		return
+	}
+	call, ok := h.calls[mm.CmdID]
+	if !ok {
+		h.stats.DupReplies++
+		return
+	}
+	delete(h.calls, mm.CmdID)
+	h.stats.Resolved++
+	call.result, call.end = mm.Result, time.Now()
+	close(call.done)
+	h.settle(mm.CmdID)
+}
+
+// settle removes a resolved command from its batch's waiting count,
+// retiring the batch once every constituent has answered.
+func (h *clientHandler) settle(cmdID uint64) {
+	bid, ok := h.batchOf[cmdID]
+	if !ok {
+		return
+	}
+	delete(h.batchOf, cmdID)
+	b, ok := h.pend[bid]
+	if !ok {
+		return
+	}
+	if b.waiting--; b.waiting <= 0 {
+		delete(h.pend, bid)
+	}
+}
+
+// OnTimer implements node.TimerHandler: due batches are retransmitted to the
+// whole coordinator group with exponential backoff; batches past their
+// deadline fail their remaining calls.
+func (h *clientHandler) OnTimer(tag int) {
+	switch tag {
+	case tagClientFlush:
+		h.flushArmed = false
+		h.router.Tick()
+		h.alignShards()
+		if h.spec.batchWaitTicks() > 0 && h.router.Pending() > 0 {
+			h.flushArmed = true
+			h.env.SetTimer(1, tagClientFlush)
+		}
+		return
+	case tagClientRetry:
+		h.retryArmed = false
+		now := h.env.Now()
+		// Deterministic retry order (map iteration is not).
+		ids := make([]uint64, 0, len(h.pend))
+		for id := range h.pend {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			b := h.pend[id]
+			if now >= b.deadline {
+				h.fail(id, b, fmt.Errorf("deploy: no reply for command %d after %d attempts", id, b.attempts+1))
+				continue
+			}
+			if now < b.next {
+				continue
+			}
+			b.attempts++
+			h.stats.Retries++
+			backoff := h.retryEvery << uint(min(b.attempts, 5))
+			b.next = now + backoff
+			node.Broadcast(h.env, h.targets(b.shard, b.attempts),
+				msg.Propose{Cmd: b.cmd, Seq: b.seq, HasSeq: true})
+		}
+		h.armRetry()
+	}
+}
+
+// alignShards pads lagging, idle shards with no-op commands until every
+// shard's flushed sequence count matches the leader's: each shard's stream
+// then covers the same sequence numbers, so the merged instance order has no
+// gap that no proposal will ever fill (one slow or time-flushed shard would
+// otherwise stall delivery forever — the Mencius skip problem). No-ops are
+// client-stamped and tracked like any proposal, so a lost skip is retried
+// through the same coordinator-group path and is itself crash-masked;
+// learner replicas acknowledge and discard them.
+func (h *clientHandler) alignShards() {
+	if h.cfg.NShards() < 2 {
+		return
+	}
+	for {
+		seqs := h.router.Seqs()
+		var hi uint64
+		for _, s := range seqs {
+			if s > hi {
+				hi = s
+			}
+		}
+		padded := false
+		for k, s := range seqs {
+			if s < hi && h.router.PendingShard(k) == 0 {
+				cmd := cstruct.Cmd{ID: cmdID(h.env.ID(), h.seq.Add(1)-1), Key: noopKey, Op: cstruct.OpWrite}
+				// Tracked like a user call so the retry/settlement machinery
+				// covers the skip, but never handed out.
+				h.calls[cmd.ID] = &Call{ID: cmd.ID, done: make(chan struct{}), start: time.Now()}
+				h.stats.Noops++
+				h.router.RouteTo(k, cmd)
+				padded = true
+			}
+		}
+		if !padded {
+			return
+		}
+		h.router.FlushAll()
+	}
+}
+
+// fail resolves every unanswered call of a batch with err and retires it.
+func (h *clientHandler) fail(bid uint64, b *pendingBatch, err error) {
+	inner, isBatch := batch.Unpack(b.cmd)
+	if !isBatch {
+		inner = []cstruct.Cmd{b.cmd}
+	}
+	for _, c := range inner {
+		call, ok := h.calls[c.ID]
+		if !ok {
+			continue
+		}
+		delete(h.calls, c.ID)
+		delete(h.batchOf, c.ID)
+		h.stats.Failed++
+		call.err, call.end = err, time.Now()
+		close(call.done)
+	}
+	delete(h.pend, bid)
+}
+
+// failAll fails every in-flight call (client shutdown).
+func (h *clientHandler) failAll(err error) {
+	for bid, b := range h.pend {
+		h.fail(bid, b, err)
+	}
+	for id, call := range h.calls {
+		delete(h.calls, id)
+		h.stats.Failed++
+		call.err, call.end = err, time.Now()
+		close(call.done)
+	}
+}
+
+func (h *clientHandler) armRetry() {
+	if h.retryArmed || len(h.pend) == 0 {
+		return
+	}
+	h.retryArmed = true
+	h.env.SetTimer(h.retryEvery, tagClientRetry)
+}

@@ -1,0 +1,285 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+	"mcpaxos/internal/smr"
+)
+
+// fakeEnv drives a clientHandler deterministically: sends are recorded,
+// time is advanced by hand, timers are noted but fired by the test.
+type fakeEnv struct {
+	id     msg.NodeID
+	now    int64
+	sent   []fakeSent
+	timers []fakeTimer
+}
+
+type fakeSent struct {
+	to msg.NodeID
+	m  msg.Message
+}
+
+type fakeTimer struct {
+	at  int64
+	tag int
+}
+
+func (e *fakeEnv) ID() msg.NodeID { return e.id }
+func (e *fakeEnv) Now() int64     { return e.now }
+func (e *fakeEnv) Send(to msg.NodeID, m msg.Message) {
+	e.sent = append(e.sent, fakeSent{to: to, m: m})
+}
+func (e *fakeEnv) SetTimer(d int64, tag int) {
+	e.timers = append(e.timers, fakeTimer{at: e.now + d, tag: tag})
+}
+
+// proposeTargets returns the distinct destinations of the Propose messages
+// sent since index from.
+func proposeTargets(sent []fakeSent, from int) []msg.NodeID {
+	var out []msg.NodeID
+	for _, s := range sent[from:] {
+		if _, ok := s.m.(msg.Propose); ok {
+			out = append(out, s.to)
+		}
+	}
+	return out
+}
+
+// multiSpec is a 1-shard spec with a coordinator group of three, batching
+// disabled so every propose flushes immediately.
+func multiSpec(t *testing.T) (ClusterSpec, *clientHandler, *fakeEnv) {
+	t.Helper()
+	spec := LocalSpec(1, 3, 3, 1, 1)
+	spec.BatchMax = 1
+	for i := range spec.Coords {
+		spec.Coords[i].Addr = "127.0.0.1:1" // concrete, never dialed by the fake env
+	}
+	for i := range spec.Acceptors {
+		spec.Acceptors[i].Addr = "127.0.0.1:1"
+	}
+	for i := range spec.Learners {
+		spec.Learners[i].Addr = "127.0.0.1:1"
+	}
+	for i := range spec.Clients {
+		spec.Clients[i].Addr = "127.0.0.1:1"
+	}
+	cfg, err := spec.config()
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	env := &fakeEnv{id: msg.NodeID(spec.Clients[0].ID)}
+	return spec, newClientHandler(env, cfg, spec), env
+}
+
+func ids(ns []NodeSpec) []msg.NodeID {
+	out := make([]msg.NodeID, len(ns))
+	for i, n := range ns {
+		out[i] = msg.NodeID(n.ID)
+	}
+	return out
+}
+
+func equalIDs(a, b []msg.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClientRotation: successive initial sends of a multicoordinated shard
+// rotate a quorum-sized window across the group, spreading forwarding work.
+func TestClientRotation(t *testing.T) {
+	spec, h, env := multiSpec(t)
+	group := ids(spec.Coords) // 1 shard: the group is the first 3 coords
+	want := [][]msg.NodeID{
+		{group[0], group[1]},
+		{group[1], group[2]},
+		{group[2], group[0]},
+		{group[0], group[1]},
+	}
+	for i, w := range want {
+		mark := len(env.sent)
+		h.propose(cstruct.Cmd{Key: "k", Op: cstruct.OpWrite})
+		got := proposeTargets(env.sent, mark)
+		if !equalIDs(got, w) {
+			t.Fatalf("propose %d targeted %v, want %v", i, got, w)
+		}
+	}
+	if h.stats.Rotations != 4 {
+		t.Fatalf("rotations = %d, want 4", h.stats.Rotations)
+	}
+}
+
+// TestClientRetryBroadcastsGroup: an unanswered proposal is retransmitted to
+// the whole coordinator group with exponential backoff — the path that masks
+// a crashed or unreachable window member.
+func TestClientRetryBroadcastsGroup(t *testing.T) {
+	spec, h, env := multiSpec(t)
+	group := ids(spec.Coords)
+	h.propose(cstruct.Cmd{Key: "k", Op: cstruct.OpWrite})
+	if n := len(proposeTargets(env.sent, 0)); n != 2 {
+		t.Fatalf("initial send reached %d coordinators, want the quorum window of 2", n)
+	}
+
+	// First retry: due after twice the base interval (bursts pay one full
+	// round trip before the client assumes loss), to all three members.
+	env.now += 2 * h.retryEvery
+	mark := len(env.sent)
+	h.OnTimer(tagClientRetry)
+	if got := proposeTargets(env.sent, mark); !equalIDs(got, group) {
+		t.Fatalf("retry 1 targeted %v, want the whole group %v", got, group)
+	}
+	if h.stats.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", h.stats.Retries)
+	}
+
+	// The retransmission carries the same sequence number: group members
+	// must keep the same instance placement.
+	var seqs []uint64
+	for _, s := range env.sent {
+		if p, ok := s.m.(msg.Propose); ok {
+			if !p.HasSeq {
+				t.Fatalf("proposal without sequence number: %+v", p)
+			}
+			seqs = append(seqs, p.Seq)
+		}
+	}
+	for _, q := range seqs {
+		if q != seqs[0] {
+			t.Fatalf("retry changed the sequence number: %v", seqs)
+		}
+	}
+
+	// Backoff: immediately after the first retry nothing is due.
+	mark = len(env.sent)
+	h.OnTimer(tagClientRetry)
+	if got := proposeTargets(env.sent, mark); len(got) != 0 {
+		t.Fatalf("retry fired before the backoff elapsed: %v", got)
+	}
+	// After the doubled interval it is due again.
+	env.now += 2 * h.retryEvery
+	h.OnTimer(tagClientRetry)
+	if got := proposeTargets(env.sent, mark); !equalIDs(got, group) {
+		t.Fatalf("backed-off retry targeted %v, want %v", got, group)
+	}
+}
+
+// TestClientDuplicateReplySuppression: every learner replica answers; the
+// first reply resolves the call, the rest are counted and dropped.
+func TestClientDuplicateReplySuppression(t *testing.T) {
+	_, h, _ := multiSpec(t)
+	call := h.propose(cstruct.Cmd{Key: "k", Op: cstruct.OpWrite})
+	h.OnMessage(300, msg.Reply{CmdID: call.ID, From: 300, Result: "first"})
+	select {
+	case <-call.Done():
+	default:
+		t.Fatal("call did not resolve on first reply")
+	}
+	h.OnMessage(301, msg.Reply{CmdID: call.ID, From: 301, Result: "second"})
+	res, err := call.Result()
+	if err != nil || res != "first" {
+		t.Fatalf("call resolved to (%q, %v), want the first reply", res, err)
+	}
+	if h.stats.DupReplies != 1 || h.stats.Resolved != 1 {
+		t.Fatalf("stats = %+v, want 1 resolved, 1 duplicate", h.stats)
+	}
+	if len(h.pend) != 0 || len(h.calls) != 0 || len(h.batchOf) != 0 {
+		t.Fatalf("client retained state after settlement: pend=%d calls=%d batchOf=%d",
+			len(h.pend), len(h.calls), len(h.batchOf))
+	}
+}
+
+// TestClientBatchSettlement: a batch retires only once every constituent has
+// been answered, and each constituent resolves with its own result.
+func TestClientBatchSettlement(t *testing.T) {
+	spec, h, _ := multiSpec(t)
+	spec.BatchMax = 2
+	cfg, _ := spec.config()
+	env := &fakeEnv{id: msg.NodeID(spec.Clients[0].ID)}
+	h = newClientHandler(env, cfg, spec)
+
+	a := h.propose(smr.SetCmd(0, "a", "1"))
+	b := h.propose(smr.SetCmd(0, "b", "2"))
+	if len(h.pend) != 1 {
+		t.Fatalf("pend = %d batches, want 1 (both commands in one batch)", len(h.pend))
+	}
+	h.OnMessage(300, msg.Reply{CmdID: a.ID, From: 300, Result: "ra"})
+	if len(h.pend) != 1 {
+		t.Fatal("batch retired with a constituent still unanswered")
+	}
+	h.OnMessage(300, msg.Reply{CmdID: b.ID, From: 300, Result: "rb"})
+	if len(h.pend) != 0 {
+		t.Fatal("batch not retired after every constituent answered")
+	}
+	if ra, _ := a.Result(); ra != "ra" {
+		t.Fatalf("a resolved to %q", ra)
+	}
+	if rb, _ := b.Result(); rb != "rb" {
+		t.Fatalf("b resolved to %q", rb)
+	}
+}
+
+// TestClientRequestTimeout: a proposal that never draws a reply fails after
+// RequestTimeout with the attempt count in the error.
+func TestClientRequestTimeout(t *testing.T) {
+	_, h, env := multiSpec(t)
+	call := h.propose(cstruct.Cmd{Key: "k", Op: cstruct.OpWrite})
+	env.now += h.timeoutTicks + 1
+	h.OnTimer(tagClientRetry)
+	select {
+	case <-call.Done():
+	default:
+		t.Fatal("call did not fail at its deadline")
+	}
+	if _, err := call.Result(); err == nil || !strings.Contains(err.Error(), "no reply") {
+		t.Fatalf("timeout error = %v", err)
+	}
+	if h.stats.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", h.stats.Failed)
+	}
+	if len(h.pend) != 0 || len(h.calls) != 0 {
+		t.Fatal("failed call left retry state behind")
+	}
+}
+
+// TestClientSingleCoordinatedTargets: without coordinator groups the client
+// targets the shard's primary and standbys on every attempt (the failover
+// route), never a rotating window.
+func TestClientSingleCoordinatedTargets(t *testing.T) {
+	spec := LocalSpec(2, 1, 3, 1, 1)
+	spec.BatchMax = 1
+	// Two standby coordinators beyond the two primaries.
+	spec.Coords = append(spec.Coords, NodeSpec{ID: 110}, NodeSpec{ID: 111})
+	for _, group := range []*[]NodeSpec{&spec.Coords, &spec.Acceptors, &spec.Learners, &spec.Clients} {
+		for i := range *group {
+			(*group)[i].Addr = "127.0.0.1:1" // concrete, never dialed by the fake env
+		}
+	}
+	cfg, err := spec.config()
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	env := &fakeEnv{id: msg.NodeID(spec.Clients[0].ID)}
+	h := newClientHandler(env, cfg, spec)
+	h.propose(cstruct.Cmd{ID: cmdID(1, 0), Key: "k", Op: cstruct.OpWrite}) // shard 0 via router round-robin
+	got := proposeTargets(env.sent, 0)
+	want := cfg.ShardCoords(0)
+	if !equalIDs(got, want) {
+		t.Fatalf("single-coordinated send targeted %v, want primary+standbys %v", got, want)
+	}
+	if h.stats.Rotations != 0 {
+		t.Fatal("single-coordinated shards must not rotate windows")
+	}
+}
+
+var _ node.Handler = (*clientHandler)(nil)

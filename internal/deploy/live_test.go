@@ -1,0 +1,256 @@
+package deploy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mcpaxos/internal/smr"
+)
+
+// openLocal resolves and opens a full single-process deployment plus one
+// client, with test-friendly tuning.
+func openLocal(t *testing.T, spec ClusterSpec) (*Replica, *Client) {
+	t.Helper()
+	spec, err := spec.ResolveEphemeral()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	rep, err := Open(spec)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { rep.Close() })
+	cli, err := Dial(spec, spec.Clients[0].ID)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return rep, cli
+}
+
+// TestLiveTCPEndToEnd: the full batched, sharded, multicoordinated stack
+// over real loopback sockets — commands round-trip client → coordinator
+// group → acceptors → learner replicas → reply, and both replicas converge
+// on the same state and order.
+func TestLiveTCPEndToEnd(t *testing.T) {
+	spec := LocalSpec(2, 3, 3, 2, 1)
+	spec.BatchMax = 4
+	spec.Window = 4
+	spec.RetryEvery = 20 * time.Millisecond
+	rep, cli := openLocal(t, spec)
+
+	const n = 32
+	calls := make([]*Call, 0, n)
+	for i := 0; i < n; i++ {
+		calls = append(calls, cli.Set(fmt.Sprintf("k%d", i%8), fmt.Sprintf("v%d", i)))
+	}
+	if err := cli.Wait(calls, 20*time.Second); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	for _, c := range calls {
+		if _, err := c.Result(); err != nil {
+			t.Fatalf("call %d: %v", c.ID, err)
+		}
+		if c.Latency() <= 0 {
+			t.Fatalf("call %d reported no latency", c.ID)
+		}
+	}
+	l0, l1 := uint32(300), uint32(301)
+	for _, l := range []uint32{l0, l1} {
+		if err := rep.WaitApplied(l, n, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s0, _ := rep.Snapshot(l0)
+	s1, _ := rep.Snapshot(l1)
+	if s0 != s1 {
+		t.Fatalf("replicas diverged:\n%s\n%s", s0, s1)
+	}
+	o0, _ := rep.Order(l0)
+	o1, _ := rep.Order(l1)
+	if fmt.Sprint(o0) != fmt.Sprint(o1) {
+		t.Fatalf("replica orders diverged:\n%v\n%v", o0, o1)
+	}
+	if v, ok, _ := rep.Get(l0, "k3"); !ok || v != "v27" {
+		t.Fatalf("k3 = %q (%v), want v27 (last write wins in the merged order)", v, ok)
+	}
+}
+
+// TestLiveTCPWALRecoveryState: with WALDir set, acceptors persist votes on
+// disk while serving the live path (the stack's durable configuration).
+func TestLiveTCPWALRecoveryState(t *testing.T) {
+	spec := LocalSpec(2, 3, 3, 1, 1)
+	spec.BatchMax = 2
+	spec.WALDir = t.TempDir()
+	rep, cli := openLocal(t, spec)
+
+	calls := []*Call{cli.Set("a", "1"), cli.Set("b", "2"), cli.Set("c", "3"), cli.Set("d", "4")}
+	if err := cli.Wait(calls, 20*time.Second); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if err := rep.WaitApplied(300, 4, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveTCPRetryMasksDeadWindowMember: kill one coordinator before any
+// traffic. When the client's rotating initial window lands on the dead
+// member, the proposal stalls until the retry path rebroadcasts to the
+// whole group — which must complete it without a round change.
+func TestLiveTCPRetryMasksDeadWindowMember(t *testing.T) {
+	spec := LocalSpec(1, 3, 3, 1, 1)
+	spec.BatchMax = 1
+	spec.RetryEvery = 20 * time.Millisecond
+	rep, cli := openLocal(t, spec)
+
+	// Bootstrap traffic so the round is established everywhere.
+	if err := cli.Wait([]*Call{cli.Set("warm", "up")}, 10*time.Second); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	if !rep.Kill(spec.Coords[0].ID) {
+		t.Fatal("kill failed")
+	}
+	// Enough proposals that the rotation necessarily lands windows on the
+	// dead member; every one must still complete.
+	calls := make([]*Call, 0, 6)
+	for i := 0; i < 6; i++ {
+		calls = append(calls, cli.Set(fmt.Sprintf("k%d", i), "v"))
+	}
+	if err := cli.Wait(calls, 20*time.Second); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st := cli.Stats(); st.Retries == 0 {
+		t.Fatal("expected at least one retry against the dead window member")
+	}
+	if rc := rep.RoundChanges(); rc != 0 {
+		t.Fatalf("round changes = %d, want 0 (group masks the dead member)", rc)
+	}
+}
+
+// liveE13Run drives one E13-style run over real sockets: `commands` writes
+// through 2 shards served by coordinator groups of 3, optionally killing one
+// group member per shard mid-stream. It returns the merged apply order, the
+// surviving coordinators' round-change count, and the acceptors' per-shard
+// round delta across the drain.
+func liveE13Run(t *testing.T, commands int, crash bool) (order []uint64, roundChanges int, advanced int) {
+	t.Helper()
+	spec := LocalSpec(2, 3, 3, 2, 1)
+	spec.BatchMax = 4
+	spec.Window = 4
+	spec.RetryEvery = 20 * time.Millisecond
+	spec.BatchWait = -1 // size-triggered flushes only: deterministic batch boundaries
+	spec.WALDir = t.TempDir()
+	rep, cli := openLocal(t, spec)
+
+	// Submit the first half, let it complete: the rounds are established and
+	// traffic is flowing on both shards.
+	half := commands / 2
+	calls := make([]*Call, 0, commands)
+	for i := 0; i < half; i++ {
+		calls = append(calls, cli.Set(fmt.Sprintf("k%d", i%8), fmt.Sprintf("v%d", i)))
+	}
+	cli.Flush()
+	if err := cli.Wait(calls[:half], 30*time.Second); err != nil {
+		t.Fatalf("first half: %v", err)
+	}
+	before := rep.ShardRounds()
+
+	if crash {
+		// One group member per shard dies mid-stream: the primaries,
+		// coordinators 0 and 1 — the worst case for a single-coordinated
+		// deployment, masked entirely by a group of three.
+		if !rep.Kill(spec.Coords[0].ID) || !rep.Kill(spec.Coords[1].ID) {
+			t.Fatal("kill failed")
+		}
+	}
+	for i := half; i < commands; i++ {
+		calls = append(calls, cli.Set(fmt.Sprintf("k%d", i%8), fmt.Sprintf("v%d", i)))
+	}
+	if err := cli.Wait(calls, 60*time.Second); err != nil {
+		t.Fatalf("second half: %v", err)
+	}
+	for _, id := range []uint32{300, 301} {
+		if err := rep.WaitApplied(id, commands, 20*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	o0, _ := rep.Order(300)
+	o1, _ := rep.Order(301)
+	if fmt.Sprint(o0) != fmt.Sprint(o1) {
+		t.Fatalf("learner orders diverged:\n%v\n%v", o0, o1)
+	}
+	after := rep.ShardRounds()
+	for k := range after {
+		if before[k].Less(after[k]) {
+			advanced++
+		}
+	}
+	return o0, rep.RoundChanges(), advanced
+}
+
+// TestLiveTCPCrashMasking is the E13 claim off the simulator for the first
+// time: under CoordsPerShard = 3 over real TCP, killing one coordinator per
+// shard mid-stream drains the remaining commands with zero round changes, no
+// acceptor round advance, and a merged total order identical to the
+// crash-free run's.
+func TestLiveTCPCrashMasking(t *testing.T) {
+	const commands = 48
+	baseOrder, baseRC, baseAdv := liveE13Run(t, commands, false)
+	crashOrder, crashRC, crashAdv := liveE13Run(t, commands, true)
+
+	if len(baseOrder) != commands || len(crashOrder) != commands {
+		t.Fatalf("orders incomplete: %d and %d of %d", len(baseOrder), len(crashOrder), commands)
+	}
+	if fmt.Sprint(baseOrder) != fmt.Sprint(crashOrder) {
+		t.Fatalf("crash run changed the merged order:\n base: %v\ncrash: %v", baseOrder, crashOrder)
+	}
+	if baseRC != 0 || crashRC != 0 {
+		t.Fatalf("round changes: base %d, crash %d — want 0 and 0 (the groups mask the kills)", baseRC, crashRC)
+	}
+	if baseAdv != 0 || crashAdv != 0 {
+		t.Fatalf("acceptor shard rounds advanced: base %d, crash %d — want none", baseAdv, crashAdv)
+	}
+}
+
+// TestSpecValidation: the spec surface rejects malformed deployments.
+func TestSpecValidation(t *testing.T) {
+	good, err := LocalSpec(2, 3, 3, 1, 1).ResolveEphemeral()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := LocalSpec(1, 1, 3, 1, 1).Validate(); err == nil {
+		t.Fatal("unresolved port-0 addresses accepted — they would hang, not work")
+	}
+	dup, _ := LocalSpec(1, 1, 3, 1, 1).ResolveEphemeral()
+	dup.Learners[0].ID = dup.Acceptors[0].ID
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate node ID accepted")
+	}
+	short, _ := LocalSpec(2, 3, 3, 1, 1).ResolveEphemeral()
+	short.Coords = short.Coords[:4] // shard 1's group is incomplete
+	if err := short.Validate(); err == nil {
+		t.Fatal("incomplete coordinator group accepted")
+	}
+	big, _ := LocalSpec(1, 1, 3, 1, 1).ResolveEphemeral()
+	big.Clients[0].ID = 1 << 23
+	if err := big.Validate(); err == nil {
+		t.Fatal("out-of-range node ID accepted")
+	}
+}
+
+// TestCmdIDRouting: the command-ID stamp carries the issuing client through
+// batches and back out.
+func TestCmdIDRouting(t *testing.T) {
+	id := cmdID(7, 99)
+	if got := replyTo(id); got != 7 {
+		t.Fatalf("replyTo(%d) = %v, want 7", id, got)
+	}
+	if got := replyTo(smr.SetCmd(12345, "k", "v").ID); got != 0 {
+		t.Fatalf("unstamped command routed to client %v, want 0", got)
+	}
+}

@@ -1,0 +1,412 @@
+package deploy
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/batch"
+	"mcpaxos/internal/classic"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+	"mcpaxos/internal/runtime"
+	"mcpaxos/internal/smr"
+	"mcpaxos/internal/storage"
+	"mcpaxos/internal/transport"
+	"mcpaxos/internal/wal"
+)
+
+// hosted is one protocol node run by this process: its own mailbox runtime,
+// its own TCP endpoint, and (for acceptors) its own WAL.
+type hosted struct {
+	id    msg.NodeID
+	net   *runtime.Network
+	agent *runtime.Agent
+	tcp   *transport.TCP
+	wal   *wal.WAL
+}
+
+func (h *hosted) stop() {
+	if h.tcp != nil {
+		h.tcp.Close()
+	}
+	h.net.Stop()
+	if h.wal != nil {
+		h.wal.Close()
+	}
+}
+
+// learnerState is the SMR side of one hosted learner: the merger restoring
+// the total order across shards, the replica state machine, and the merged
+// apply order (inner command IDs, batches unpacked).
+type learnerState struct {
+	mu     sync.Mutex
+	rep    *smr.Replica
+	merger *smr.Merger
+	order  []uint64
+}
+
+// Replica runs one process's share of a deployment: any subset of the
+// spec's coordinator, acceptor and learner nodes, each hosted on its own
+// mailbox goroutine behind its own TCP endpoint. All protocol traffic —
+// even between two nodes of the same Replica — crosses the TCP transport,
+// so one process per node and all nodes in one process behave identically.
+type Replica struct {
+	spec ClusterSpec
+	cfg  classic.Config
+
+	mu       sync.Mutex
+	nodes    map[msg.NodeID]*hosted
+	learners map[msg.NodeID]*learnerState
+}
+
+// Open starts the given nodes of the spec in this process; with no IDs it
+// opens every coordinator, acceptor and learner (a single-process
+// deployment). Coordinators that are shard primaries start their shard's
+// round immediately; the stack's retransmission makes bring-up robust to
+// ordering as long as the acceptors are reachable.
+func Open(spec ClusterSpec, ids ...uint32) (*Replica, error) {
+	cfg, err := spec.config()
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		for _, group := range [][]NodeSpec{spec.Coords, spec.Acceptors, spec.Learners} {
+			for _, n := range group {
+				ids = append(ids, n.ID)
+			}
+		}
+	}
+	r := &Replica{
+		spec:     spec,
+		cfg:      cfg,
+		nodes:    make(map[msg.NodeID]*hosted),
+		learners: make(map[msg.NodeID]*learnerState),
+	}
+	for _, raw := range ids {
+		if err := r.openNode(msg.NodeID(raw)); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	// Leadership last, once every locally hosted node is reachable: each
+	// shard's primary (coordinator k of shard k) starts the round; acceptors
+	// broadcast their promises to the whole group, so one 1a establishes the
+	// round at every member.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, co := range cfg.Coords {
+		if i >= cfg.NShards() {
+			break
+		}
+		if h, ok := r.nodes[co]; ok {
+			h.agent.Do(func(hd node.Handler) { hd.(*classic.Coordinator).BecomeLeader() })
+		}
+	}
+	return r, nil
+}
+
+// roleOf locates id in the spec and returns its role and index.
+func (r *Replica) roleOf(id msg.NodeID) (role string, idx int) {
+	for i, n := range r.spec.Coords {
+		if msg.NodeID(n.ID) == id {
+			return "coordinator", i
+		}
+	}
+	for i, n := range r.spec.Acceptors {
+		if msg.NodeID(n.ID) == id {
+			return "acceptor", i
+		}
+	}
+	for i, n := range r.spec.Learners {
+		if msg.NodeID(n.ID) == id {
+			return "learner", i
+		}
+	}
+	return "", -1
+}
+
+// openNode builds and wires one hosted node.
+func (r *Replica) openNode(id msg.NodeID) error {
+	role, idx := r.roleOf(id)
+	if role == "" {
+		return fmt.Errorf("deploy: node %v is not a coordinator, acceptor or learner of the spec", id)
+	}
+	r.mu.Lock()
+	if _, dup := r.nodes[id]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("deploy: node %v already hosted", id)
+	}
+	r.mu.Unlock()
+
+	h := &hosted{id: id, net: runtime.NewNetwork()}
+	h.net.Tick = r.spec.tick()
+	var buildErr error
+	build := func(env node.Env) node.Handler {
+		switch role {
+		case "coordinator":
+			c := classic.NewCoordinator(env, r.cfg)
+			c.Shard = idx % r.cfg.NShards()
+			c.MaxInflight = r.spec.Window
+			// Coordinator 2a retransmission backstops lost accepts only; the
+			// client already retries lost proposals at the base interval, so
+			// the coordinators run much cooler — under a drain burst a hot
+			// retransmitter amplifies itself (every duplicate 2a draws
+			// re-announcements from the acceptors).
+			c.RetryEvery = 4 * r.spec.retryTicks()
+			return c
+		case "acceptor":
+			var disk storage.Stable = &storage.Disk{}
+			if r.spec.WALDir != "" {
+				w, err := wal.Open(filepath.Join(r.spec.WALDir, fmt.Sprintf("acc-%d", uint32(id))), wal.Options{})
+				if err != nil {
+					buildErr = fmt.Errorf("deploy: acceptor %v wal: %w", id, err)
+					return nopHandler{}
+				}
+				h.wal = w
+				disk = w
+			}
+			return classic.NewAcceptor(env, r.cfg, disk)
+		default: // learner
+			st := &learnerState{rep: smr.NewReplica(smr.NewKVStore())}
+			st.merger = smr.NewMerger(func(inst uint64, cmd cstruct.Cmd) {
+				inner, isBatch := batch.Unpack(cmd)
+				if !isBatch {
+					inner = []cstruct.Cmd{cmd}
+				}
+				for _, c := range inner {
+					res := "noop"
+					if c.Key != noopKey {
+						// Shard-alignment skips fill an instance but never
+						// reach the state machine or the apply order.
+						res = st.rep.ApplyOnce(c)
+						st.order = append(st.order, c.ID)
+					}
+					if to := replyTo(c.ID); to != 0 {
+						env.Send(to, msg.Reply{CmdID: c.ID, From: env.ID(), Inst: inst, Result: res})
+					}
+				}
+			})
+			l := classic.NewLearner(env, r.cfg, func(inst uint64, cmd cstruct.Cmd) {
+				st.mu.Lock()
+				st.merger.Add(inst, cmd)
+				st.mu.Unlock()
+				// Quiesce the owning group's retransmission of this instance
+				// (the live counterpart of the simulator's MarkLearned hook).
+				shard := r.cfg.ShardOf(inst)
+				node.Broadcast(env, r.cfg.ShardCoords(shard), msg.P2b{Inst: inst})
+			})
+			st.merger.OnRelease = l.Release
+			r.mu.Lock()
+			r.learners[id] = st
+			r.mu.Unlock()
+			return l
+		}
+	}
+	h.agent = h.net.Spawn(id, build)
+	if buildErr != nil {
+		h.net.Stop()
+		return buildErr
+	}
+	ln, err := r.spec.listen(r.spec.addrs()[id])
+	if err != nil {
+		h.net.Stop()
+		if h.wal != nil {
+			h.wal.Close()
+		}
+		return err
+	}
+	tcp := transport.NewTCPOnListener(id, ln, r.spec.addrs(), transport.Codec{Set: cstruct.SingleValueSet{}},
+		func(from msg.NodeID, m msg.Message) { h.agent.Inject(from, m) })
+	h.tcp = tcp
+	h.net.SetFallback(func(_, to msg.NodeID, m msg.Message) {
+		_ = tcp.Send(to, m) // send failure is message loss, which the model allows
+	})
+	r.mu.Lock()
+	r.nodes[id] = h
+	r.mu.Unlock()
+	return nil
+}
+
+// nopHandler stands in when a node failed to build (the error aborts Open).
+type nopHandler struct{}
+
+func (nopHandler) OnMessage(msg.NodeID, msg.Message) {}
+
+// Hosted lists the node IDs this Replica runs (killed nodes excluded).
+func (r *Replica) Hosted() []uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint32, 0, len(r.nodes))
+	for id := range r.nodes {
+		out = append(out, uint32(id))
+	}
+	return out
+}
+
+// Kill crash-stops one hosted node: its endpoint closes, its mailbox stops,
+// and (for acceptors) its WAL closes as a process death would. Messages to
+// it are lost from then on. It reports whether the node was hosted.
+func (r *Replica) Kill(id uint32) bool {
+	r.mu.Lock()
+	h, ok := r.nodes[msg.NodeID(id)]
+	delete(r.nodes, msg.NodeID(id))
+	delete(r.learners, msg.NodeID(id))
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	h.stop()
+	return true
+}
+
+// Close stops every hosted node.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	nodes := make([]*hosted, 0, len(r.nodes))
+	for _, h := range r.nodes {
+		nodes = append(nodes, h)
+	}
+	r.nodes = make(map[msg.NodeID]*hosted)
+	r.learners = make(map[msg.NodeID]*learnerState)
+	r.mu.Unlock()
+	for _, h := range nodes {
+		h.stop()
+	}
+	return nil
+}
+
+// learner returns the SMR state of a hosted learner.
+func (r *Replica) learner(id uint32) (*learnerState, error) {
+	r.mu.Lock()
+	st, ok := r.learners[msg.NodeID(id)]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("deploy: node %d is not a hosted learner", id)
+	}
+	return st, nil
+}
+
+// Applied reports how many distinct commands learner id's replica has
+// applied.
+func (r *Replica) Applied(id uint32) (int, error) {
+	st, err := r.learner(id)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rep.Applied(), nil
+}
+
+// Order returns the merged total order applied by learner id so far, as
+// command IDs (batches unpacked).
+func (r *Replica) Order(id uint32) ([]uint64, error) {
+	st, err := r.learner(id)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]uint64(nil), st.order...), nil
+}
+
+// Snapshot renders learner id's state machine.
+func (r *Replica) Snapshot(id uint32) (string, error) {
+	st, err := r.learner(id)
+	if err != nil {
+		return "", err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rep.Machine().Snapshot(), nil
+}
+
+// Get reads a key from learner id's KV state machine.
+func (r *Replica) Get(id uint32, key string) (string, bool, error) {
+	st, err := r.learner(id)
+	if err != nil {
+		return "", false, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	kv, ok := st.rep.Machine().(*smr.KVStore)
+	if !ok {
+		return "", false, fmt.Errorf("deploy: learner %d machine is not a KV store", id)
+	}
+	v, ok := kv.Get(key)
+	return v, ok, nil
+}
+
+// WaitApplied blocks until learner id has applied n distinct commands or the
+// timeout elapses.
+func (r *Replica) WaitApplied(id uint32, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		got, err := r.Applied(id)
+		if err != nil {
+			return err
+		}
+		if got >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("deploy: learner %d applied %d/%d after %v", id, got, n, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// RoundChanges sums the post-establishment round changes across the hosted,
+// live coordinators: the currency of the crash-masking claim (a masked
+// coordinator crash costs zero).
+func (r *Replica) RoundChanges() int {
+	n := 0
+	for _, h := range r.coordHosts() {
+		h.agent.Do(func(hd node.Handler) { n += hd.(*classic.Coordinator).RoundChanges() })
+	}
+	return n
+}
+
+// ShardRounds reports, per shard, the highest round any hosted acceptor is
+// serving: comparing snapshots before and after a drain detects round
+// changes even when the crashed coordinator can no longer report.
+func (r *Replica) ShardRounds() []ballot.Ballot {
+	out := make([]ballot.Ballot, r.cfg.NShards())
+	for _, h := range r.acceptorHosts() {
+		h.agent.Do(func(hd node.Handler) {
+			a := hd.(*classic.Acceptor)
+			for k := range out {
+				out[k] = ballot.Max(out[k], a.ShardRnd(k))
+			}
+		})
+	}
+	return out
+}
+
+func (r *Replica) coordHosts() []*hosted {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*hosted
+	for _, n := range r.spec.Coords {
+		if h, ok := r.nodes[msg.NodeID(n.ID)]; ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (r *Replica) acceptorHosts() []*hosted {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*hosted
+	for _, n := range r.spec.Acceptors {
+		if h, ok := r.nodes[msg.NodeID(n.ID)]; ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}

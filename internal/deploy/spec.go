@@ -1,0 +1,357 @@
+// Package deploy is the live wiring layer behind the public embedding API:
+// it assembles the goroutine runtime, the TCP transport, the batched and
+// sharded multicoordinated protocol stack (internal/classic), durable
+// acceptor storage (internal/wal) and the SMR merge/apply loop
+// (internal/smr) from one declarative ClusterSpec — the hand-wiring that
+// cmd/mckv, the examples and the experiment drivers used to duplicate.
+//
+// Two embeddable types come out of it: Replica opens one process's share of
+// a deployment (any subset of the spec's coordinator, acceptor and learner
+// nodes, each behind its own TCP endpoint), and Client connects over TCP,
+// spreads proposals across the shards, load-balances each shard's
+// coordinator group, retries with backoff across coordinator failures, and
+// correlates apply results back to the submitted commands.
+package deploy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mcpaxos/internal/classic"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/quorum"
+)
+
+// NodeSpec names one process role: a node ID and the TCP address it listens
+// on. IDs must be unique across the whole spec and below 1<<23 so command
+// IDs can carry the issuing client (see cmdID).
+type NodeSpec struct {
+	ID   uint32
+	Addr string
+}
+
+// ClusterSpec declares a full deployment: every node's address, the shard
+// count, the coordinator group size per shard, and the tuning knobs of the
+// batched command path. The same spec is given to every Replica and Client
+// of the deployment; which nodes a process actually runs is chosen at Open.
+//
+// Ordering is meaningful: coordinator i (in Coords order) serves shard
+// i mod Shards, and the first CoordsPerShard coordinators of each residue
+// class form that shard's group — the convention of classic.Config.
+type ClusterSpec struct {
+	// Shards partitions the instance space across that many concurrent
+	// sequencer groups (Mencius-style residue classes). 0 or 1 means one.
+	Shards int
+	// CoordsPerShard is the coordinator group size c per shard: with c ≥ 2
+	// a shard's round is multicoordinated and ⌊c/2⌋ coordinator crashes per
+	// shard mask without a round change. 0 or 1 keeps single-coordinated
+	// rounds.
+	CoordsPerShard int
+
+	// Coords, Acceptors and Learners list the protocol nodes. Clients lists
+	// the client endpoints: clients listen too, because learner replicas
+	// send apply results back over TCP.
+	Coords    []NodeSpec
+	Acceptors []NodeSpec
+	Learners  []NodeSpec
+	Clients   []NodeSpec
+
+	// F is the number of acceptor crashes tolerated; 0 means the majority
+	// default (len(Acceptors)-1)/2.
+	F int
+
+	// WALDir, when set, gives every acceptor a durable write-ahead log under
+	// WALDir/acc-<id>; empty keeps votes in process memory (demos, tests).
+	WALDir string
+
+	// BatchMax is the client-side batch size per shard (commands packed into
+	// one consensus instance); 0 means 8. 1 disables batching.
+	BatchMax int
+	// BatchWait bounds the latency a buffered command waits for its batch to
+	// fill; 0 means 2ms.
+	BatchWait time.Duration
+	// Window bounds each coordinator's pipeline of unlearned instances; 0
+	// leaves it unbounded.
+	Window int
+	// RetryEvery is the base retransmission interval of clients and
+	// coordinators; 0 means 25ms. Client retries back off exponentially
+	// from it.
+	RetryEvery time.Duration
+	// RequestTimeout fails a client call that has drawn no reply after this
+	// long; 0 means 15s.
+	RequestTimeout time.Duration
+	// Tick is the duration of one protocol time unit on the wall clock; 0
+	// means 1ms.
+	Tick time.Duration
+
+	// reserved holds the listeners ResolveEphemeral bound while picking
+	// ports, keyed by resolved address: Open and Dial consume them instead
+	// of re-listening, so a resolved port can never be grabbed by another
+	// process in between. Copies of the spec share the pool.
+	reserved *listenerPool
+}
+
+// listenerPool is the shared set of pre-bound listeners of a resolved spec.
+type listenerPool struct {
+	mu  sync.Mutex
+	lns map[string]net.Listener
+}
+
+// take removes and returns the reserved listener for addr, if any.
+func (p *listenerPool) take(addr string) net.Listener {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ln := p.lns[addr]
+	delete(p.lns, addr)
+	return ln
+}
+
+// listen returns the node's reserved listener or binds its address fresh.
+func (s ClusterSpec) listen(addr string) (net.Listener, error) {
+	if ln := s.reserved.take(addr); ln != nil {
+		return ln, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return ln, nil
+}
+
+// Spec defaults.
+const (
+	defaultBatchMax   = 8
+	defaultBatchWait  = 2 * time.Millisecond
+	defaultRetryEvery = 25 * time.Millisecond
+	defaultTimeout    = 15 * time.Second
+)
+
+// noopKey marks a shard-alignment no-op command: the client pads a lagging,
+// idle shard's sequence stream with them so the merged instance order never
+// stalls on a gap no proposal will ever fill (the Mencius skip, Coordinated
+// Paxos-style: the no-op rides the shard's ordinary coordinator-group path,
+// so the skip itself is crash-masked). Learner replicas acknowledge and then
+// discard them without touching the state machine or the apply order.
+const noopKey = "\x00noop"
+
+// clientShift positions the issuing client's node ID in the top bits of a
+// command ID (below batch.IDBase): cmdID = client<<clientShift | seq. The
+// learner replicas route each apply result back to NodeID(id >> clientShift).
+const clientShift = 40
+
+// cmdID stamps a client command ID from the client's node ID and its own
+// submission counter.
+func cmdID(client msg.NodeID, seq uint64) uint64 {
+	return uint64(client)<<clientShift | seq
+}
+
+// replyTo recovers the issuing client from a stamped command ID; 0 means the
+// command was not client-stamped and gets no reply.
+func replyTo(id uint64) msg.NodeID { return msg.NodeID(id >> clientShift & (1<<23 - 1)) }
+
+// LocalSpec builds a loopback spec with ephemeral ports and the repo's
+// conventional node IDs (clients 1+i, coordinators 100+i, acceptors 200+i,
+// learners 300+i): shards×coordsPerShard coordinators, nAcceptors acceptors,
+// nLearners learner replicas and nClients client endpoints. Resolve the
+// ephemeral ports with ResolveEphemeral before Open/Dial.
+func LocalSpec(shards, coordsPerShard, nAcceptors, nLearners, nClients int) ClusterSpec {
+	if shards < 1 {
+		shards = 1
+	}
+	if coordsPerShard < 1 {
+		coordsPerShard = 1
+	}
+	s := ClusterSpec{Shards: shards, CoordsPerShard: coordsPerShard}
+	for i := 0; i < shards*coordsPerShard; i++ {
+		s.Coords = append(s.Coords, NodeSpec{ID: uint32(100 + i), Addr: "127.0.0.1:0"})
+	}
+	for i := 0; i < nAcceptors; i++ {
+		s.Acceptors = append(s.Acceptors, NodeSpec{ID: uint32(200 + i), Addr: "127.0.0.1:0"})
+	}
+	for i := 0; i < nLearners; i++ {
+		s.Learners = append(s.Learners, NodeSpec{ID: uint32(300 + i), Addr: "127.0.0.1:0"})
+	}
+	for i := 0; i < nClients; i++ {
+		s.Clients = append(s.Clients, NodeSpec{ID: uint32(1 + i), Addr: "127.0.0.1:0"})
+	}
+	return s
+}
+
+// ResolveEphemeral returns a copy of the spec with every port-0 address
+// replaced by a concrete free loopback port, so the one resolved spec can be
+// shared by every Replica and Client of a single-process deployment. The
+// bound listeners stay open — Open and Dial adopt them — so a resolved port
+// cannot be lost to another process in the meantime. Multi-machine
+// deployments write concrete addresses in the first place.
+func (s ClusterSpec) ResolveEphemeral() (ClusterSpec, error) {
+	out := s
+	out.reserved = &listenerPool{lns: make(map[string]net.Listener)}
+	resolve := func(nodes []NodeSpec) ([]NodeSpec, error) {
+		rs := append([]NodeSpec(nil), nodes...)
+		for i, n := range rs {
+			host, port, err := net.SplitHostPort(n.Addr)
+			if err != nil || port != "0" {
+				continue
+			}
+			ln, err := net.Listen("tcp", n.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("deploy: resolve %s: %w", n.Addr, err)
+			}
+			_, bound, _ := net.SplitHostPort(ln.Addr().String())
+			rs[i].Addr = net.JoinHostPort(host, bound)
+			out.reserved.lns[rs[i].Addr] = ln
+		}
+		return rs, nil
+	}
+	var err error
+	for _, f := range []struct {
+		dst *[]NodeSpec
+		src []NodeSpec
+	}{{&out.Coords, s.Coords}, {&out.Acceptors, s.Acceptors}, {&out.Learners, s.Learners}, {&out.Clients, s.Clients}} {
+		if *f.dst, err = resolve(f.src); err != nil {
+			return ClusterSpec{}, err
+		}
+	}
+	return out, nil
+}
+
+// Validate checks the spec (IDs unique and in range, groups complete,
+// quorums feasible).
+func (s ClusterSpec) Validate() error {
+	_, err := s.config()
+	return err
+}
+
+// normalized tuning accessors (zero means default).
+
+func (s ClusterSpec) batchMax() int {
+	if s.BatchMax < 1 {
+		return defaultBatchMax
+	}
+	return s.BatchMax
+}
+
+func (s ClusterSpec) tick() time.Duration {
+	if s.Tick <= 0 {
+		return time.Millisecond
+	}
+	return s.Tick
+}
+
+// ticks converts a wall-clock duration to protocol time units, at least 1.
+func (s ClusterSpec) ticks(d time.Duration) int64 {
+	if d <= 0 {
+		return 1
+	}
+	t := int64(d / s.tick())
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func (s ClusterSpec) retryTicks() int64 {
+	d := s.RetryEvery
+	if d <= 0 {
+		d = defaultRetryEvery
+	}
+	return s.ticks(d)
+}
+
+func (s ClusterSpec) timeoutTicks() int64 {
+	d := s.RequestTimeout
+	if d <= 0 {
+		d = defaultTimeout
+	}
+	return s.ticks(d)
+}
+
+func (s ClusterSpec) batchWaitTicks() int64 {
+	d := s.BatchWait
+	if d < 0 {
+		return 0
+	}
+	if d == 0 {
+		d = defaultBatchWait
+	}
+	return s.ticks(d)
+}
+
+// config builds the classic.Config the protocol agents share, validating the
+// spec on the way.
+func (s ClusterSpec) config() (classic.Config, error) {
+	if len(s.Acceptors) == 0 {
+		return classic.Config{}, fmt.Errorf("deploy: no acceptors")
+	}
+	f := s.F
+	if f <= 0 {
+		f = (len(s.Acceptors) - 1) / 2
+	}
+	qs, err := quorum.NewAcceptorSystem(len(s.Acceptors), f, 0)
+	if err != nil {
+		return classic.Config{}, fmt.Errorf("deploy: acceptor quorums: %w", err)
+	}
+	cfg := classic.Config{
+		Quorums:        qs,
+		Shards:         s.Shards,
+		CoordsPerShard: s.CoordsPerShard,
+	}
+	seen := make(map[uint32]string)
+	add := func(role string, nodes []NodeSpec, dst *[]msg.NodeID) error {
+		for _, n := range nodes {
+			if n.ID == 0 || n.ID >= 1<<23 {
+				return fmt.Errorf("deploy: %s node ID %d out of range [1, 2^23)", role, n.ID)
+			}
+			if prev, dup := seen[n.ID]; dup {
+				return fmt.Errorf("deploy: node ID %d used by both %s and %s", n.ID, prev, role)
+			}
+			seen[n.ID] = role
+			if n.Addr == "" {
+				return fmt.Errorf("deploy: %s node %d has no address", role, n.ID)
+			}
+			if _, port, err := net.SplitHostPort(n.Addr); err == nil && port == "0" {
+				// A port-0 address that reached Open/Dial would listen fine
+				// but be undialable by every peer (their address book still
+				// says port 0): fail loudly instead of hanging silently.
+				return fmt.Errorf("deploy: %s node %d address %s has port 0 — call ResolveEphemeral first or use concrete ports",
+					role, n.ID, n.Addr)
+			}
+			if dst != nil {
+				*dst = append(*dst, msg.NodeID(n.ID))
+			}
+		}
+		return nil
+	}
+	if err := add("coordinator", s.Coords, &cfg.Coords); err != nil {
+		return classic.Config{}, err
+	}
+	if err := add("acceptor", s.Acceptors, &cfg.Acceptors); err != nil {
+		return classic.Config{}, err
+	}
+	if err := add("learner", s.Learners, &cfg.Learners); err != nil {
+		return classic.Config{}, err
+	}
+	if err := add("client", s.Clients, nil); err != nil {
+		return classic.Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return classic.Config{}, err
+	}
+	return cfg, nil
+}
+
+// addrs builds the full node→address book the TCP endpoints dial by.
+func (s ClusterSpec) addrs() map[msg.NodeID]string {
+	m := make(map[msg.NodeID]string)
+	for _, group := range [][]NodeSpec{s.Coords, s.Acceptors, s.Learners, s.Clients} {
+		for _, n := range group {
+			m[msg.NodeID(n.ID)] = n.Addr
+		}
+	}
+	return m
+}

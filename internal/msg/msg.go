@@ -37,6 +37,7 @@ const (
 	TP2b
 	TStale
 	THeartbeat
+	TReply
 )
 
 // String renders the message type.
@@ -56,6 +57,8 @@ func (t Type) String() string {
 		return "stale"
 	case THeartbeat:
 		return "heartbeat"
+	case TReply:
+		return "reply"
 	default:
 		return "unknown"
 	}
@@ -177,6 +180,29 @@ func (Stale) Type() Type { return TStale }
 
 // Instance implements Message.
 func (m Stale) Instance() uint64 { return m.Inst }
+
+// Reply carries a replica's apply result back to the client that submitted
+// the command: once a learner-hosted state machine applies a command in the
+// merged total order, it reports the result keyed by the command's ID, and
+// the client resolves the matching in-flight proposal (response
+// correlation). Every learner replica replies independently, so clients must
+// suppress duplicates — the first reply wins.
+type Reply struct {
+	// CmdID identifies the applied command (the client stamped it).
+	CmdID uint64
+	// From is the replying learner.
+	From NodeID
+	// Inst is the instance the command was delivered at in the merged order.
+	Inst uint64
+	// Result is the state machine's apply result.
+	Result string
+}
+
+// Type implements Message.
+func (Reply) Type() Type { return TReply }
+
+// Instance implements Message.
+func (m Reply) Instance() uint64 { return m.Inst }
 
 // Heartbeat is exchanged by coordinators for failure detection and leader
 // election.

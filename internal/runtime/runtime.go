@@ -54,6 +54,16 @@ func NewNetwork() *Network {
 	}
 }
 
+// SetFallback installs the off-network route under the network's lock, so it
+// may be set while agents are already receiving traffic (Send reads it under
+// the same lock). Messages routed before the fallback is installed are
+// dropped, which the asynchronous model allows.
+func (n *Network) SetFallback(fb func(from, to msg.NodeID, m msg.Message)) {
+	n.mu.Lock()
+	n.Fallback = fb
+	n.mu.Unlock()
+}
+
 // Spawn creates an agent: build receives the agent's Env and returns its
 // handler. The mailbox goroutine starts immediately.
 func (n *Network) Spawn(id msg.NodeID, build func(env node.Env) node.Handler) *Agent {

@@ -41,6 +41,9 @@ type wire struct {
 	// (multicoordinated groups derive the instance from it).
 	Seq    uint64
 	HasSeq bool
+	// CmdID/Result carry a Reply's correlation key and apply result.
+	CmdID  uint64
+	Result string
 }
 
 type wireVote struct {
@@ -117,6 +120,8 @@ func toWire(m msg.Message) (wire, error) {
 		return wire{Type: msg.TStale, Inst: mm.Inst, Acc: mm.Acc, Rnd: mm.Rnd, Got: mm.Got}, nil
 	case msg.Heartbeat:
 		return wire{Type: msg.THeartbeat, Coord: mm.From, Epoch: mm.Epoch}, nil
+	case msg.Reply:
+		return wire{Type: msg.TReply, Inst: mm.Inst, Acc: mm.From, CmdID: mm.CmdID, Result: mm.Result}, nil
 	default:
 		return wire{}, fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -158,6 +163,8 @@ func (c Codec) fromWire(w wire) (msg.Message, error) {
 		return msg.Stale{Inst: w.Inst, Acc: w.Acc, Rnd: w.Rnd, Got: w.Got}, nil
 	case msg.THeartbeat:
 		return msg.Heartbeat{From: w.Coord, Epoch: w.Epoch}, nil
+	case msg.TReply:
+		return msg.Reply{Inst: w.Inst, From: w.Acc, CmdID: w.CmdID, Result: w.Result}, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown wire type %d", w.Type)
 	}

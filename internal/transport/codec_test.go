@@ -63,6 +63,10 @@ func TestCodecRoundtripAllTypes(t *testing.T) {
 	if hb.From != 100 || hb.Epoch != 9 {
 		t.Errorf("Heartbeat mangled: %+v", hb)
 	}
+	rp := roundtrip(t, c, msg.Reply{CmdID: 1<<40 | 7, From: 300, Inst: 13, Result: "OK"}).(msg.Reply)
+	if rp.CmdID != 1<<40|7 || rp.From != 300 || rp.Inst != 13 || rp.Result != "OK" {
+		t.Errorf("Reply mangled: %+v", rp)
+	}
 }
 
 func TestCodecMultiPromise(t *testing.T) {

@@ -35,6 +35,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		msg.P2b{Inst: 4, Rnd: b, Acc: 202, Val: sv},
 		msg.Stale{Inst: 5, Acc: 200, Rnd: b, Got: ballot.Zero},
 		msg.Heartbeat{From: 100, Epoch: 9},
+		msg.Reply{CmdID: 1<<40 | 3, From: 300, Inst: 11, Result: "OK"},
 	}
 	for _, m := range seeds {
 		data, err := c.Encode(m)

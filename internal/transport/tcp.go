@@ -59,6 +59,14 @@ func NewTCP(id msg.NodeID, addrs map[msg.NodeID]string, codec Codec, recv RecvFn
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
 	}
+	return NewTCPOnListener(id, ln, addrs, codec, recv), nil
+}
+
+// NewTCPOnListener starts a TCP endpoint on an already-bound listener (e.g.
+// one reserved while resolving ephemeral ports, so the port cannot be
+// grabbed between resolution and startup). The endpoint owns ln and closes
+// it on Close.
+func NewTCPOnListener(id msg.NodeID, ln net.Listener, addrs map[msg.NodeID]string, codec Codec, recv RecvFn) *TCP {
 	t := &TCP{
 		id:       id,
 		codec:    codec,
@@ -71,7 +79,7 @@ func NewTCP(id msg.NodeID, addrs map[msg.NodeID]string, codec Codec, recv RecvFn
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
-	return t, nil
+	return t
 }
 
 // Addr returns the bound listen address (useful with ":0" ports).

@@ -1,0 +1,47 @@
+package mcpaxos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLiveLatency smoke-runs the live-TCP latency harness through the
+// public facade: a 2-shard multicoordinated deployment on loopback must
+// answer every command with sane percentile accounting and no round
+// changes.
+func TestLiveLatency(t *testing.T) {
+	r, err := RunLiveLatency(2, 3, 3, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Commands != 64 {
+		t.Fatalf("commands = %d, want 64", r.Commands)
+	}
+	if r.P50 <= 0 || r.P99 < r.P50 || r.Max < r.P99 {
+		t.Fatalf("percentiles out of order: p50=%v p99=%v max=%v", r.P50, r.P99, r.Max)
+	}
+	if r.RoundChanges != 0 {
+		t.Fatalf("round changes = %d, want 0", r.RoundChanges)
+	}
+	if r.Throughput <= 0 {
+		t.Fatalf("throughput = %v", r.Throughput)
+	}
+}
+
+// TestPercentile pins the nearest-rank percentile rule the live harness
+// reports.
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(lat, 50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := percentile(lat, 99); got != 10 {
+		t.Fatalf("p99 = %v, want 10", got)
+	}
+	if got := percentile(lat[:1], 99); got != 1 {
+		t.Fatalf("p99 of singleton = %v, want 1", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("p50 of empty = %v, want 0", got)
+	}
+}

@@ -6,9 +6,11 @@
 // quantitative claims (communication steps, quorum sizes, availability,
 // load balance, collision cost, disk writes).
 //
-// The root package is the public facade: it re-exports the vocabulary types
-// and provides the experiment drivers consumed by bench_test.go and
-// cmd/paxosbench. Protocol internals live under internal/ (core is the
+// The root package is the public facade: it re-exports the vocabulary types,
+// provides the experiment drivers consumed by bench_test.go and
+// cmd/paxosbench, and exposes the embedding API (ClusterSpec, Replica,
+// Client — see api.go) that runs the batched, sharded, multicoordinated
+// stack over real TCP. Protocol internals live under internal/ (core is the
 // paper's contribution; classic, fast and generalized are the baselines).
 package mcpaxos
 
