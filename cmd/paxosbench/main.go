@@ -250,6 +250,8 @@ func live(shards, coords, commands, batchMax int) {
 	fmt.Printf("  proposal→apply latency:  p50 %-10v p90 %-10v p99 %-10v max %v\n",
 		r.P50, r.P90, r.P99, r.Max)
 	fmt.Printf("  throughput: %.0f cmds/s over %v wall\n", r.Throughput, r.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  wire: %.0f bytes/cmd (%d total)  codec: encode %.0f ns/frame, decode %.0f ns/frame\n",
+		r.BytesPerCmd, r.WireBytes, r.EncodeNsPerFrame, r.DecodeNsPerFrame)
 	fmt.Printf("  retries=%d dup-replies=%d round-changes=%d\n", r.Retries, r.DupReplies, r.RoundChanges)
 	fmt.Println("  (every message crosses a real socket; the sim experiments above measure")
 	fmt.Println("   the same stack in communication steps instead of wall time)")

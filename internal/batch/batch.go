@@ -37,11 +37,18 @@ func BatchID(first cstruct.Cmd) uint64 { return first.ID | IDBase }
 // Pack encodes cmds into a single batch command. Packing a single command
 // is valid but pointless; callers normally pass it through unwrapped. Pack
 // panics on an empty slice: an empty batch has no ID and nothing to decide.
+// The payload is sized exactly before encoding, so a batch costs one
+// allocation regardless of its command count.
 func Pack(cmds []cstruct.Cmd) cstruct.Cmd {
 	if len(cmds) == 0 {
 		panic("batch: Pack of empty command slice")
 	}
-	var buf []byte
+	size := 1 + uvarintLen(uint64(len(cmds)))
+	for _, c := range cmds {
+		size += uvarintLen(c.ID) + uvarintLen(uint64(len(c.Key))) + len(c.Key) +
+			1 + uvarintLen(uint64(len(c.Payload))) + len(c.Payload)
+	}
+	buf := make([]byte, 0, size)
 	buf = append(buf, magic)
 	buf = binary.AppendUvarint(buf, uint64(len(cmds)))
 	for _, c := range cmds {
@@ -53,6 +60,16 @@ func Pack(cmds []cstruct.Cmd) cstruct.Cmd {
 		buf = append(buf, c.Payload...)
 	}
 	return cstruct.Cmd{ID: BatchID(cmds[0]), Key: Key, Op: cstruct.OpWrite, Payload: buf}
+}
+
+// uvarintLen is the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // IsBatch reports whether c is a batch command.
@@ -74,9 +91,10 @@ func Unpack(c cstruct.Cmd) (cmds []cstruct.Cmd, ok bool) {
 	return out, true
 }
 
-// unpackKeys parses only the ID/Key/Op of each constituent, skipping the
-// payload copies — enough for conflict evaluation at a fraction of the cost.
-func unpackKeys(c cstruct.Cmd) ([]cstruct.Cmd, bool) {
+// UnpackMeta parses only the ID/Key/Op of each constituent, skipping the
+// payload copies — enough for conflict evaluation, reply correlation and
+// retry bookkeeping at a fraction of Unpack's allocation cost.
+func UnpackMeta(c cstruct.Cmd) ([]cstruct.Cmd, bool) {
 	if !IsBatch(c) {
 		return nil, false
 	}
@@ -157,8 +175,8 @@ func Conflict(inner cstruct.Conflict) cstruct.Conflict {
 		if a.ID == b.ID {
 			return false
 		}
-		as, aBatch := unpackKeys(a)
-		bs, bBatch := unpackKeys(b)
+		as, aBatch := UnpackMeta(a)
+		bs, bBatch := UnpackMeta(b)
 		if !aBatch {
 			as = []cstruct.Cmd{a}
 		}
@@ -248,7 +266,9 @@ func (b *Batcher) Deadline() (at int64, ok bool) {
 func (b *Batcher) Pending() int { return len(b.pending) }
 
 // Flush emits whatever is buffered: a lone command passes through unwrapped,
-// two or more are packed into one batch command.
+// two or more are packed into one batch command. The pending buffer's
+// backing array is kept for the next batch — Pack copies the constituents
+// into the batch payload, so nothing flushed aliases it.
 func (b *Batcher) Flush() {
 	if len(b.pending) == 0 {
 		return
@@ -260,5 +280,5 @@ func (b *Batcher) Flush() {
 		b.Batches++
 		b.flush(Pack(b.pending))
 	}
-	b.pending = nil
+	b.pending = b.pending[:0]
 }

@@ -185,6 +185,9 @@ func (c *Client) Stats() ClientStats {
 	return s
 }
 
+// NetStats snapshots the client endpoint's wire traffic counters.
+func (c *Client) NetStats() transport.TCPStats { return c.tcp.Stats() }
+
 // Close disconnects the client. Unresolved calls fail, and later Propose
 // calls return already-failed Calls.
 func (c *Client) Close() error {
@@ -311,7 +314,9 @@ func (h *clientHandler) proposeCall(cmd cstruct.Cmd, call *Call) {
 // submit receives each flushed batch from the router and sends it to the
 // shard's initial-target window.
 func (h *clientHandler) submit(shard int, seq uint64, cmd cstruct.Cmd) {
-	inner, isBatch := batch.Unpack(cmd)
+	// Keys-only unpack: retry bookkeeping needs the constituent IDs, not
+	// copies of their payloads.
+	inner, isBatch := batch.UnpackMeta(cmd)
 	if !isBatch {
 		inner = []cstruct.Cmd{cmd}
 	}
@@ -488,7 +493,7 @@ func (h *clientHandler) alignShards() {
 
 // fail resolves every unanswered call of a batch with err and retires it.
 func (h *clientHandler) fail(bid uint64, b *pendingBatch, err error) {
-	inner, isBatch := batch.Unpack(b.cmd)
+	inner, isBatch := batch.UnpackMeta(b.cmd)
 	if !isBatch {
 		inner = []cstruct.Cmd{b.cmd}
 	}

@@ -360,6 +360,20 @@ func (r *Replica) WaitApplied(id uint32, n int, timeout time.Duration) error {
 	}
 }
 
+// NetStats sums the wire traffic counters across every hosted node's TCP
+// endpoint (bytes/cmd and codec-time accounting for the live bench).
+func (r *Replica) NetStats() transport.TCPStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s transport.TCPStats
+	for _, h := range r.nodes {
+		if h.tcp != nil {
+			s = s.Plus(h.tcp.Stats())
+		}
+	}
+	return s
+}
+
 // RoundChanges sums the post-establishment round changes across the hosted,
 // live coordinators: the currency of the crash-masking claim (a masked
 // coordinator crash costs zero).

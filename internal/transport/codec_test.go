@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bytes"
+	"math"
 	"testing"
 
 	"mcpaxos/internal/ballot"
@@ -19,6 +21,238 @@ func roundtrip(t *testing.T, c Codec, m msg.Message) msg.Message {
 		t.Fatalf("decode %T: %v", m, err)
 	}
 	return out
+}
+
+// cmdsEq compares flattened command sequences field by field (nil and empty
+// payloads are the same absent payload).
+func cmdsEq(a, b []cstruct.Cmd) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Key != b[i].Key || a[i].Op != b[i].Op ||
+			!bytes.Equal(a[i].Payload, b[i].Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// valEq compares optional c-structs: nil differs from ⊥, everything else
+// compares by command sequence.
+func valEq(a, b cstruct.CStruct) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return cmdsEq(a.Commands(), b.Commands())
+}
+
+func nodeIDsEq(a, b []msg.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// msgEq compares two protocol messages semantically (c-structs by command
+// sequence, nil and empty slices identified).
+func msgEq(a, b msg.Message) bool {
+	switch am := a.(type) {
+	case msg.Propose:
+		bm, ok := b.(msg.Propose)
+		return ok && am.Inst == bm.Inst && cmdsEq([]cstruct.Cmd{am.Cmd}, []cstruct.Cmd{bm.Cmd}) &&
+			nodeIDsEq(am.AccQuorum, bm.AccQuorum) && am.Seq == bm.Seq && am.HasSeq == bm.HasSeq
+	case msg.P1a:
+		bm, ok := b.(msg.P1a)
+		return ok && am == bm
+	case msg.P1b:
+		bm, ok := b.(msg.P1b)
+		return ok && am.Inst == bm.Inst && am.Rnd == bm.Rnd && am.Acc == bm.Acc &&
+			am.VRnd == bm.VRnd && valEq(am.VVal, bm.VVal)
+	case msg.P1bMulti:
+		bm, ok := b.(msg.P1bMulti)
+		if !ok || am.Rnd != bm.Rnd || am.Acc != bm.Acc || am.Shard != bm.Shard ||
+			len(am.Votes) != len(bm.Votes) {
+			return false
+		}
+		for i := range am.Votes {
+			if am.Votes[i].Inst != bm.Votes[i].Inst || am.Votes[i].VRnd != bm.Votes[i].VRnd ||
+				!valEq(am.Votes[i].VVal, bm.Votes[i].VVal) {
+				return false
+			}
+		}
+		return true
+	case msg.P2a:
+		bm, ok := b.(msg.P2a)
+		return ok && am.Inst == bm.Inst && am.Rnd == bm.Rnd && am.Coord == bm.Coord &&
+			am.Any == bm.Any && valEq(am.Val, bm.Val)
+	case msg.P2b:
+		bm, ok := b.(msg.P2b)
+		return ok && am.Inst == bm.Inst && am.Rnd == bm.Rnd && am.Acc == bm.Acc &&
+			valEq(am.Val, bm.Val)
+	case msg.Stale:
+		bm, ok := b.(msg.Stale)
+		return ok && am == bm
+	case msg.Heartbeat:
+		bm, ok := b.(msg.Heartbeat)
+		return ok && am == bm
+	case msg.Reply:
+		bm, ok := b.(msg.Reply)
+		return ok && am == bm
+	default:
+		return false
+	}
+}
+
+// codecCases enumerates every msg.Type with its edge cases: nil vs ⊥
+// c-structs, empty vote sets, zero-length results, max-varint counters.
+func codecCases(set cstruct.Set) []struct {
+	name string
+	m    msg.Message
+} {
+	b := ballot.Ballot{MCount: 1, MinCount: 2, ID: 3, RType: 4}
+	bMax := ballot.Ballot{MCount: math.MaxUint32, MinCount: math.MaxUint32,
+		ID: math.MaxUint32, RType: math.MaxUint32}
+	val := cstruct.AppendSeq(set.Bottom(), []cstruct.Cmd{
+		{ID: 9, Key: "k", Op: cstruct.OpWrite, Payload: []byte("p")},
+	})
+	return []struct {
+		name string
+		m    msg.Message
+	}{
+		{"propose", msg.Propose{Inst: 7, Cmd: cstruct.Cmd{ID: 5, Key: "k", Op: cstruct.OpWrite, Payload: []byte("v")},
+			AccQuorum: []msg.NodeID{200, 201}}},
+		{"propose-seq-max", msg.Propose{Inst: math.MaxUint64, Cmd: cstruct.Cmd{ID: math.MaxUint64},
+			Seq: math.MaxUint64, HasSeq: true}},
+		{"propose-empty-cmd", msg.Propose{Cmd: cstruct.Cmd{}}},
+		{"1a", msg.P1a{Inst: 1, Rnd: b, Coord: 100, Shard: 3}},
+		{"1a-max", msg.P1a{Inst: math.MaxUint64, Rnd: bMax, Coord: math.MaxUint32, Shard: math.MaxUint32}},
+		{"1b-nil-val", msg.P1b{Inst: 2, Rnd: b, Acc: 200, VRnd: ballot.Zero}},
+		{"1b-bottom-val", msg.P1b{Inst: 2, Rnd: b, Acc: 200, VRnd: b, VVal: set.Bottom()}},
+		{"1b-val", msg.P1b{Inst: 2, Rnd: b, Acc: 200, VRnd: b, VVal: val}},
+		{"1b-multi-empty", msg.P1bMulti{Rnd: b, Acc: 201, Shard: 1}},
+		{"1b-multi", msg.P1bMulti{Rnd: b, Acc: 201, Shard: 1, Votes: []msg.InstVote{
+			{Inst: 0, VRnd: b, VVal: val},
+			{Inst: 4, VRnd: ballot.Zero},
+			{Inst: math.MaxUint64, VRnd: bMax, VVal: set.Bottom()},
+		}}},
+		{"2a-val", msg.P2a{Inst: 3, Rnd: b, Coord: 102, Val: val}},
+		{"2a-any", msg.P2a{Inst: 3, Rnd: b, Coord: 104, Any: true}},
+		{"2a-bottom", msg.P2a{Inst: 3, Rnd: b, Coord: 104, Val: set.Bottom()}},
+		{"2b", msg.P2b{Inst: 4, Rnd: b, Acc: 202, Val: val}},
+		{"2b-nil-val", msg.P2b{Inst: 4, Rnd: b, Acc: 202}},
+		{"stale", msg.Stale{Inst: 5, Acc: 200, Rnd: b, Got: ballot.Zero}},
+		{"heartbeat", msg.Heartbeat{From: 100, Epoch: math.MaxUint64}},
+		{"reply", msg.Reply{CmdID: 1<<40 | 3, From: 300, Inst: 11, Result: "OK"}},
+		{"reply-empty-result", msg.Reply{CmdID: math.MaxUint64, From: math.MaxUint32, Inst: math.MaxUint64}},
+	}
+}
+
+// TestCodecTableRoundTrip drives every message type and edge case through
+// both codecs: the decoded message must equal the original, and the binary
+// encoding must be canonical (encode∘decode is the identity on the wire
+// form).
+func TestCodecTableRoundTrip(t *testing.T) {
+	set := cstruct.SingleValueSet{}
+	for _, legacy := range []bool{false, true} {
+		c := Codec{Set: set, Legacy: legacy}
+		for _, tc := range codecCases(set) {
+			enc, err := c.Encode(tc.m)
+			if err != nil {
+				t.Fatalf("legacy=%v %s: encode: %v", legacy, tc.name, err)
+			}
+			wantVer := byte(verBinary)
+			if legacy {
+				wantVer = verGob
+			}
+			if enc[0] != wantVer {
+				t.Fatalf("legacy=%v %s: version byte %#x", legacy, tc.name, enc[0])
+			}
+			out, err := c.Decode(enc)
+			if err != nil {
+				t.Fatalf("legacy=%v %s: decode: %v", legacy, tc.name, err)
+			}
+			if !msgEq(tc.m, out) {
+				t.Errorf("legacy=%v %s: mangled:\n in  %+v\n out %+v", legacy, tc.name, tc.m, out)
+			}
+			enc2, err := c.Encode(out)
+			if err != nil {
+				t.Fatalf("legacy=%v %s: re-encode: %v", legacy, tc.name, err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Errorf("legacy=%v %s: encode∘decode not identity on wire form:\n% x\n% x",
+					legacy, tc.name, enc, enc2)
+			}
+		}
+	}
+}
+
+// TestCodecDifferentialGobBinary cross-decodes: every case encoded by the
+// binary codec and by the legacy gob codec must decode to the same message
+// through the shared Decode dispatch.
+func TestCodecDifferentialGobBinary(t *testing.T) {
+	set := cstruct.SingleValueSet{}
+	bin := Codec{Set: set}
+	gob := Codec{Set: set, Legacy: true}
+	for _, tc := range codecCases(set) {
+		be, err := bin.Encode(tc.m)
+		if err != nil {
+			t.Fatalf("%s: binary encode: %v", tc.name, err)
+		}
+		ge, err := gob.Encode(tc.m)
+		if err != nil {
+			t.Fatalf("%s: gob encode: %v", tc.name, err)
+		}
+		bm, err := bin.Decode(be)
+		if err != nil {
+			t.Fatalf("%s: binary decode: %v", tc.name, err)
+		}
+		gm, err := bin.Decode(ge) // same codec decodes both versions
+		if err != nil {
+			t.Fatalf("%s: gob decode: %v", tc.name, err)
+		}
+		if !msgEq(bm, gm) {
+			t.Errorf("%s: binary and gob decode disagree:\n bin %+v\n gob %+v", tc.name, bm, gm)
+		}
+	}
+}
+
+// TestGobPooledFramesStandalone checks the pooled legacy encoder's
+// type-definition prefix capture: many frames encoded through one pooled
+// coder must each decode standalone, in any order.
+func TestGobPooledFramesStandalone(t *testing.T) {
+	set := cstruct.SingleValueSet{}
+	c := Codec{Set: set, Legacy: true}
+	var frames [][]byte
+	var msgs []msg.Message
+	for i := 0; i < 50; i++ {
+		for _, tc := range codecCases(set) {
+			enc, err := c.Encode(tc.m)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			frames = append(frames, enc)
+			msgs = append(msgs, tc.m)
+		}
+	}
+	// Decode in reverse: no frame may depend on state from an earlier one.
+	for i := len(frames) - 1; i >= 0; i-- {
+		out, err := c.Decode(frames[i])
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if !msgEq(msgs[i], out) {
+			t.Fatalf("frame %d mangled: %+v vs %+v", i, msgs[i], out)
+		}
+	}
 }
 
 func TestCodecRoundtripAllTypes(t *testing.T) {
@@ -102,7 +336,25 @@ func TestCodecBottomValue(t *testing.T) {
 
 func TestCodecRejectsGarbage(t *testing.T) {
 	c := Codec{Set: cstruct.SingleValueSet{}}
-	if _, err := c.Decode([]byte("not gob")); err == nil {
-		t.Errorf("garbage must fail to decode")
+	cases := map[string][]byte{
+		"empty":            {},
+		"unknown version":  []byte("not a frame"),
+		"truncated binary": {verBinary, byte(msg.TP1a)},
+		"bad type":         {verBinary, 0xEE, 0},
+		"bad flags":        {verBinary, byte(msg.THeartbeat), 0xFF, 0, 0},
+		"truncated gob":    {verGob, 0x01},
+	}
+	for name, data := range cases {
+		if _, err := c.Decode(data); err == nil {
+			t.Errorf("%s must fail to decode", name)
+		}
+	}
+	// Trailing bytes after a valid message are corruption, not padding.
+	enc, err := c.Encode(msg.Heartbeat{From: 1, Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(append(enc, 0)); err == nil {
+		t.Errorf("trailing bytes must fail to decode")
 	}
 }

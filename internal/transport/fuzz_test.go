@@ -9,19 +9,13 @@ import (
 	"mcpaxos/internal/msg"
 )
 
-// FuzzCodecRoundTrip feeds arbitrary byte frames to the decoder: it must
-// never panic, and every frame it does accept must round-trip —
-// encode∘decode is the identity on the wire form, so re-encoding the
-// decoded message yields the same bytes and the same message again. The
-// seed corpus covers every message type, including the coordinator-id and
-// sequence-number fields of the multicoordinated path (P2a.Coord,
-// Propose.Seq/HasSeq, P1bMulti.Shard).
-func FuzzCodecRoundTrip(f *testing.F) {
-	set := cstruct.SingleValueSet{}
-	c := Codec{Set: set}
+// fuzzSeeds is the seed corpus shared by the codec fuzz targets: every
+// message type, including the coordinator-id and sequence-number fields of
+// the multicoordinated path (P2a.Coord, Propose.Seq/HasSeq, P1bMulti.Shard).
+func fuzzSeeds() []msg.Message {
 	b := ballot.Ballot{MCount: 1, MinCount: 2, ID: 3, RType: 4}
 	sv := cstruct.NewSingleValue(cstruct.Cmd{ID: 9, Key: "k", Op: cstruct.OpWrite, Payload: []byte("p")})
-	seeds := []msg.Message{
+	return []msg.Message{
 		msg.Propose{Inst: 7, Cmd: cstruct.Cmd{ID: 5, Key: "k"},
 			AccQuorum: []msg.NodeID{200, 201}, Seq: 12, HasSeq: true},
 		msg.P1a{Inst: 1, Rnd: b, Coord: 100, Shard: 3},
@@ -37,14 +31,31 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		msg.Heartbeat{From: 100, Epoch: 9},
 		msg.Reply{CmdID: 1<<40 | 3, From: 300, Inst: 11, Result: "OK"},
 	}
-	for _, m := range seeds {
+}
+
+// FuzzCodecRoundTrip feeds arbitrary byte frames to the decoder: it must
+// never panic, and every frame it does accept must round-trip —
+// encode∘decode is the identity on the wire form, so re-encoding the
+// decoded message yields the same bytes and the same message again. The
+// seed corpus carries each message in both wire versions, so mutations
+// explore the binary and the legacy gob format.
+func FuzzCodecRoundTrip(f *testing.F) {
+	set := cstruct.SingleValueSet{}
+	c := Codec{Set: set}
+	legacy := Codec{Set: set, Legacy: true}
+	for _, m := range fuzzSeeds() {
 		data, err := c.Encode(m)
 		if err != nil {
 			f.Fatalf("encode seed %T: %v", m, err)
 		}
 		f.Add(data)
+		data, err = legacy.Encode(m)
+		if err != nil {
+			f.Fatalf("gob encode seed %T: %v", m, err)
+		}
+		f.Add(data)
 	}
-	f.Add([]byte("not gob"))
+	f.Add([]byte("not a frame"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -69,6 +80,53 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(enc, enc2) {
 			t.Fatalf("encode∘decode not identity on wire form for %T:\n% x\n% x", m, enc, enc2)
+		}
+	})
+}
+
+// FuzzCodecDifferential cross-checks the two wire formats: any frame the
+// decoder accepts (binary or legacy gob) is re-encoded through the *other*
+// codec, decoded again, and the two decodes must agree semantically. This
+// pins the hand-rolled binary codec to the gob codec it replaces for the
+// one release both are live.
+func FuzzCodecDifferential(f *testing.F) {
+	set := cstruct.SingleValueSet{}
+	bin := Codec{Set: set}
+	gob := Codec{Set: set, Legacy: true}
+	for _, m := range fuzzSeeds() {
+		be, err := bin.Encode(m)
+		if err != nil {
+			f.Fatalf("encode seed %T: %v", m, err)
+		}
+		f.Add(be)
+		ge, err := gob.Encode(m)
+		if err != nil {
+			f.Fatalf("gob encode seed %T: %v", m, err)
+		}
+		f.Add(ge)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := bin.Decode(data)
+		if err != nil {
+			return
+		}
+		// Route the message through the other format than the one it
+		// arrived in.
+		other := bin
+		if data[0] == verBinary {
+			other = gob
+		}
+		enc, err := other.Encode(m)
+		if err != nil {
+			t.Fatalf("cross-encode %T: %v", m, err)
+		}
+		m2, err := other.Decode(enc)
+		if err != nil {
+			t.Fatalf("cross-decode %T: %v", m, err)
+		}
+		if !msgEq(m, m2) {
+			t.Fatalf("formats disagree for %T:\n in  %+v\n out %+v", m, m, m2)
 		}
 	})
 }

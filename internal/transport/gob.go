@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+)
+
+// This file is the legacy gob wire codec, kept behind version byte verGob
+// for one release so the binary codec can be differentially fuzzed against
+// it (FuzzCodecDifferential). Nothing in the live stack encodes gob frames
+// unless Codec.Legacy is set.
+
+// wire is the flattened, gob-encodable form of every protocol message.
+// C-structs travel as representative command sequences and are rebuilt with
+// the receiver's configured c-struct set (every c-struct is ⊥ • σ for its
+// Commands() σ).
+type wire struct {
+	Type  msg.Type
+	Inst  uint64
+	Rnd   ballot.Ballot
+	VRnd  ballot.Ballot
+	Got   ballot.Ballot
+	Acc   msg.NodeID
+	Coord msg.NodeID
+	Cmd   cstruct.Cmd
+	Val   []cstruct.Cmd
+	// HasVal distinguishes a nil c-struct from ⊥.
+	HasVal    bool
+	Any       bool
+	AccQuorum []msg.NodeID
+	Shard     uint32
+	Votes     []wireVote
+	// Multi marks a P1bMulti promise.
+	Multi bool
+	Epoch uint64
+	// Seq/HasSeq carry a proposal's per-shard sequence number
+	// (multicoordinated groups derive the instance from it).
+	Seq    uint64
+	HasSeq bool
+	// CmdID/Result carry a Reply's correlation key and apply result.
+	CmdID  uint64
+	Result string
+}
+
+type wireVote struct {
+	Inst uint64
+	VRnd ballot.Ballot
+	VVal []cstruct.Cmd
+	Has  bool
+}
+
+// gobCoder is a pooled encoder: the bytes.Buffer and gob.Encoder are built
+// once and reused across frames. A gob stream sends each type definition
+// only once, so a reused encoder would emit frames that cannot be decoded
+// standalone; the coder therefore captures the type-definition prefix at
+// construction (the difference between the first and second encoding of the
+// same value) and prepends it to every frame, keeping each frame a
+// self-contained stream while paying the buffer and encoder setup only once
+// per pooled coder.
+type gobCoder struct {
+	buf bytes.Buffer
+	enc *gob.Encoder
+	hdr []byte
+}
+
+var gobPool = sync.Pool{New: func() any { return newGobCoder() }}
+
+func newGobCoder() *gobCoder {
+	c := &gobCoder{}
+	c.enc = gob.NewEncoder(&c.buf)
+	// Prime with every field populated so the captured prefix carries the
+	// full type-definition set.
+	prime := wire{
+		Type: msg.TP1b, Inst: 1, Rnd: ballot.Ballot{MCount: 1}, VRnd: ballot.Ballot{ID: 1},
+		Got: ballot.Ballot{RType: 1}, Acc: 1, Coord: 1,
+		Cmd:    cstruct.Cmd{ID: 1, Key: "k", Op: cstruct.OpWrite, Payload: []byte("p")},
+		Val:    []cstruct.Cmd{{ID: 2}},
+		HasVal: true, Any: true, AccQuorum: []msg.NodeID{1}, Shard: 1,
+		Votes: []wireVote{{Inst: 1, VRnd: ballot.Ballot{ID: 2}, VVal: []cstruct.Cmd{{ID: 3}}, Has: true}},
+		Multi: true, Epoch: 1, Seq: 1, HasSeq: true, CmdID: 1, Result: "r",
+	}
+	if err := c.enc.Encode(prime); err != nil {
+		panic(fmt.Sprintf("transport: gob prime encode: %v", err))
+	}
+	first := append([]byte(nil), c.buf.Bytes()...)
+	c.buf.Reset()
+	if err := c.enc.Encode(prime); err != nil {
+		panic(fmt.Sprintf("transport: gob prime re-encode: %v", err))
+	}
+	// The value bytes of identical values are identical; what the first
+	// encoding carried beyond them is the type-definition prefix.
+	c.hdr = first[:len(first)-c.buf.Len()]
+	c.buf.Reset()
+	return c
+}
+
+// encode appends verGob plus a self-contained gob stream for w onto dst.
+func (c *gobCoder) encode(dst []byte, w wire) ([]byte, error) {
+	c.buf.Reset()
+	if err := c.enc.Encode(w); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	dst = append(dst, verGob)
+	dst = append(dst, c.hdr...)
+	return append(dst, c.buf.Bytes()...), nil
+}
+
+func appendEncodeGob(dst []byte, m msg.Message) ([]byte, error) {
+	w, err := toWire(m)
+	if err != nil {
+		return nil, err
+	}
+	co := gobPool.Get().(*gobCoder)
+	defer gobPool.Put(co)
+	return co.encode(dst, w)
+}
+
+// decodeGob decodes the legacy format (data excludes the version byte).
+func (c Codec) decodeGob(data []byte) (msg.Message, error) {
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return c.fromWire(w)
+}
+
+func toWire(m msg.Message) (wire, error) {
+	switch mm := m.(type) {
+	case msg.Propose:
+		return wire{Type: msg.TPropose, Inst: mm.Inst, Cmd: mm.Cmd, AccQuorum: mm.AccQuorum,
+			Seq: mm.Seq, HasSeq: mm.HasSeq}, nil
+	case msg.P1a:
+		return wire{Type: msg.TP1a, Inst: mm.Inst, Rnd: mm.Rnd, Coord: mm.Coord, Shard: mm.Shard}, nil
+	case msg.P1b:
+		w := wire{Type: msg.TP1b, Inst: mm.Inst, Rnd: mm.Rnd, Acc: mm.Acc, VRnd: mm.VRnd}
+		if mm.VVal != nil {
+			w.Val, w.HasVal = mm.VVal.Commands(), true
+		}
+		return w, nil
+	case msg.P1bMulti:
+		w := wire{Type: msg.TP1b, Rnd: mm.Rnd, Acc: mm.Acc, Multi: true, Shard: mm.Shard}
+		for _, v := range mm.Votes {
+			wv := wireVote{Inst: v.Inst, VRnd: v.VRnd}
+			if v.VVal != nil {
+				wv.VVal, wv.Has = v.VVal.Commands(), true
+			}
+			w.Votes = append(w.Votes, wv)
+		}
+		return w, nil
+	case msg.P2a:
+		w := wire{Type: msg.TP2a, Inst: mm.Inst, Rnd: mm.Rnd, Coord: mm.Coord, Any: mm.Any}
+		if mm.Val != nil {
+			w.Val, w.HasVal = mm.Val.Commands(), true
+		}
+		return w, nil
+	case msg.P2b:
+		w := wire{Type: msg.TP2b, Inst: mm.Inst, Rnd: mm.Rnd, Acc: mm.Acc}
+		if mm.Val != nil {
+			w.Val, w.HasVal = mm.Val.Commands(), true
+		}
+		return w, nil
+	case msg.Stale:
+		return wire{Type: msg.TStale, Inst: mm.Inst, Acc: mm.Acc, Rnd: mm.Rnd, Got: mm.Got}, nil
+	case msg.Heartbeat:
+		return wire{Type: msg.THeartbeat, Coord: mm.From, Epoch: mm.Epoch}, nil
+	case msg.Reply:
+		return wire{Type: msg.TReply, Inst: mm.Inst, Acc: mm.From, CmdID: mm.CmdID, Result: mm.Result}, nil
+	default:
+		return wire{}, fmt.Errorf("transport: unknown message type %T", m)
+	}
+}
+
+func (c Codec) fromWire(w wire) (msg.Message, error) {
+	switch w.Type {
+	case msg.TPropose:
+		if !w.HasSeq {
+			// Normalize: Seq is meaningless without HasSeq, and the binary
+			// format does not carry it, so a ghost value here would break
+			// the cross-format decode agreement.
+			w.Seq = 0
+		}
+		return msg.Propose{Inst: w.Inst, Cmd: w.Cmd, AccQuorum: w.AccQuorum,
+			Seq: w.Seq, HasSeq: w.HasSeq}, nil
+	case msg.TP1a:
+		return msg.P1a{Inst: w.Inst, Rnd: w.Rnd, Coord: w.Coord, Shard: w.Shard}, nil
+	case msg.TP1b:
+		if w.Multi {
+			out := msg.P1bMulti{Rnd: w.Rnd, Acc: w.Acc, Shard: w.Shard}
+			for _, v := range w.Votes {
+				out.Votes = append(out.Votes, msg.InstVote{
+					Inst: v.Inst, VRnd: v.VRnd, VVal: c.rebuild(v.VVal, v.Has),
+				})
+			}
+			return out, nil
+		}
+		return msg.P1b{Inst: w.Inst, Rnd: w.Rnd, Acc: w.Acc, VRnd: w.VRnd,
+			VVal: c.rebuild(w.Val, w.HasVal)}, nil
+	case msg.TP2a:
+		return msg.P2a{Inst: w.Inst, Rnd: w.Rnd, Coord: w.Coord, Any: w.Any,
+			Val: c.rebuild(w.Val, w.HasVal)}, nil
+	case msg.TP2b:
+		return msg.P2b{Inst: w.Inst, Rnd: w.Rnd, Acc: w.Acc,
+			Val: c.rebuild(w.Val, w.HasVal)}, nil
+	case msg.TStale:
+		return msg.Stale{Inst: w.Inst, Acc: w.Acc, Rnd: w.Rnd, Got: w.Got}, nil
+	case msg.THeartbeat:
+		return msg.Heartbeat{From: w.Coord, Epoch: w.Epoch}, nil
+	case msg.TReply:
+		return msg.Reply{Inst: w.Inst, From: w.Acc, CmdID: w.CmdID, Result: w.Result}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown wire type %d", w.Type)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mcpaxos/internal/msg"
 )
@@ -15,19 +17,67 @@ import (
 // RecvFn consumes inbound messages.
 type RecvFn func(from msg.NodeID, m msg.Message)
 
-// sendQueueDepth bounds the frames buffered per peer; a full queue drops
-// the frame (the asynchronous model allows loss, and the protocols
+// sendQueueDepth bounds the messages buffered per peer; a full queue drops
+// the message (the asynchronous model allows loss, and the protocols
 // retransmit).
 const sendQueueDepth = 1024
 
+// frameHdrLen is the fixed frame header: sender ID (4 bytes) + payload
+// length (4 bytes).
+const frameHdrLen = 8
+
+// maxFrame refuses absurd frames on both ends of a connection.
+const maxFrame = 16 << 20
+
+// maxPooledFrame caps the scratch buffers the frame pool retains: a rare
+// multi-megabyte frame must not pin its buffer in the pool forever.
+const maxPooledFrame = 1 << 20
+
+// frame is one pooled scratch buffer. Writers encode into it and readers
+// decode out of it; the codec never retains frame memory, so a goroutine
+// can reuse one frame for its whole lifetime.
+type frame struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func getFrame() *frame { return framePool.Get().(*frame) }
+
+func putFrame(f *frame) {
+	if cap(f.b) > maxPooledFrame {
+		f.b = nil
+	}
+	framePool.Put(f)
+}
+
+// TCPStats counts one endpoint's wire traffic and codec time.
+type TCPStats struct {
+	// FramesOut/BytesOut cover frames written to the wire (headers
+	// included); FramesIn/BytesIn cover frames decoded off it.
+	FramesOut, BytesOut uint64
+	FramesIn, BytesIn   uint64
+	// EncodeNanos/DecodeNanos total the codec time spent on those frames.
+	EncodeNanos, DecodeNanos uint64
+}
+
+// Plus returns the component-wise sum (for aggregating endpoints).
+func (s TCPStats) Plus(o TCPStats) TCPStats {
+	return TCPStats{
+		FramesOut: s.FramesOut + o.FramesOut, BytesOut: s.BytesOut + o.BytesOut,
+		FramesIn: s.FramesIn + o.FramesIn, BytesIn: s.BytesIn + o.BytesIn,
+		EncodeNanos: s.EncodeNanos + o.EncodeNanos, DecodeNanos: s.DecodeNanos + o.DecodeNanos,
+	}
+}
+
 // TCP is a TCP transport endpoint for one node: it listens on its own
 // address and opens one client connection per peer on demand. Frames are
-// length-prefixed gob-encoded wire messages, preceded by the sender ID.
+// length-prefixed binary wire messages, preceded by the sender ID.
 //
-// Sends are asynchronous: each peer has a dedicated writer goroutine
-// draining a frame queue through a bufio.Writer, so a slow or stalled peer
-// never delays traffic to the others, header and payload leave in one
-// write, and consecutive frames to the same peer coalesce into one flush.
+// Sends are asynchronous and zero-copy: Send queues the message itself, and
+// each peer's dedicated writer goroutine encodes it straight into the
+// connection's bufio.Writer through one pooled scratch buffer — no
+// intermediate allocation per message — so a slow or stalled peer never
+// delays traffic to the others, header and payload leave in one write, and
+// consecutive frames to the same peer coalesce into one flush.
 type TCP struct {
 	id    msg.NodeID
 	codec Codec
@@ -41,14 +91,18 @@ type TCP struct {
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	framesOut, bytesOut atomic.Uint64
+	framesIn, bytesIn   atomic.Uint64
+	encNanos, decNanos  atomic.Uint64
 }
 
 // peer is one outbound connection with its writer goroutine.
 type peer struct {
 	conn net.Conn
-	ch   chan []byte
-	// dead is closed when the writer exits; frames enqueued after that are
-	// lost, and the next Send redials.
+	ch   chan msg.Message
+	// dead is closed when the writer exits; messages enqueued after that
+	// are lost, and the next Send redials.
 	dead chan struct{}
 }
 
@@ -85,6 +139,15 @@ func NewTCPOnListener(id msg.NodeID, ln net.Listener, addrs map[msg.NodeID]strin
 // Addr returns the bound listen address (useful with ":0" ports).
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
 
+// Stats snapshots the endpoint's wire traffic counters.
+func (t *TCP) Stats() TCPStats {
+	return TCPStats{
+		FramesOut: t.framesOut.Load(), BytesOut: t.bytesOut.Load(),
+		FramesIn: t.framesIn.Load(), BytesIn: t.bytesIn.Load(),
+		EncodeNanos: t.encNanos.Load(), DecodeNanos: t.decNanos.Load(),
+	}
+}
+
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -116,25 +179,37 @@ func (t *TCP) readLoop(conn net.Conn) {
 		delete(t.accepted, conn)
 		t.mu.Unlock()
 	}()
-	br := bufio.NewReader(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	// One pooled scratch buffer serves every frame of the connection: the
+	// codec copies out what the decoded message keeps.
+	f := getFrame()
+	defer putFrame(f)
 	for {
-		var hdr [12]byte
+		var hdr [frameHdrLen]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
 		from := msg.NodeID(binary.BigEndian.Uint32(hdr[0:4]))
-		size := binary.BigEndian.Uint64(hdr[4:12])
-		if size > 16<<20 {
+		size := binary.BigEndian.Uint32(hdr[4:8])
+		if size > maxFrame {
 			return // refuse absurd frames
 		}
-		buf := make([]byte, size)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if cap(f.b) < int(size) {
+			f.b = make([]byte, size)
+		} else {
+			f.b = f.b[:size]
+		}
+		if _, err := io.ReadFull(br, f.b); err != nil {
 			return
 		}
-		m, err := t.codec.Decode(buf)
+		start := time.Now()
+		m, err := t.codec.Decode(f.b)
 		if err != nil {
 			continue // corrupt frame: the model allows loss, not corruption
 		}
+		t.decNanos.Add(uint64(time.Since(start)))
+		t.framesIn.Add(1)
+		t.bytesIn.Add(uint64(size) + frameHdrLen)
 		select {
 		case <-t.closed:
 			return
@@ -145,27 +220,21 @@ func (t *TCP) readLoop(conn net.Conn) {
 }
 
 // Send transmits m to node `to`, dialing on first use. The write itself is
-// asynchronous — a nil return means the frame was queued, not delivered —
+// asynchronous — a nil return means the message was queued, not delivered —
 // and errors are returned for diagnostics; callers may treat failures as
-// message loss.
+// message loss. Messages are immutable once sent (the msg package
+// contract), so the peer's writer encodes them after the fact without
+// copying here.
 func (t *TCP) Send(to msg.NodeID, m msg.Message) error {
-	data, err := t.codec.Encode(m)
-	if err != nil {
-		return err
+	if !encodable(m) {
+		return fmt.Errorf("transport: unknown message type %T", m)
 	}
-	// Header and payload travel as one frame so they reach the wire in one
-	// write, never interleaved with other peers' traffic.
-	frame := make([]byte, 12+len(data))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(t.id))
-	binary.BigEndian.PutUint64(frame[4:12], uint64(len(data)))
-	copy(frame[12:], data)
-
 	p, err := t.peer(to)
 	if err != nil {
 		return err
 	}
 	select {
-	case p.ch <- frame:
+	case p.ch <- m:
 		return nil
 	case <-p.dead:
 		return fmt.Errorf("transport: connection to %v lost", to)
@@ -207,17 +276,18 @@ func (t *TCP) peer(to msg.NodeID) (*peer, error) {
 		return nil, fmt.Errorf("transport: endpoint closed")
 	default:
 	}
-	p := &peer{conn: c, ch: make(chan []byte, sendQueueDepth), dead: make(chan struct{})}
+	p := &peer{conn: c, ch: make(chan msg.Message, sendQueueDepth), dead: make(chan struct{})}
 	t.peers[to] = p
 	t.wg.Add(1)
 	go t.writeLoop(to, p)
 	return p, nil
 }
 
-// writeLoop drains one peer's frame queue. The writer owns the connection:
-// on any error (or shutdown) it evicts itself and closes the conn, so an
-// evicted connection never leaks its fd or leaves the remote reader blocked
-// mid-frame.
+// writeLoop drains one peer's message queue, encoding each message into one
+// pooled scratch buffer and writing header plus payload in one bw.Write.
+// The writer owns the connection: on any error (or shutdown) it evicts
+// itself and closes the conn, so an evicted connection never leaks its fd
+// or leaves the remote reader blocked mid-frame.
 func (t *TCP) writeLoop(to msg.NodeID, p *peer) {
 	defer t.wg.Done()
 	defer func() {
@@ -230,17 +300,40 @@ func (t *TCP) writeLoop(to msg.NodeID, p *peer) {
 		p.conn.Close()
 	}()
 	bw := bufio.NewWriterSize(p.conn, 64<<10)
+	f := getFrame()
+	defer putFrame(f)
+	// write encodes and writes one frame; false means the connection is
+	// done for.
+	var hdrZero [frameHdrLen]byte
+	write := func(m msg.Message) bool {
+		start := time.Now()
+		f.b = append(f.b[:0], hdrZero[:]...)
+		var err error
+		f.b, err = t.codec.AppendEncode(f.b, m)
+		if err != nil || len(f.b)-frameHdrLen > maxFrame {
+			return true // drop the frame, keep the connection
+		}
+		binary.BigEndian.PutUint32(f.b[0:4], uint32(t.id))
+		binary.BigEndian.PutUint32(f.b[4:8], uint32(len(f.b)-frameHdrLen))
+		t.encNanos.Add(uint64(time.Since(start)))
+		if _, err := bw.Write(f.b); err != nil {
+			return false
+		}
+		t.framesOut.Add(1)
+		t.bytesOut.Add(uint64(len(f.b)))
+		return true
+	}
 	for {
 		select {
-		case frame := <-p.ch:
-			if _, err := bw.Write(frame); err != nil {
+		case m := <-p.ch:
+			if !write(m) {
 				return
 			}
 			// Coalesce: drain whatever else is queued before flushing once.
 			for more := true; more; {
 				select {
-				case frame = <-p.ch:
-					if _, err := bw.Write(frame); err != nil {
+				case m = <-p.ch:
+					if !write(m) {
 						return
 					}
 				default:

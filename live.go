@@ -32,6 +32,14 @@ type LiveResult struct {
 	// RoundChanges sums post-establishment round changes across the
 	// coordinators: a healthy run reports 0.
 	RoundChanges int
+	// WireBytes totals the bytes every endpoint (replica nodes + client)
+	// wrote to the wire during the measured run; BytesPerCmd is that per
+	// client command — the codec-efficiency headline.
+	WireBytes   uint64
+	BytesPerCmd float64
+	// EncodeNsPerFrame and DecodeNsPerFrame average the codec time per
+	// frame across all endpoints.
+	EncodeNsPerFrame, DecodeNsPerFrame float64
 }
 
 // RunLiveLatency stands up a full deployment on loopback TCP (every node in
@@ -64,6 +72,7 @@ func RunLiveLatency(shards, coordsPerShard, nAcceptors, commands, batchMax int) 
 	if err := cli.Wait([]*Call{cli.Set("warmup", "x")}, 30*time.Second); err != nil {
 		return LiveResult{}, err
 	}
+	netBefore := rep.NetStats().Plus(cli.NetStats())
 
 	start := time.Now()
 	calls := make([]*Call, 0, commands)
@@ -74,6 +83,10 @@ func RunLiveLatency(shards, coordsPerShard, nAcceptors, commands, batchMax int) 
 		return LiveResult{}, err
 	}
 	elapsed := time.Since(start)
+	net := rep.NetStats().Plus(cli.NetStats())
+	wireBytes := net.BytesOut - netBefore.BytesOut
+	framesOut := net.FramesOut - netBefore.FramesOut
+	framesIn := net.FramesIn - netBefore.FramesIn
 
 	lat := make([]time.Duration, 0, len(calls))
 	for _, c := range calls {
@@ -92,6 +105,14 @@ func RunLiveLatency(shards, coordsPerShard, nAcceptors, commands, batchMax int) 
 		Throughput: float64(commands) / elapsed.Seconds(),
 		Retries:    st.Retries, DupReplies: st.DupReplies,
 		RoundChanges: rep.RoundChanges(),
+		WireBytes:    wireBytes,
+		BytesPerCmd:  float64(wireBytes) / float64(commands),
+	}
+	if framesOut > 0 {
+		res.EncodeNsPerFrame = float64(net.EncodeNanos-netBefore.EncodeNanos) / float64(framesOut)
+	}
+	if framesIn > 0 {
+		res.DecodeNsPerFrame = float64(net.DecodeNanos-netBefore.DecodeNanos) / float64(framesIn)
 	}
 	return res, nil
 }
