@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	paxosbench [-seed N] [-exp all|e1|...|e13|live] [-trials N] [-commands N]
+//	paxosbench [-seed N] [-exp all|e1|...|e14|live|nemesis] [-trials N] [-commands N]
 //
-// The live experiment is the one non-simulated mode: it stands up the full
-// batched, sharded, multicoordinated deployment on loopback TCP through the
-// embedding API and reports wall-clock proposal latency percentiles. It is
-// excluded from -exp all so the default output stays deterministic.
+// The live and nemesis experiments are the non-simulated modes: live stands
+// up the full batched, sharded, multicoordinated deployment on loopback TCP
+// through the embedding API and reports wall-clock proposal latency
+// percentiles; nemesis runs the randomized fault-injection harness (E14) on
+// both the simulator and the live path, judging every run with the
+// linearizability checker. Both are excluded from -exp all so the default
+// output stays deterministic.
 package main
 
 import (
@@ -23,8 +26,9 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e13 or live")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e14, live or nemesis")
 	trials := flag.Int("trials", 20, "trials per sample point (E7, E9)")
+	seeds := flag.Int("seeds", 50, "randomized seeds per nemesis sweep (E14)")
 	commands := flag.Int("commands", 200, "commands per run (E4, E6, E10, live)")
 	shards := flag.Int("shards", 2, "instance-space shards (live)")
 	coords := flag.Int("coords", 3, "coordinator group size per shard (live)")
@@ -85,12 +89,20 @@ func main() {
 		e13(*seed, *commands)
 		any = true
 	}
+	if run("e14") {
+		e14(*seed, *seeds)
+		any = true
+	}
 	if *exp == "live" {
 		live(*shards, *coords, *commands, *batchMax)
 		any = true
 	}
+	if *exp == "nemesis" {
+		nemesisExp(*seed, *seeds)
+		any = true
+	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1..e13 or live)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1..e14, live or nemesis)\n", *exp)
 		os.Exit(2)
 	}
 }
@@ -236,6 +248,64 @@ func e13(seed int64, commands int) {
 	fmt.Println("  (a coordinator quorum of ⌊c/2⌋+1 matching 2as accepts: under c=3 one crash")
 	fmt.Println("   per shard masks — same rounds, same order, zero round changes — where c=1")
 	fmt.Println("   pays a failover round change; the price is the ~c× 2a/propose fan-out)")
+}
+
+func e14(seed int64, seeds int) {
+	header("E14: nemesis — adversarial network + linearizability check (simulator)")
+	fmt.Printf("  %d randomized seeds; each: 4 closed-loop clients × 24 mixed get/set/del ops,\n", seeds)
+	fmt.Println("  2 shards × group of 3, 3 acceptors F=1, under partitions, cuts, crashes,")
+	fmt.Println("  loss bursts, dup storms and reorder windows")
+	rows := mcpaxos.RunE14(seed, seeds, 4, 24)
+	failed := 0
+	var msgs, dropped, duplicated uint64
+	for _, r := range rows {
+		if !r.Ok {
+			failed++
+			fmt.Printf("  FAIL seed %d: %s\n", r.Seed, r.Failure)
+		}
+		msgs += r.Msgs
+		dropped += r.Net.Dropped
+		duplicated += r.Net.Duplicated
+	}
+	fmt.Printf("  %d/%d seeds clean; %d msgs total, %d dropped, %d duplicated by the adversary\n",
+		len(rows)-failed, len(rows), msgs, dropped, duplicated)
+	fmt.Println("  (every run: all ops resolve, learners agree, merged order duplicate-free,")
+	fmt.Println("   history linearizable — the paper's safety claim under Section 2.1.1 faults)")
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func nemesisExp(seed int64, seeds int) {
+	e14(seed, seeds)
+	header("NEMESIS LIVE: the same harness over loopback TCP (wall clock)")
+	liveSeeds := 3
+	if seeds < liveSeeds {
+		liveSeeds = seeds
+	}
+	for i := 0; i < liveSeeds; i++ {
+		dir, err := os.MkdirTemp("", "nemesis-wal-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nemesis: %v\n", err)
+			os.Exit(1)
+		}
+		r, err := mcpaxos.RunLiveNemesis(seed+int64(i), 3, 8, dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nemesis seed %d: %v\n", r.Seed, err)
+			os.Exit(1)
+		}
+		status := "ok"
+		if !r.Ok {
+			status = "FAIL: " + r.Failure
+		}
+		fmt.Printf("  seed %-4d ops=%d resolved=%d applied=%d events=%d dropped=%d dup=%d %v  %s\n",
+			r.Seed, r.Ops, r.Resolved, r.Applied, r.FaultEvents,
+			r.Net.Dropped, r.Net.Duplicated, r.Elapsed.Round(time.Millisecond), status)
+		if !r.Ok {
+			os.Exit(1)
+		}
+	}
 }
 
 func live(shards, coords, commands, batchMax int) {

@@ -111,6 +111,7 @@ func Dial(spec ClusterSpec, id uint32) (*Client, error) {
 	}
 	tcp := transport.NewTCPOnListener(c.id, ln, spec.addrs(), transport.Codec{Set: cstruct.SingleValueSet{}},
 		func(from msg.NodeID, m msg.Message) { c.agent.Inject(from, m) })
+	tcp.SetFaults(spec.Faults, spec.tick())
 	c.tcp = tcp
 	c.net.SetFallback(func(_, to msg.NodeID, m msg.Message) { _ = tcp.Send(to, m) })
 	return c, nil
@@ -146,6 +147,13 @@ func (c *Client) Set(key, value string) *Call {
 // Del proposes a KV delete and returns its Call.
 func (c *Client) Del(key string) *Call {
 	return c.Propose(smr.DelCmd(0, key))
+}
+
+// Get proposes a KV read through consensus and returns its Call: the result
+// resolves to "=<value>" or smr.KVMissing, serialized against the writes —
+// the linearizable read path the nemesis history checker exercises.
+func (c *Client) Get(key string) *Call {
+	return c.Propose(smr.GetCmd(0, key))
 }
 
 // Flush submits every partially filled batch immediately instead of waiting
@@ -229,6 +237,11 @@ type pendingBatch struct {
 	attempts int
 	next     int64 // env time of the next retry
 	deadline int64 // env time at which the batch's calls fail
+	// abandoned marks a batch whose calls already failed at the deadline but
+	// whose proposal must keep retransmitting: its sequence number owns an
+	// instance in the shard's stream, and a slot no proposal ever fills
+	// again would wedge the merged order for every learner.
+	abandoned bool
 }
 
 // clientHandler is the protocol-facing half of the Client. It runs on the
@@ -383,6 +396,9 @@ func (h *clientHandler) OnMessage(_ msg.NodeID, m msg.Message) {
 	call, ok := h.calls[mm.CmdID]
 	if !ok {
 		h.stats.DupReplies++
+		// A late reply for an abandoned call still settles its batch, so
+		// the retransmission of a decided slot stops.
+		h.settle(mm.CmdID)
 		return
 	}
 	delete(h.calls, mm.CmdID)
@@ -411,7 +427,8 @@ func (h *clientHandler) settle(cmdID uint64) {
 
 // OnTimer implements node.TimerHandler: due batches are retransmitted to the
 // whole coordinator group with exponential backoff; batches past their
-// deadline fail their remaining calls.
+// deadline fail their remaining calls but keep retransmitting until their
+// slots are known decided (see abandon).
 func (h *clientHandler) OnTimer(tag int) {
 	switch tag {
 	case tagClientFlush:
@@ -434,9 +451,8 @@ func (h *clientHandler) OnTimer(tag int) {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
 			b := h.pend[id]
-			if now >= b.deadline {
-				h.fail(id, b, fmt.Errorf("deploy: no reply for command %d after %d attempts", id, b.attempts+1))
-				continue
+			if !b.abandoned && now >= b.deadline {
+				h.abandon(id, b, fmt.Errorf("deploy: no reply for command %d after %d attempts", id, b.attempts+1))
 			}
 			if now < b.next {
 				continue
@@ -489,6 +505,30 @@ func (h *clientHandler) alignShards() {
 		}
 		h.router.FlushAll()
 	}
+}
+
+// abandon fails a batch's outstanding calls at the deadline but keeps the
+// batch itself retransmitting until its replies prove the slot decided. The
+// callers get the standard at-most-once ambiguity (the command may yet
+// apply); the shard stream gets the guarantee it actually needs — every
+// claimed sequence number is eventually proposed until filled, so a client
+// timeout can never leave a permanent gap that stalls apply for everyone.
+func (h *clientHandler) abandon(bid uint64, b *pendingBatch, err error) {
+	inner, isBatch := batch.UnpackMeta(b.cmd)
+	if !isBatch {
+		inner = []cstruct.Cmd{b.cmd}
+	}
+	for _, c := range inner {
+		call, ok := h.calls[c.ID]
+		if !ok {
+			continue
+		}
+		delete(h.calls, c.ID)
+		h.stats.Failed++
+		call.err, call.end = err, time.Now()
+		close(call.done)
+	}
+	b.abandoned = true
 }
 
 // fail resolves every unanswered call of a batch with err and retires it.

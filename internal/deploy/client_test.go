@@ -230,7 +230,10 @@ func TestClientBatchSettlement(t *testing.T) {
 }
 
 // TestClientRequestTimeout: a proposal that never draws a reply fails after
-// RequestTimeout with the attempt count in the error.
+// RequestTimeout with the attempt count in the error — but its batch keeps
+// retransmitting: the claimed sequence number owns a fixed instance in the
+// shard stream, and dropping it would leave a gap no proposal ever fills,
+// wedging apply on every learner. A late reply retires the abandoned batch.
 func TestClientRequestTimeout(t *testing.T) {
 	_, h, env := multiSpec(t)
 	call := h.propose(cstruct.Cmd{Key: "k", Op: cstruct.OpWrite})
@@ -247,8 +250,23 @@ func TestClientRequestTimeout(t *testing.T) {
 	if h.stats.Failed != 1 {
 		t.Fatalf("failed = %d, want 1", h.stats.Failed)
 	}
-	if len(h.pend) != 0 || len(h.calls) != 0 {
-		t.Fatal("failed call left retry state behind")
+	if len(h.calls) != 0 {
+		t.Fatal("failed call left call state behind")
+	}
+	if len(h.pend) != 1 {
+		t.Fatal("abandoned batch must keep retransmitting until its slot decides")
+	}
+	// Retransmission continues past the deadline...
+	before := h.stats.Retries
+	env.now += h.retryEvery << 6
+	h.OnTimer(tagClientRetry)
+	if h.stats.Retries <= before {
+		t.Fatal("abandoned batch stopped retransmitting")
+	}
+	// ...until a (late) reply proves the slot decided.
+	h.OnMessage(300, msg.Reply{CmdID: call.ID, From: 300, Result: "late"})
+	if len(h.pend) != 0 {
+		t.Fatal("late reply did not retire the abandoned batch")
 	}
 }
 

@@ -1,0 +1,167 @@
+package deploy
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mcpaxos/internal/faults"
+	"mcpaxos/internal/smr"
+)
+
+// TestDuplicateFramesEndToEnd runs the live stack with every frame on every
+// link duplicated (dup = 1.0): proposals, 2a forwards, 2b announcements and
+// replies all arrive twice. The pins: every call still resolves, the
+// duplicate replies are suppressed by the client's correlation map, the
+// state machine applies each command at most once, and the merged order
+// carries no duplicate IDs.
+func TestDuplicateFramesEndToEnd(t *testing.T) {
+	f := faults.New(1)
+	f.SetDup(1)
+	spec := LocalSpec(2, 3, 3, 2, 1)
+	spec.BatchMax = 2
+	spec.RetryEvery = 20 * time.Millisecond
+	spec.Faults = f
+	rep, cli := openLocal(t, spec)
+
+	const n = 16
+	calls := make([]*Call, 0, n)
+	for i := 0; i < n; i++ {
+		calls = append(calls, cli.Set(fmt.Sprintf("k%d", i%4), fmt.Sprintf("v%d", i)))
+	}
+	if err := cli.Wait(calls, 30*time.Second); err != nil {
+		t.Fatalf("wait under dup storm: %v", err)
+	}
+	for _, l := range []uint32{300, 301} {
+		if err := rep.WaitApplied(l, n, 15*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		applied, _ := rep.Applied(l)
+		if applied != n {
+			t.Fatalf("learner %d applied %d, want exactly %d (at-most-once)", l, applied, n)
+		}
+		order, _ := rep.Order(l)
+		seen := make(map[uint64]bool, len(order))
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("learner %d merged command %d twice", l, id)
+			}
+			seen[id] = true
+		}
+	}
+	if s := cli.Stats(); s.DupReplies == 0 {
+		// Two learner replicas each answer every command, and the injector
+		// doubles the frames besides: the suppression path must have fired.
+		t.Fatalf("expected suppressed duplicate replies, stats: %+v", s)
+	}
+	if s := f.Stats(); s.Duplicated == 0 {
+		t.Fatalf("injector reports no duplicated frames: %+v", s)
+	}
+}
+
+// TestAbandonedProposalStillFillsItsSlot: a proposal that exhausts its
+// request timeout during a total blackout must fail its caller but keep
+// retransmitting — its sequence number owns a fixed instance in the shard
+// stream, and abandoning the slot outright would leave a gap no proposal
+// ever fills, wedging apply on every learner forever. (Found by the nemesis
+// harness: a mid-partition client timeout froze both learners' orders.)
+func TestAbandonedProposalStillFillsItsSlot(t *testing.T) {
+	f := faults.New(1)
+	spec := LocalSpec(2, 3, 3, 2, 1)
+	spec.BatchMax = 1
+	spec.RetryEvery = 20 * time.Millisecond
+	spec.RequestTimeout = 300 * time.Millisecond
+	spec.Faults = f
+	rep, cli := openLocal(t, spec)
+
+	if err := cli.Wait([]*Call{cli.Set("warm", "0"), cli.Set("warm2", "0")}, 15*time.Second); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	// Total blackout: the doomed proposal cannot reach anyone before its
+	// deadline passes.
+	f.SetLoss(1)
+	doomed := cli.Set("doomed", "1")
+	cli.Flush()
+	if _, err := doomed.Result(); err == nil {
+		t.Fatal("proposal resolved through a total blackout")
+	}
+
+	// Heal, then drive more traffic through both shards: none of it can
+	// apply unless the abandoned slot is eventually filled.
+	f.Clear()
+	var calls []*Call
+	for i := 0; i < 8; i++ {
+		calls = append(calls, cli.Set(fmt.Sprintf("after%d", i), "2"))
+		cli.Flush()
+	}
+	if err := cli.Wait(calls, 15*time.Second); err != nil {
+		t.Fatalf("traffic after heal: %v", err)
+	}
+	// The doomed command itself must land too: the retransmission that
+	// fills the slot carries the original payload.
+	for _, l := range []uint32{300, 301} {
+		if err := rep.WaitApplied(l, 11, 15*time.Second); err != nil {
+			t.Fatalf("learner %d: %v (abandoned slot never filled?)", l, err)
+		}
+	}
+}
+
+// TestGetReadsThroughConsensus pins the client's linearizable read path:
+// Get is serialized against the writes and resolves to the value or the
+// missing sentinel.
+func TestGetReadsThroughConsensus(t *testing.T) {
+	spec := LocalSpec(2, 3, 3, 1, 1)
+	spec.RetryEvery = 20 * time.Millisecond
+	_, cli := openLocal(t, spec)
+
+	if err := cli.Wait([]*Call{cli.Set("x", "42")}, 15*time.Second); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	got := cli.Get("x")
+	miss := cli.Get("nope")
+	if err := cli.Wait([]*Call{got, miss}, 15*time.Second); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if res, _ := got.Result(); !strings.HasPrefix(res, "=") || res[1:] != "42" {
+		t.Fatalf("get(x) = %q, want =42", res)
+	}
+	if res, _ := miss.Result(); res != smr.KVMissing {
+		t.Fatalf("get(nope) = %q, want %q", res, smr.KVMissing)
+	}
+}
+
+// TestRestartRebuildsAcceptorFromWAL: kill a WAL-backed acceptor mid-run,
+// Restart it, and drive more commands — the restarted acceptor serves from
+// its recovered state and the deployment stays correct.
+func TestRestartRebuildsAcceptorFromWAL(t *testing.T) {
+	spec := LocalSpec(2, 3, 3, 1, 1)
+	spec.RetryEvery = 20 * time.Millisecond
+	spec.WALDir = t.TempDir()
+	rep, cli := openLocal(t, spec)
+
+	if err := cli.Wait([]*Call{cli.Set("a", "1"), cli.Set("b", "2")}, 15*time.Second); err != nil {
+		t.Fatalf("before restart: %v", err)
+	}
+	acc := spec.Acceptors[0].ID
+	if !rep.Kill(acc) {
+		t.Fatal("kill failed")
+	}
+	// F=1: the deployment keeps deciding while the acceptor is down.
+	if err := cli.Wait([]*Call{cli.Set("c", "3")}, 15*time.Second); err != nil {
+		t.Fatalf("during downtime: %v", err)
+	}
+	if err := rep.Restart(acc); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if err := cli.Wait([]*Call{cli.Set("d", "4"), cli.Set("e", "5")}, 15*time.Second); err != nil {
+		t.Fatalf("after restart: %v", err)
+	}
+	if err := rep.WaitApplied(300, 5, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Restart(300); err == nil {
+		t.Fatal("learner restart must be refused")
+	}
+}

@@ -221,6 +221,7 @@ func (r *Replica) openNode(id msg.NodeID) error {
 	}
 	tcp := transport.NewTCPOnListener(id, ln, r.spec.addrs(), transport.Codec{Set: cstruct.SingleValueSet{}},
 		func(from msg.NodeID, m msg.Message) { h.agent.Inject(from, m) })
+	tcp.SetFaults(r.spec.Faults, r.spec.tick())
 	h.tcp = tcp
 	h.net.SetFallback(func(_, to msg.NodeID, m msg.Message) {
 		_ = tcp.Send(to, m) // send failure is message loss, which the model allows
@@ -261,6 +262,31 @@ func (r *Replica) Kill(id uint32) bool {
 	}
 	h.stop()
 	return true
+}
+
+// Restart brings a previously killed (or never-opened) node of the spec
+// back up, rebuilding its handler from scratch the way a process restart
+// would: a WAL-backed acceptor reloads its votes from stable storage and
+// its recovery hook runs, a coordinator comes back amnesiac and relies on
+// its group to mask the gap. Restarting a learner is refused — a fresh
+// learner would wait forever for instances nobody re-announces.
+func (r *Replica) Restart(id uint32) error {
+	role, _ := r.roleOf(msg.NodeID(id))
+	if role == "learner" {
+		return fmt.Errorf("deploy: learner %d cannot restart (no catch-up protocol)", id)
+	}
+	if err := r.openNode(msg.NodeID(id)); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	h := r.nodes[msg.NodeID(id)]
+	r.mu.Unlock()
+	h.agent.Do(func(hd node.Handler) {
+		if rec, ok := hd.(node.Recoverable); ok {
+			rec.OnRecover()
+		}
+	})
+	return nil
 }
 
 // Close stops every hosted node.

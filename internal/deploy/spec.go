@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"mcpaxos/internal/classic"
+	"mcpaxos/internal/faults"
 	"mcpaxos/internal/msg"
 	"mcpaxos/internal/quorum"
 )
@@ -85,6 +86,13 @@ type ClusterSpec struct {
 	// Tick is the duration of one protocol time unit on the wall clock; 0
 	// means 1ms.
 	Tick time.Duration
+
+	// Faults, when set, is installed on the send path of every TCP endpoint
+	// this process opens (replica nodes and clients alike): the nemesis
+	// harness's loss, duplication, reordering, partitions and link cuts.
+	// All endpoints of one process should share one injector so a partition
+	// severs every role consistently. nil means a faithful network.
+	Faults *faults.Faults
 
 	// reserved holds the listeners ResolveEphemeral bound while picking
 	// ports, keyed by resolved address: Open and Dial consume them instead

@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"testing"
+
+	"mcpaxos/internal/msg"
+)
+
+const (
+	a msg.NodeID = 1
+	b msg.NodeID = 2
+	c msg.NodeID = 3
+)
+
+func TestNilFaultsDeliverEverything(t *testing.T) {
+	var f *Faults
+	if got := f.Deliveries(a, b); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("nil injector: got %v, want one undelayed copy", got)
+	}
+	// Every mutator must be a no-op on nil, not a panic.
+	f.SetLoss(1)
+	f.SetDup(1)
+	f.SetReorder(1, 4)
+	f.Partition([]msg.NodeID{a})
+	f.Cut(a, b)
+	f.Restore(a, b)
+	f.Heal()
+	f.Clear()
+	if s := f.Stats(); s != (Stats{}) {
+		t.Fatalf("nil stats: %+v", s)
+	}
+}
+
+func TestPartitionIsSymmetricAndHeals(t *testing.T) {
+	f := New(1)
+	f.Partition([]msg.NodeID{a}, []msg.NodeID{b})
+	if got := f.Deliveries(a, b); len(got) != 0 {
+		t.Fatalf("a→b across partition delivered: %v", got)
+	}
+	if got := f.Deliveries(b, a); len(got) != 0 {
+		t.Fatalf("b→a across partition delivered: %v", got)
+	}
+	// c is in no group: it talks to both sides.
+	if got := f.Deliveries(c, a); len(got) != 1 {
+		t.Fatalf("unlisted node cut off: %v", got)
+	}
+	if got := f.Deliveries(a, c); len(got) != 1 {
+		t.Fatalf("to unlisted node cut off: %v", got)
+	}
+	f.Heal()
+	if got := f.Deliveries(a, b); len(got) != 1 {
+		t.Fatalf("healed link still cut: %v", got)
+	}
+	if s := f.Stats(); s.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", s.Dropped)
+	}
+}
+
+func TestCutIsAsymmetric(t *testing.T) {
+	f := New(1)
+	f.Cut(a, b)
+	if got := f.Deliveries(a, b); len(got) != 0 {
+		t.Fatalf("cut a→b delivered: %v", got)
+	}
+	if got := f.Deliveries(b, a); len(got) != 1 {
+		t.Fatalf("reverse of an asymmetric cut lost: %v", got)
+	}
+	f.Restore(a, b)
+	if got := f.Deliveries(a, b); len(got) != 1 {
+		t.Fatalf("restored link still cut: %v", got)
+	}
+}
+
+func TestLossDupReorderAreProbabilisticAndBounded(t *testing.T) {
+	f := New(42)
+	f.SetLoss(0.3)
+	f.SetDup(0.5)
+	f.SetReorder(0.5, 3)
+	const n = 5000
+	var dropped, duped, delayed int
+	for i := 0; i < n; i++ {
+		ds := f.Deliveries(a, b)
+		if len(ds) == 0 {
+			dropped++
+			continue
+		}
+		if len(ds) == 2 {
+			duped++
+			if ds[1] <= ds[0] {
+				t.Fatalf("duplicate copy not later than original: %v", ds)
+			}
+		}
+		if ds[0] > 0 {
+			delayed++
+		}
+		for _, d := range ds {
+			if d < 0 || d > 3+1+3 {
+				t.Fatalf("delay %d outside the configured bound: %v", d, ds)
+			}
+		}
+	}
+	frac := func(k int) float64 { return float64(k) / n }
+	if frac(dropped) < 0.2 || frac(dropped) > 0.4 {
+		t.Fatalf("loss 0.3 dropped %.3f", frac(dropped))
+	}
+	surv := n - dropped
+	if f := float64(duped) / float64(surv); f < 0.4 || f > 0.6 {
+		t.Fatalf("dup 0.5 duplicated %.3f of survivors", f)
+	}
+	if f := float64(delayed) / float64(surv); f < 0.4 || f > 0.6 {
+		t.Fatalf("reorder 0.5 delayed %.3f of survivors", f)
+	}
+	s := f.Stats()
+	if int(s.Dropped) != dropped || int(s.Duplicated) != duped || int(s.Delayed) != delayed {
+		t.Fatalf("stats %+v disagree with observed drop=%d dup=%d delay=%d", s, dropped, duped, delayed)
+	}
+}
+
+func TestSelfSendsAreNeverFaulted(t *testing.T) {
+	f := New(7)
+	f.SetLoss(1)
+	f.Partition([]msg.NodeID{a}, []msg.NodeID{b})
+	for i := 0; i < 100; i++ {
+		if got := f.Deliveries(a, a); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("self-send faulted: %v", got)
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	run := func() []int {
+		f := New(99)
+		f.SetLoss(0.2)
+		f.SetDup(0.3)
+		f.SetReorder(0.4, 5)
+		out := make([]int, 0, 600)
+		for i := 0; i < 200; i++ {
+			ds := f.Deliveries(a, b)
+			out = append(out, len(ds))
+			for _, d := range ds {
+				out = append(out, int(d))
+			}
+		}
+		return out
+	}
+	x, y := run(), run()
+	if len(x) != len(y) {
+		t.Fatalf("replay diverged in length: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, x[i], y[i])
+		}
+	}
+}
+
+func TestClearResetsEverything(t *testing.T) {
+	f := New(1)
+	f.SetLoss(1)
+	f.SetDup(1)
+	f.SetReorder(1, 4)
+	f.Partition([]msg.NodeID{a}, []msg.NodeID{b})
+	f.Cut(c, a)
+	f.Clear()
+	for i := 0; i < 50; i++ {
+		for _, pair := range [][2]msg.NodeID{{a, b}, {c, a}} {
+			if got := f.Deliveries(pair[0], pair[1]); len(got) != 1 || got[0] != 0 {
+				t.Fatalf("cleared injector still faulting %v: %v", pair, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package nemesis
+
+import (
+	"reflect"
+	"testing"
+
+	"mcpaxos/internal/faults"
+	"mcpaxos/internal/msg"
+)
+
+func testTopo() Topology {
+	return Topology{
+		Proposers: []msg.NodeID{1, 2},
+		Coords:    [][]msg.NodeID{{100, 102, 104}, {101, 103, 105}},
+		Acceptors: []msg.NodeID{200, 201, 202},
+		Learners:  []msg.NodeID{300, 301},
+		F:         1,
+	}
+}
+
+func TestWorkloadDeterministicAndWellFormed(t *testing.T) {
+	o := WorkloadOpts{Clients: 4, OpsPerClient: 50, Keys: 3}
+	w1 := Workload(7, o)
+	w2 := Workload(7, o)
+	if !reflect.DeepEqual(w1, w2) {
+		t.Fatal("same seed produced different workloads")
+	}
+	if len(w1) != 4 {
+		t.Fatalf("clients = %d", len(w1))
+	}
+	values := make(map[string]bool)
+	for c, ops := range w1 {
+		if len(ops) != 50 {
+			t.Fatalf("client %d ops = %d", c, len(ops))
+		}
+		for _, op := range ops {
+			if op.Client != uint64(c) || op.Key == "" {
+				t.Fatalf("malformed op %+v", op)
+			}
+			if op.Kind == OpSet {
+				if values[op.Value] {
+					t.Fatalf("duplicate written value %q", op.Value)
+				}
+				values[op.Value] = true
+			}
+		}
+	}
+	if w3 := Workload(8, o); reflect.DeepEqual(w1, w3) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestScheduleDeterministicBoundedAndHealed(t *testing.T) {
+	topo := testTopo()
+	const horizon = 4000
+	for seed := int64(0); seed < 30; seed++ {
+		ev1 := Schedule(seed, topo, horizon)
+		ev2 := Schedule(seed, topo, horizon)
+		if !reflect.DeepEqual(ev1, ev2) {
+			t.Fatalf("seed %d: schedule not deterministic", seed)
+		}
+		if len(ev1) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+		// Every fault ends by 3/4 of the horizon, sorted, and balanced:
+		// each start event has its matching end inside the window.
+		quietStart := int64(horizon - horizon/4)
+		down := make(map[msg.NodeID]bool)
+		partitioned, lossOn, dupOn, reorderOn := false, false, false, false
+		cuts := 0
+		last := int64(0)
+		for _, e := range ev1 {
+			if e.At < last {
+				t.Fatalf("seed %d: events unsorted", seed)
+			}
+			last = e.At
+			if e.At > quietStart {
+				t.Fatalf("seed %d: event after quiet tail: %s", seed, e)
+			}
+			switch e.Kind {
+			case FaultCrash:
+				if down[e.Node] {
+					t.Fatalf("seed %d: double crash of %d", seed, e.Node)
+				}
+				down[e.Node] = true
+			case FaultRecover:
+				if !down[e.Node] {
+					t.Fatalf("seed %d: recover of live node %d", seed, e.Node)
+				}
+				delete(down, e.Node)
+			case FaultPartition:
+				partitioned = true
+			case FaultHeal:
+				partitioned = false
+			case FaultCut:
+				cuts++
+			case FaultRestore:
+				cuts--
+			case FaultLoss:
+				lossOn = e.P > 0
+			case FaultDup:
+				dupOn = e.P > 0
+			case FaultReorder:
+				reorderOn = e.P > 0
+			}
+			// Budget: at most F acceptors and ⌊c/2⌋ per coordinator group down.
+			nAcc := 0
+			for _, a := range topo.Acceptors {
+				if down[a] {
+					nAcc++
+				}
+			}
+			if nAcc > topo.F {
+				t.Fatalf("seed %d: %d acceptors down (F=%d)", seed, nAcc, topo.F)
+			}
+			for gi, g := range topo.Coords {
+				n := 0
+				for _, c := range g {
+					if down[c] {
+						n++
+					}
+				}
+				if n > len(g)/2 {
+					t.Fatalf("seed %d: %d down in group %d (budget %d)", seed, n, gi, len(g)/2)
+				}
+			}
+		}
+		if len(down) != 0 || partitioned || cuts != 0 || lossOn || dupOn || reorderOn {
+			t.Fatalf("seed %d: schedule does not end clean (down=%v part=%v cuts=%d loss=%v dup=%v reorder=%v)",
+				seed, down, partitioned, cuts, lossOn, dupOn, reorderOn)
+		}
+	}
+}
+
+func TestScheduleNeverTouchesProposersOrLearners(t *testing.T) {
+	topo := testTopo()
+	immune := map[msg.NodeID]bool{1: true, 2: true, 300: true, 301: true}
+	for seed := int64(0); seed < 30; seed++ {
+		for _, e := range Schedule(seed, topo, 4000) {
+			if e.Kind == FaultCrash && immune[e.Node] {
+				t.Fatalf("seed %d: schedule crashes protected node %d", seed, e.Node)
+			}
+		}
+	}
+}
+
+func TestApplyRoutesInjectorEvents(t *testing.T) {
+	f := faults.New(1)
+	if !Apply(f, Event{Kind: FaultPartition, Groups: [][]msg.NodeID{{1}, {2}}}) {
+		t.Fatal("partition not handled")
+	}
+	if got := f.Deliveries(1, 2); len(got) != 0 {
+		t.Fatal("partition not applied to injector")
+	}
+	if !Apply(f, Event{Kind: FaultHeal}) {
+		t.Fatal("heal not handled")
+	}
+	if got := f.Deliveries(1, 2); len(got) != 1 {
+		t.Fatal("heal not applied to injector")
+	}
+	if Apply(f, Event{Kind: FaultCrash, Node: 200}) {
+		t.Fatal("crash must be left to the host")
+	}
+	if Apply(f, Event{Kind: FaultRecover, Node: 200}) {
+		t.Fatal("recover must be left to the host")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcpaxos/internal/faults"
 	"mcpaxos/internal/msg"
 	"mcpaxos/internal/node"
 )
@@ -43,6 +44,11 @@ type Network struct {
 	// Fallback, when set, receives messages addressed to nodes this
 	// network does not host (e.g. to forward them over TCP).
 	Fallback func(from, to msg.NodeID, m msg.Message)
+	// faults, when set, adjudicates every locally routed message: drop,
+	// duplicate, or delay (in Ticks). Messages leaving through Fallback are
+	// not faulted here — the remote transport carries its own injector, so
+	// a deployment faults each link exactly once.
+	faults atomic.Pointer[faults.Faults]
 }
 
 // NewNetwork builds an empty in-process network.
@@ -116,6 +122,11 @@ func (n *Network) Restart(id msg.NodeID, build func(env node.Env) node.Handler) 
 	return a
 }
 
+// SetFaults installs (or, with nil, removes) an adversarial fault injector
+// on the local send path: the same knobs the simulator and the TCP
+// transport take, so a nemesis schedule runs identically on every host.
+func (n *Network) SetFaults(f *faults.Faults) { n.faults.Store(f) }
+
 // Send routes a message to a local agent, or through Fallback for remote
 // destinations; unknown destinations without a Fallback are dropped (the
 // asynchronous model allows loss).
@@ -130,7 +141,24 @@ func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
 		}
 		return
 	}
-	dst.enqueue(inbound{kind: kindMsg, from: from, m: m})
+	for _, extra := range n.faults.Load().Deliveries(from, to) {
+		in := inbound{kind: kindMsg, from: from, m: m}
+		if extra == 0 {
+			dst.enqueue(in)
+			continue
+		}
+		// A delayed copy targets whatever incarnation of the node is live
+		// when it lands — deliveries across a restart are legal (the
+		// network may hold messages arbitrarily long), unlike timers.
+		time.AfterFunc(time.Duration(extra)*n.Tick, func() {
+			n.mu.RLock()
+			late, ok := n.agents[to]
+			n.mu.RUnlock()
+			if ok {
+				late.enqueue(in)
+			}
+		})
+	}
 }
 
 // Stop shuts every agent down and waits for their goroutines.
@@ -196,15 +224,26 @@ func (a *Agent) Inject(from msg.NodeID, m msg.Message) {
 // synchronous access to handler state. Calling Do from the mailbox
 // goroutine itself (handler code calling back into its own agent) runs fn
 // inline — already serialized — instead of deadlocking on the mailbox.
+// On a stopped agent, Do returns without running fn: the buffered inbox
+// would otherwise accept the closure (both select cases ready, picked at
+// random) and leave the caller waiting on a completion that never comes.
 func (a *Agent) Do(fn func(h node.Handler)) {
 	if g := gid(); g != 0 && a.loopGID.Load() == g {
 		fn(a.handler)
 		return
 	}
+	select {
+	case <-a.done:
+		return
+	default:
+	}
 	doneCh := make(chan struct{})
 	select {
 	case a.inbox <- inbound{kind: kindMsg, from: 0, m: doFunc{fn: fn, done: doneCh}}:
-		<-doneCh
+		select {
+		case <-doneCh:
+		case <-a.done: // stopped before the closure was drained
+		}
 	case <-a.done:
 	}
 }
@@ -222,6 +261,14 @@ func (doFunc) Type() msg.Type { return msg.TUnknown }
 func (doFunc) Instance() uint64 { return 0 }
 
 func (a *Agent) enqueue(in inbound) {
+	// Check done first: once the loop has exited, both select cases below
+	// can be ready (the inbox is buffered), and picking the send would
+	// strand the event in a channel nobody drains.
+	select {
+	case <-a.done:
+		return
+	default:
+	}
 	select {
 	case a.inbox <- in:
 	case <-a.done:
@@ -277,6 +324,19 @@ func (e agentEnv) SetTimer(d int64, tag int) {
 		d = 1
 	}
 	time.AfterFunc(time.Duration(d)*a.net.Tick, func() {
+		// Timers do not survive a crash boundary: a timer armed by one
+		// incarnation must never fire into a handler built by
+		// Network.Restart under the same ID (the simulator enforces this
+		// with delivery epochs; here the agent pointer is the epoch). A
+		// stale fire would reach a recovered coordinator as a phantom
+		// retransmission deadline and could trigger a spurious round
+		// change.
+		a.net.mu.RLock()
+		live := a.net.agents[a.id] == a
+		a.net.mu.RUnlock()
+		if !live {
+			return
+		}
 		a.enqueue(inbound{kind: kindTimer, tag: tag})
 	})
 }

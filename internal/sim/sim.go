@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mcpaxos/internal/faults"
 	"mcpaxos/internal/msg"
 	"mcpaxos/internal/node"
 )
@@ -97,6 +98,7 @@ type Sim struct {
 	rng     *rand.Rand
 	latency LatencyFn
 	drop    DropFn
+	faults  *faults.Faults
 	metrics *Metrics
 	// MaxEvents guards against runaway executions; Run returns once the
 	// budget is exhausted.
@@ -120,6 +122,13 @@ func (s *Sim) SetLatency(f LatencyFn) { s.latency = f }
 
 // SetDrop installs a loss model.
 func (s *Sim) SetDrop(f DropFn) { s.drop = f }
+
+// SetFaults installs an adversarial fault injector on the send path:
+// partitions, asymmetric link cuts, loss, duplication and bounded
+// reordering, on top of (not instead of) the latency and drop models. The
+// injector runs inside the simulator's single-threaded event loop, so a
+// seeded injector makes the whole hostile run deterministic. nil uninstalls.
+func (s *Sim) SetFaults(f *faults.Faults) { s.faults = f }
 
 // Metrics returns the simulation's metrics sink.
 func (s *Sim) Metrics() *Metrics { return s.metrics }
@@ -193,18 +202,26 @@ func (s *Sim) send(from, to msg.NodeID, m msg.Message) {
 	if !ok {
 		return
 	}
-	epoch := dst.epoch
-	s.at(s.now+d, func() {
-		if !dst.up {
-			return
-		}
-		// Deliveries across a crash boundary are allowed after recovery
-		// (the network may hold messages arbitrarily long), but not into a
-		// crashed node.
-		_ = epoch
-		s.metrics.received(to, m)
-		dst.handler.OnMessage(from, m)
-	})
+	// The fault injector may drop the message, duplicate it, or push copies
+	// further into the future (bounded reordering). A crashed destination
+	// carries no epoch check here on purpose: deliveries across a crash
+	// boundary are allowed after recovery (the network may hold messages
+	// arbitrarily long), but nothing is delivered into a node while it is
+	// down — TestSendAcrossCrashBoundary pins both halves.
+	deliveries := s.faults.Deliveries(from, to)
+	if len(deliveries) == 0 {
+		s.metrics.Dropped++
+		return
+	}
+	for _, extra := range deliveries {
+		s.at(s.now+d+extra, func() {
+			if !dst.up {
+				return
+			}
+			s.metrics.received(to, m)
+			dst.handler.OnMessage(from, m)
+		})
+	}
 }
 
 // At schedules fn at absolute time t (or now, if t is in the past).

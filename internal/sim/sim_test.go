@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 
 	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/faults"
 	"mcpaxos/internal/msg"
 )
 
@@ -233,6 +235,106 @@ func TestSameTimeEventsFIFO(t *testing.T) {
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("same-time events must run FIFO, got %v", order)
+		}
+	}
+}
+
+func TestSendAcrossCrashBoundary(t *testing.T) {
+	// Pins the documented crash-boundary delivery semantics (the dead epoch
+	// capture that used to sit next to them is gone): a message in flight
+	// when its destination crashes is lost if it arrives while the node is
+	// down, but a message that arrives after the node recovered is
+	// delivered — the network may hold messages arbitrarily long, and a
+	// recovery epoch must not invalidate them.
+	s := New(1)
+	s.SetLatency(func(_, _ msg.NodeID, m msg.Message, _ *rand.Rand) Time {
+		return Time(m.(msg.Heartbeat).Epoch) // per-message latency
+	})
+	newEcho(s, 1)
+	b := newEcho(s, 2)
+
+	// Arrives at t=1, while 2 is down: lost.
+	s.Env(1).Send(2, msg.Heartbeat{From: 1, Epoch: 1})
+	// Arrives at t=5, after 2 recovered at t=3: delivered across the crash.
+	s.Env(1).Send(2, msg.Heartbeat{From: 1, Epoch: 5})
+	s.Crash(2)
+	s.At(3, func() { s.Recover(2) })
+	s.Run()
+
+	if len(b.got) != 1 {
+		t.Fatalf("delivered %d messages, want exactly the post-recovery one", len(b.got))
+	}
+	if b.got[0].(msg.Heartbeat).Epoch != 5 {
+		t.Fatalf("wrong survivor: %v", b.got[0])
+	}
+	if b.recovers != 1 {
+		t.Fatalf("recovers = %d, want 1", b.recovers)
+	}
+}
+
+func TestFaultsPartitionDupAndReorderInSim(t *testing.T) {
+	s := New(9)
+	f := faults.New(9)
+	s.SetFaults(f)
+	newEcho(s, 1)
+	b := newEcho(s, 2)
+
+	// Partitioned: nothing crosses, and the sim counts the losses.
+	f.Partition([]msg.NodeID{1}, []msg.NodeID{2})
+	s.Env(1).Send(2, msg.Heartbeat{From: 1, Epoch: 0})
+	s.Run()
+	if len(b.got) != 0 || s.Metrics().Dropped != 1 {
+		t.Fatalf("partitioned delivery: got=%d dropped=%d", len(b.got), s.Metrics().Dropped)
+	}
+
+	// Healed with dup=1: every send arrives at least twice.
+	f.Heal()
+	f.SetDup(1)
+	s.Env(1).Send(2, msg.Heartbeat{From: 1, Epoch: 1})
+	s.Run()
+	if len(b.got) != 2 {
+		t.Fatalf("dup=1 delivered %d copies, want 2", len(b.got))
+	}
+
+	// Reordering stays bounded: a delayed message lands within the bound.
+	f.Clear()
+	f.SetReorder(1, 4)
+	start := s.Now()
+	s.Env(1).Send(2, msg.Heartbeat{From: 1, Epoch: 2})
+	s.Run()
+	if got := s.Now() - start; got < 2 || got > 5 {
+		t.Fatalf("reordered delivery after %d steps, want within [2, 5]", got)
+	}
+}
+
+func TestFaultsDeterministicInSim(t *testing.T) {
+	run := func() []uint64 {
+		s := New(4)
+		f := faults.New(4)
+		f.SetLoss(0.3)
+		f.SetDup(0.3)
+		f.SetReorder(0.5, 6)
+		s.SetFaults(f)
+		newEcho(s, 1)
+		b := newEcho(s, 2)
+		env := s.Env(1)
+		for i := 0; i < 100; i++ {
+			env.Send(2, msg.Heartbeat{From: 1, Epoch: uint64(i)})
+		}
+		s.Run()
+		out := make([]uint64, len(b.got))
+		for i, m := range b.got {
+			out[i] = m.(msg.Heartbeat).Epoch
+		}
+		return out
+	}
+	x, y := run(), run()
+	if len(x) != len(y) {
+		t.Fatalf("hostile replay diverged: %d vs %d deliveries", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("hostile replay diverged at %d", i)
 		}
 	}
 }

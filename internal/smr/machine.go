@@ -30,7 +30,13 @@ type Machine interface {
 const (
 	KVSet byte = iota + 1
 	KVDel
+	KVGet
 )
+
+// KV read results: a found key applies to "=<value>", a missing key to
+// KVMissing. Writes and deletes apply to "ok". The sentinel cannot collide
+// with a found value, which always starts with '='.
+const KVMissing = "#missing"
 
 // KVStore is a replicated key-value map. Commands on different keys
 // commute; use cstruct.KeyConflict (or RWConflict) as the conflict
@@ -58,6 +64,13 @@ func DelCmd(id uint64, key string) cstruct.Cmd {
 	return cstruct.Cmd{ID: id, Key: key, Op: cstruct.OpWrite, Payload: []byte{KVDel}}
 }
 
+// GetCmd builds a command reading key through consensus: the read is
+// serialized against the writes like any other command, so its result is
+// linearizable — the read path the nemesis history checker exercises.
+func GetCmd(id uint64, key string) cstruct.Cmd {
+	return cstruct.Cmd{ID: id, Key: key, Op: cstruct.OpRead, Payload: []byte{KVGet}}
+}
+
 // Apply implements Machine.
 func (s *KVStore) Apply(cmd cstruct.Cmd) string {
 	s.mu.Lock()
@@ -72,6 +85,11 @@ func (s *KVStore) Apply(cmd cstruct.Cmd) string {
 	case KVDel:
 		delete(s.data, cmd.Key)
 		return "ok"
+	case KVGet:
+		if v, ok := s.data[cmd.Key]; ok {
+			return "=" + v
+		}
+		return KVMissing
 	default:
 		return "err:opcode"
 	}

@@ -189,3 +189,18 @@ func TestReplicaOrderRespectsConflicts(t *testing.T) {
 		}
 	}
 }
+
+func TestKVGetReadsThroughTheMachine(t *testing.T) {
+	kv := NewKVStore()
+	if got := kv.Apply(GetCmd(1, "x")); got != KVMissing {
+		t.Fatalf("get of a missing key = %q, want %q", got, KVMissing)
+	}
+	kv.Apply(SetCmd(2, "x", "v1"))
+	if got := kv.Apply(GetCmd(3, "x")); got != "=v1" {
+		t.Fatalf("get = %q, want %q", got, "=v1")
+	}
+	kv.Apply(DelCmd(4, "x"))
+	if got := kv.Apply(GetCmd(5, "x")); got != KVMissing {
+		t.Fatalf("get after delete = %q, want %q", got, KVMissing)
+	}
+}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/faults"
+	"mcpaxos/internal/msg"
+)
+
+// pairWithFaults stands up two endpoints with an injector on t1's send path.
+func pairWithFaults(t *testing.T, f *faults.Faults) (*TCP, func() int) {
+	t.Helper()
+	codec := Codec{Set: cstruct.SingleValueSet{}}
+	var mu sync.Mutex
+	n := 0
+	addrs := map[msg.NodeID]string{1: "127.0.0.1:0", 2: "127.0.0.1:0"}
+	t2, err := NewTCP(2, addrs, codec, func(msg.NodeID, msg.Message) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { t2.Close() })
+	addrs[2] = t2.Addr()
+	t1, err := NewTCP(1, addrs, codec, func(msg.NodeID, msg.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { t1.Close() })
+	addrs[1] = t1.Addr()
+	t1.SetFaults(f, time.Millisecond)
+	return t1, func() int { mu.Lock(); defer mu.Unlock(); return n }
+}
+
+func TestTCPFaultsDropSilently(t *testing.T) {
+	f := faults.New(1)
+	f.SetLoss(1)
+	t1, count := pairWithFaults(t, f)
+	for i := 0; i < 20; i++ {
+		if err := t1.Send(2, msg.Heartbeat{From: 1, Epoch: uint64(i)}); err != nil {
+			t.Fatalf("injected loss must look like a successful queue, got %v", err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := count(); got != 0 {
+		t.Fatalf("loss=1 delivered %d frames", got)
+	}
+	if s := f.Stats(); s.Dropped != 20 {
+		t.Fatalf("dropped = %d, want 20", s.Dropped)
+	}
+}
+
+func TestTCPFaultsDuplicateEveryFrame(t *testing.T) {
+	f := faults.New(1)
+	f.SetDup(1)
+	t1, count := pairWithFaults(t, f)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := t1.Send(2, msg.Heartbeat{From: 1, Epoch: uint64(i)}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for count() < 2*n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := count(); got != 2*n {
+		t.Fatalf("dup=1 delivered %d frames, want %d", got, 2*n)
+	}
+}
+
+func TestTCPFaultsPartitionAndHeal(t *testing.T) {
+	f := faults.New(1)
+	f.Partition([]msg.NodeID{1}, []msg.NodeID{2})
+	t1, count := pairWithFaults(t, f)
+	if err := t1.Send(2, msg.Heartbeat{From: 1}); err != nil {
+		t.Fatalf("send into a partition must not error, got %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if count() != 0 {
+		t.Fatal("partitioned endpoints exchanged a frame")
+	}
+	f.Heal()
+	if err := t1.Send(2, msg.Heartbeat{From: 1}); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if count() != 1 {
+		t.Fatalf("healed link delivered %d frames, want 1", count())
+	}
+}

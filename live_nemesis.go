@@ -1,0 +1,253 @@
+package mcpaxos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mcpaxos/internal/faults"
+	"mcpaxos/internal/linearize"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/nemesis"
+)
+
+// This file runs the nemesis experiment of experiments_nemesis.go on the
+// live path: the same workload generator and fault schedule, but over real
+// loopback TCP with wall-clock time — the injector sits on every endpoint's
+// send path, node crashes are real Kill/Restart (acceptors recover from
+// their WALs), and the history checker judges wall-clock invocation and
+// response edges. It is the harness behind `paxosbench -exp nemesis`.
+
+// LiveNemesisResult is the outcome of one live nemesis run.
+type LiveNemesisResult struct {
+	// Seed reproduces the workload and schedule.
+	Seed int64
+	// Ops counts operations issued; Resolved those that drew a reply;
+	// Applied the commands in the longest learner's merged order.
+	Ops, Resolved, Applied int
+	// FaultEvents is the number of schedule events enacted.
+	FaultEvents int
+	// Net is the injector's accounting.
+	Net faults.Stats
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+	// Ok reports a clean run; Failure says what broke otherwise.
+	Ok      bool
+	Failure string
+}
+
+// RunLiveNemesis executes one seed of the nemesis experiment over TCP:
+// clients closed-loop workers share one client endpoint, opsPerClient ops
+// each, while the schedule partitions links, kills and restarts nodes and
+// degrades the network. walDir hosts the acceptors' WALs (pass a temp dir).
+func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveNemesisResult, error) {
+	res := LiveNemesisResult{Seed: seed, Ok: true}
+	fail := func(f string, args ...any) {
+		if res.Ok {
+			res.Ok, res.Failure = false, fmt.Sprintf(f, args...)
+		}
+	}
+
+	inj := faults.New(seed + 1)
+	spec := LocalSpec(2, 3, 3, 2, 1)
+	spec.BatchMax = 1
+	spec.RetryEvery = 10 * time.Millisecond
+	// Every scheduled fault ends by 3/4 of the horizon; a call still
+	// unresolved seconds after that lost its reply for good, so a short
+	// timeout only trims the stall tail, never a recoverable op.
+	spec.RequestTimeout = 6 * time.Second
+	spec.WALDir = walDir
+	spec.Faults = inj
+	spec, err := spec.ResolveEphemeral()
+	if err != nil {
+		return res, err
+	}
+	rep, err := OpenReplica(spec)
+	if err != nil {
+		return res, err
+	}
+	defer rep.Close()
+	cli, err := DialClient(spec, spec.Clients[0].ID)
+	if err != nil {
+		return res, err
+	}
+	defer cli.Close()
+
+	// Establish the rounds before the adversary wakes up.
+	if err := cli.Wait([]*Call{cli.Set("warmup", "x")}, 30*time.Second); err != nil {
+		return res, fmt.Errorf("warmup: %w", err)
+	}
+
+	topo := nemesis.Topology{
+		Proposers: []msg.NodeID{msg.NodeID(spec.Clients[0].ID)},
+		Coords: [][]msg.NodeID{
+			{msg.NodeID(spec.Coords[0].ID), msg.NodeID(spec.Coords[2].ID), msg.NodeID(spec.Coords[4].ID)},
+			{msg.NodeID(spec.Coords[1].ID), msg.NodeID(spec.Coords[3].ID), msg.NodeID(spec.Coords[5].ID)},
+		},
+		Acceptors: []msg.NodeID{msg.NodeID(spec.Acceptors[0].ID), msg.NodeID(spec.Acceptors[1].ID), msg.NodeID(spec.Acceptors[2].ID)},
+		Learners:  []msg.NodeID{msg.NodeID(spec.Learners[0].ID), msg.NodeID(spec.Learners[1].ID)},
+		F:         1,
+	}
+	const horizonTicks = 2500 // ~2.5s of hostility at the default 1ms tick
+	schedule := nemesis.Schedule(seed, topo, horizonTicks)
+	res.FaultEvents = len(schedule)
+
+	start := time.Now()
+	var nemesisWG sync.WaitGroup
+	nemesisWG.Add(1)
+	go func() {
+		defer nemesisWG.Done()
+		tick := time.Millisecond
+		for _, ev := range schedule {
+			time.Sleep(time.Until(start.Add(time.Duration(ev.At) * tick)))
+			if nemesis.Apply(inj, ev) {
+				continue
+			}
+			switch ev.Kind {
+			case nemesis.FaultCrash:
+				rep.Kill(uint32(ev.Node))
+			case nemesis.FaultRecover:
+				// A failed restart (e.g. the port momentarily unbindable) is a
+				// node that stays down — the deployment must survive it, but
+				// the harness records it rather than hiding it.
+				if err := rep.Restart(uint32(ev.Node)); err != nil {
+					fail("restart %d: %v", ev.Node, err)
+				}
+			}
+		}
+	}()
+
+	// Closed-loop workers: each issues its op sequence through the shared
+	// client endpoint, recording invoke/response edges on the wall clock.
+	workload := nemesis.Workload(seed, nemesis.WorkloadOpts{
+		Clients: clients, OpsPerClient: opsPerClient, Keys: 4,
+	})
+	hist := &linearize.History{}
+	var (
+		mu      sync.Mutex
+		writeID = make(map[uint64]int) // cmd ID → history index (unresolved writes)
+	)
+	// Pace each worker so its ops span the fault window: an unpaced closed
+	// loop finishes in tens of milliseconds on an idle machine, before the
+	// first scheduled fault ever fires, and the adversary tests nothing.
+	pace := horizonTicks * time.Millisecond * 3 / 4 / time.Duration(opsPerClient)
+	var workerWG sync.WaitGroup
+	for c := range workload {
+		workerWG.Add(1)
+		go func(c int) {
+			defer workerWG.Done()
+			for _, op := range workload[c] {
+				var kind linearize.Kind
+				switch op.Kind {
+				case nemesis.OpSet:
+					kind = linearize.Set
+				case nemesis.OpDel:
+					kind = linearize.Del
+				default:
+					kind = linearize.Get
+				}
+				idx := hist.Invoke(uint64(c), kind, op.Key, op.Value, time.Now().UnixNano())
+				var call *Call
+				switch kind {
+				case linearize.Set:
+					call = cli.Set(op.Key, op.Value)
+				case linearize.Del:
+					call = cli.Del(op.Key)
+				default:
+					call = cli.Get(op.Key)
+				}
+				cli.Flush()
+				out, err := call.Result()
+				if err != nil {
+					// No response: a write stays in the history with Ret = ∞
+					// if the merged order proves it applied; a read constrains
+					// nothing and is discarded either way.
+					mu.Lock()
+					if kind == linearize.Get {
+						hist.Discard(idx)
+					} else {
+						writeID[call.ID] = idx
+					}
+					mu.Unlock()
+					time.Sleep(pace)
+					continue
+				}
+				found := strings.HasPrefix(out, "=")
+				val := ""
+				if found {
+					val = out[1:]
+				}
+				hist.Resolve(idx, val, found, time.Now().UnixNano())
+				time.Sleep(pace)
+			}
+		}(c)
+	}
+	workerWG.Wait()
+	nemesisWG.Wait()
+	inj.Clear()
+	res.Elapsed = time.Since(start)
+	res.Net = inj.Stats()
+	res.Ops = clients * opsPerClient
+
+	// Let in-flight traffic settle, then snapshot both learners' merged
+	// orders once they stop growing.
+	l0, l1 := spec.Learners[0].ID, spec.Learners[1].ID
+	o0, o1 := stableOrders(rep, l0, l1, 5*time.Second)
+
+	// The orders are merged prefixes of one total order: one must prefix the
+	// other, and neither may repeat a command.
+	long, short := o0, o1
+	if len(o1) > len(o0) {
+		long, short = o1, o0
+	}
+	for i, id := range short {
+		if long[i] != id {
+			fail("learner orders diverge at position %d: %d vs %d", i, long[i], id)
+		}
+	}
+	seen := make(map[uint64]bool, len(long))
+	for _, id := range long {
+		if seen[id] {
+			fail("command %d merged twice", id)
+		}
+		seen[id] = true
+	}
+	res.Applied = len(long)
+
+	// Classify unresolved writes against the merged order: applied writes
+	// stay (Ret = ∞, they linearize somewhere after their call), unapplied
+	// ones are proven side-effect-free and leave the history.
+	mu.Lock()
+	for id, idx := range writeID {
+		if !seen[id] {
+			hist.Discard(idx)
+		}
+	}
+	mu.Unlock()
+	res.Resolved = hist.Resolved()
+
+	if r := linearize.Check(hist.Ops()); !r.Ok {
+		fail("history not linearizable (key %s): %s", r.Key, r.Info)
+	}
+	return res, nil
+}
+
+// stableOrders polls both learners until their merged orders stop growing
+// (two consecutive identical snapshots 150ms apart) or the timeout passes.
+func stableOrders(rep *Replica, l0, l1 uint32, timeout time.Duration) ([]uint64, []uint64) {
+	deadline := time.Now().Add(timeout)
+	var a0, a1 []uint64
+	for {
+		b0, _ := rep.Order(l0)
+		b1, _ := rep.Order(l1)
+		if len(b0) == len(a0) && len(b1) == len(a1) {
+			return b0, b1
+		}
+		a0, a1 = b0, b1
+		if time.Now().After(deadline) {
+			return b0, b1
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}

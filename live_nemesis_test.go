@@ -1,0 +1,40 @@
+package mcpaxos
+
+import (
+	"testing"
+
+	"mcpaxos/internal/smr"
+)
+
+// TestLiveNemesisSeeds runs the nemesis harness over real TCP: partitions,
+// node kills and restarts, loss and dup on live sockets, judged by the
+// linearizability checker. Fewer seeds than the simulator sweep — each run
+// costs seconds of wall clock — but the same invariants.
+func TestLiveNemesisSeeds(t *testing.T) {
+	seeds := []int64{1, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		res, err := RunLiveNemesis(seed, 3, 8, t.TempDir())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Ok {
+			t.Errorf("seed %d failed: %s", seed, res.Failure)
+		}
+		if res.FaultEvents == 0 {
+			t.Errorf("seed %d: schedule injected no faults", seed)
+		}
+		if res.Resolved == 0 {
+			t.Errorf("seed %d: no operation ever resolved", seed)
+		}
+		t.Logf("seed %d: ops=%d resolved=%d applied=%d events=%d net=%+v elapsed=%v",
+			seed, res.Ops, res.Resolved, res.Applied, res.FaultEvents, res.Net, res.Elapsed)
+	}
+	// Guard against silent drift in the read sentinel the result parser
+	// depends on.
+	if smr.KVMissing != "#missing" {
+		t.Fatalf("KVMissing sentinel changed: %q", smr.KVMissing)
+	}
+}
