@@ -29,6 +29,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, e1..e14, live or nemesis")
 	trials := flag.Int("trials", 20, "trials per sample point (E7, E9)")
 	seeds := flag.Int("seeds", 50, "randomized seeds per nemesis sweep (E14)")
+	liveSeeds := flag.Int("liveseeds", 3, "live-TCP seeds per nemesis sweep (wall clock; capped by -seeds)")
 	commands := flag.Int("commands", 200, "commands per run (E4, E6, E10, live)")
 	shards := flag.Int("shards", 2, "instance-space shards (live)")
 	coords := flag.Int("coords", 3, "coordinator group size per shard (live)")
@@ -98,7 +99,7 @@ func main() {
 		any = true
 	}
 	if *exp == "nemesis" {
-		nemesisExp(*seed, *seeds)
+		nemesisExp(*seed, *seeds, *liveSeeds)
 		any = true
 	}
 	if !any {
@@ -253,11 +254,12 @@ func e13(seed int64, commands int) {
 func e14(seed int64, seeds int) {
 	header("E14: nemesis — adversarial network + linearizability check (simulator)")
 	fmt.Printf("  %d randomized seeds; each: 4 closed-loop clients × 24 mixed get/set/del ops,\n", seeds)
-	fmt.Println("  2 shards × group of 3, 3 acceptors F=1, under partitions, cuts, crashes,")
-	fmt.Println("  loss bursts, dup storms and reorder windows")
+	fmt.Println("  2 shards × group of 3, 3 acceptors F=1, under partitions (incl. isolated")
+	fmt.Println("  coordinator quorums), cuts, crashes, loss bursts + a background loss floor,")
+	fmt.Println("  dup storms, reorder windows and clock-skew windows")
 	rows := mcpaxos.RunE14(seed, seeds, 4, 24)
 	failed := 0
-	var msgs, dropped, duplicated uint64
+	var msgs, dropped, duplicated, skewed uint64
 	for _, r := range rows {
 		if !r.Ok {
 			failed++
@@ -266,9 +268,10 @@ func e14(seed int64, seeds int) {
 		msgs += r.Msgs
 		dropped += r.Net.Dropped
 		duplicated += r.Net.Duplicated
+		skewed += r.Net.Skewed
 	}
-	fmt.Printf("  %d/%d seeds clean; %d msgs total, %d dropped, %d duplicated by the adversary\n",
-		len(rows)-failed, len(rows), msgs, dropped, duplicated)
+	fmt.Printf("  %d/%d seeds clean; %d msgs total, %d dropped, %d duplicated, %d timers skewed\n",
+		len(rows)-failed, len(rows), msgs, dropped, duplicated, skewed)
 	fmt.Println("  (every run: all ops resolve, learners agree, merged order duplicate-free,")
 	fmt.Println("   history linearizable — the paper's safety claim under Section 2.1.1 faults)")
 	if failed > 0 {
@@ -276,10 +279,9 @@ func e14(seed int64, seeds int) {
 	}
 }
 
-func nemesisExp(seed int64, seeds int) {
+func nemesisExp(seed int64, seeds, liveSeeds int) {
 	e14(seed, seeds)
 	header("NEMESIS LIVE: the same harness over loopback TCP (wall clock)")
-	liveSeeds := 3
 	if seeds < liveSeeds {
 		liveSeeds = seeds
 	}
@@ -299,13 +301,20 @@ func nemesisExp(seed int64, seeds int) {
 		if !r.Ok {
 			status = "FAIL: " + r.Failure
 		}
-		fmt.Printf("  seed %-4d ops=%d resolved=%d applied=%d events=%d dropped=%d dup=%d %v  %s\n",
-			r.Seed, r.Ops, r.Resolved, r.Applied, r.FaultEvents,
-			r.Net.Dropped, r.Net.Duplicated, r.Elapsed.Round(time.Millisecond), status)
+		fmt.Printf("  seed %-4d ops=%d acked=%d resolved=%d applied=%d events=%d %v  %s\n",
+			r.Seed, r.Ops, r.Acked, r.Resolved, r.Applied, r.FaultEvents,
+			r.Elapsed.Round(time.Millisecond), status)
+		fmt.Printf("           net: dropped=%d dup=%d delayed=%d skewed=%d  client: retries=%d abandoned=%d probes=%d\n",
+			r.Net.Dropped, r.Net.Duplicated, r.Net.Delayed, r.Net.Skewed,
+			r.Client.Retries, r.Client.Abandoned, r.Client.ReplayProbes)
+		fmt.Printf("           recovery: replays=%d catchup-reqs=%d chunks=%d cmds=%d resyncs=%d probes=%d fallbacks=%d\n",
+			r.Replays, r.Catchup.Reqs, r.Catchup.Chunks, r.Catchup.Cmds, r.Catchup.Resyncs, r.Catchup.Probes, r.Catchup.Fallbacks)
 		if !r.Ok {
 			os.Exit(1)
 		}
 	}
+	fmt.Println("  (convergence: every acked op applied on every learner, no learner ends")
+	fmt.Println("   stalled behind a gap, orders prefix-consistent and duplicate-free)")
 }
 
 func live(shards, coords, commands, batchMax int) {
@@ -322,7 +331,8 @@ func live(shards, coords, commands, batchMax int) {
 	fmt.Printf("  throughput: %.0f cmds/s over %v wall\n", r.Throughput, r.Elapsed.Round(time.Millisecond))
 	fmt.Printf("  wire: %.0f bytes/cmd (%d total)  codec: encode %.0f ns/frame, decode %.0f ns/frame\n",
 		r.BytesPerCmd, r.WireBytes, r.EncodeNsPerFrame, r.DecodeNsPerFrame)
-	fmt.Printf("  retries=%d dup-replies=%d round-changes=%d\n", r.Retries, r.DupReplies, r.RoundChanges)
+	fmt.Printf("  retries=%d dup-replies=%d abandoned=%d replay-probes=%d round-changes=%d\n",
+		r.Retries, r.DupReplies, r.Abandoned, r.ReplayProbes, r.RoundChanges)
 	fmt.Println("  (every message crosses a real socket; the sim experiments above measure")
 	fmt.Println("   the same stack in communication steps instead of wall time)")
 }

@@ -151,7 +151,15 @@ func RunE14One(seed int64, clients, opsPerClient int) E14Row {
 		F:         1,
 	}
 	horizon := int64(total) * 8
-	schedule := nemesis.Schedule(seed, topo, horizon)
+	// The sim runs the widened repertoire minus learner kills: the sim
+	// cluster's learners have no catch-up peers to rejoin through (that
+	// path lives in the deploy layer), so killing one would wedge the
+	// single merged history the checker reads.
+	schedule := nemesis.ScheduleWith(seed, topo, horizon, nemesis.Options{
+		QuorumPartition: true,
+		ClockSkew:       true,
+		Background:      true,
+	})
 	for _, ev := range schedule {
 		ev := ev
 		cl.Sim.At(cl.Sim.Now()+ev.At, func() {

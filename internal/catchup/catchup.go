@@ -1,0 +1,248 @@
+// Package catchup implements learner rejoin: a restarted (or gap-stalled)
+// learner pulls the decided prefix it is missing from its peer learners
+// instead of waiting for 2b announcements nobody will re-send — acceptors
+// quiesce an instance once the learners acknowledge it, so the live quorum
+// traffic a fresh learner counts starts at the current frontier, not at
+// instance 0. This is the learner half of the paper's Section 4.4 recovery
+// story (recovered processes rebuild volatile state from their peers), with
+// the chunked pull shape of the MIT paxos Min()/Done() catch-up contract.
+//
+// The Fetcher runs inside the learner's single-threaded agent (mailbox
+// goroutine): the host routes CatchupResp messages and timer ticks to it,
+// and it asks one peer at a time for the next chunk above the local merge
+// frontier, chaining chunks until a peer reports nothing newer. A gap watch
+// keeps running after the initial sync: if the merged order stalls on a gap
+// while later instances sit buffered — the signature of a quiesced decided
+// instance this learner missed — the fetcher re-probes the peers.
+package catchup
+
+import (
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+	"mcpaxos/internal/node"
+)
+
+// Timer tags the Fetcher consumes via OnTimer. Hosts embedding the fetcher
+// in a handler with its own timers must keep these distinct.
+const (
+	// TagFetch re-sends the outstanding chunk request (lost request or
+	// response, or a dead peer: the retry rotates to the next one).
+	TagFetch = 101
+	// TagWatch is the steady-state gap watch.
+	TagWatch = 102
+)
+
+// Stats counts the fetcher's activity.
+type Stats struct {
+	// Reqs counts chunk requests sent; Chunks counts responses consumed;
+	// Cmds counts instances fed to the merger from responses.
+	Reqs, Chunks, Cmds uint64
+	// Resyncs counts gap-watch re-probes after the initial sync.
+	Resyncs uint64
+	// Probes counts steady-state anti-entropy frontier probes (watch ticks
+	// with nothing buffered and nothing known missing).
+	Probes uint64
+	// Fallbacks counts acceptor re-announce rounds (resyncs with the
+	// durable-tier fallback configured).
+	Fallbacks uint64
+}
+
+// Fetcher drives one learner's catch-up. Not safe for concurrent use: every
+// method must run on the learner's mailbox goroutine.
+type Fetcher struct {
+	env   node.Env
+	peers []msg.NodeID // peer learners, self excluded
+	chunk uint32
+	// Acceptors, when set, is the durable-tier fallback: every resync also
+	// asks the acceptors to re-announce their votes for the gap range,
+	// covering the case where no peer learner retains the decided prefix
+	// (every learner restarted while the others were down). The
+	// re-announced 2bs flow through the learner's ordinary quorum
+	// counting, not through feed.
+	Acceptors []msg.NodeID
+	// RetryTicks is the re-request interval; WatchTicks the gap-watch
+	// period (0 disables the watch).
+	RetryTicks, WatchTicks int64
+
+	// next reports the local merge frontier; buffered how many instances
+	// are held back by a gap; feed hands one decided (instance, command)
+	// pair to the merger.
+	next     func() uint64
+	buffered func() int
+	feed     func(inst uint64, cmd cstruct.Cmd)
+
+	synced     bool
+	rr         int // peer rotation cursor
+	fetchArmed bool
+	watchArmed bool
+	// watchNext is the frontier seen by the previous watch tick; a stall is
+	// two consecutive ticks at the same frontier with instances buffered.
+	watchNext    uint64
+	watchStalled bool
+
+	stats Stats
+}
+
+// New builds a fetcher for a learner whose merge state is exposed through
+// next/buffered/feed (called on the same goroutine as every Fetcher
+// method). peers must not contain the learner itself; with no peers the
+// fetcher is born synced (nothing to pull from).
+func New(env node.Env, peers []msg.NodeID, chunk uint32,
+	next func() uint64, buffered func() int, feed func(inst uint64, cmd cstruct.Cmd)) *Fetcher {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Fetcher{
+		env: env, peers: peers, chunk: chunk,
+		RetryTicks: 25, WatchTicks: 100,
+		next: next, buffered: buffered, feed: feed,
+		synced: len(peers) == 0,
+	}
+}
+
+// Synced reports whether the fetcher has caught up to a peer's frontier
+// (and no gap watch has re-opened the pull since).
+func (f *Fetcher) Synced() bool { return f.synced }
+
+// Stats snapshots the fetcher's counters.
+func (f *Fetcher) Stats() Stats { return f.stats }
+
+// Start issues the first probe. On a fresh deployment the peers answer
+// "frontier 0, nothing newer" and the fetcher syncs immediately; after a
+// restart the probe begins the prefix pull.
+func (f *Fetcher) Start() {
+	if f.synced {
+		f.armWatch()
+		return
+	}
+	f.request()
+	f.armWatch()
+}
+
+// Resync re-opens the pull (gap watch, or a host that knows it fell
+// behind). With Acceptors configured it also asks the durable tier to
+// re-announce the gap range: a resync means the peers already failed to
+// fill the gap once, and if they lost the prefix too (every learner
+// restarted in overlapping windows) only the acceptors still have it.
+func (f *Fetcher) Resync() {
+	if len(f.Acceptors) > 0 {
+		req := msg.CatchupReq{Learner: f.env.ID(), From: f.next(), Max: f.chunk}
+		for _, acc := range f.Acceptors {
+			f.env.Send(acc, req)
+		}
+		f.stats.Fallbacks++
+	}
+	if len(f.peers) == 0 {
+		return
+	}
+	f.synced = false
+	f.request()
+}
+
+// request asks the current peer for the next chunk and arms the retry.
+func (f *Fetcher) request() {
+	peer := f.peers[f.rr%len(f.peers)]
+	f.env.Send(peer, msg.CatchupReq{Learner: f.env.ID(), From: f.next(), Max: f.chunk})
+	f.stats.Reqs++
+	if !f.fetchArmed {
+		f.fetchArmed = true
+		f.env.SetTimer(f.RetryTicks, TagFetch)
+	}
+}
+
+// OnResp consumes one peer response. Stale responses — for a frontier the
+// merger has already passed — are dropped; the in-flight request keyed by
+// the current frontier eventually lands or is retried. A response arriving
+// while synced is a frontier-probe answer: it is dropped unless the peer
+// proves it holds something newer, in which case the pull re-opens.
+func (f *Fetcher) OnResp(m msg.CatchupResp) {
+	cur := f.next()
+	if m.From > cur {
+		return // answer to a frontier we have not reached (reordered): refetch covers it
+	}
+	if f.synced {
+		if m.Frontier <= cur {
+			return // steady-state probe answer: the peer has nothing newer
+		}
+		f.synced = false
+	}
+	f.stats.Chunks++
+	for i, cmd := range m.Cmds {
+		inst := m.From + uint64(i)
+		if inst < cur {
+			continue // overlap with what we already delivered
+		}
+		f.feed(inst, cmd)
+		f.stats.Cmds++
+	}
+	if f.next() >= m.Frontier {
+		// Caught up to this peer: resume live quorum counting. A peer that
+		// was itself behind undercounts; the gap watch re-probes if the
+		// live feed then stalls.
+		f.synced = true
+		return
+	}
+	// More to pull: chain the next chunk immediately (same peer — it just
+	// proved it has the prefix).
+	f.request()
+}
+
+// OnTimer routes one timer tick; it reports whether the tag was the
+// fetcher's.
+func (f *Fetcher) OnTimer(tag int) bool {
+	switch tag {
+	case TagFetch:
+		f.fetchArmed = false
+		if f.synced {
+			return true
+		}
+		// The outstanding request or its response was lost, or the peer is
+		// down: rotate and retry.
+		f.rr++
+		f.request()
+		return true
+	case TagWatch:
+		f.watchArmed = false
+		f.watchTick()
+		f.armWatch()
+		return true
+	}
+	return false
+}
+
+// watchTick re-probes when the merged order has been stalled for two
+// consecutive watch periods with evidence something is missing: buffered
+// instances above a frozen frontier mean the gap instance was decided (its
+// successors were) but its 2bs are gone, and an unsynced fetcher whose
+// frontier froze means the peers are failing to supply a known-existing
+// suffix — either way only a re-probe (and, on resync, the durable-tier
+// fallback) can make progress. When nothing is known missing, the tick
+// instead sends one anti-entropy frontier probe to a rotating peer: a
+// learner that lost the 2bs of the *trailing* decided instance has no gap
+// above its frontier — buffered stays zero and the stall check can never
+// fire — so only a peer's word that its frontier is higher reveals the
+// miss (OnResp re-opens the pull on that evidence).
+func (f *Fetcher) watchTick() {
+	n := f.next()
+	behind := f.buffered() > 0 || !f.synced
+	stalled := behind && n == f.watchNext
+	if stalled && f.watchStalled {
+		f.stats.Resyncs++
+		f.Resync()
+	} else if !behind && len(f.peers) > 0 {
+		f.rr++
+		f.env.Send(f.peers[f.rr%len(f.peers)],
+			msg.CatchupReq{Learner: f.env.ID(), From: n, Max: f.chunk})
+		f.stats.Probes++
+	}
+	f.watchStalled = stalled
+	f.watchNext = n
+}
+
+func (f *Fetcher) armWatch() {
+	if f.WatchTicks <= 0 || f.watchArmed || (len(f.peers) == 0 && len(f.Acceptors) == 0) {
+		return
+	}
+	f.watchArmed = true
+	f.env.SetTimer(f.WatchTicks, TagWatch)
+}

@@ -1,0 +1,155 @@
+package catchup
+
+import (
+	"testing"
+
+	"mcpaxos/internal/cstruct"
+	"mcpaxos/internal/msg"
+)
+
+// fakeEnv records sends and timers; time never advances on its own — the
+// test drives OnTimer by hand.
+type fakeEnv struct {
+	id     msg.NodeID
+	sent   []sentMsg
+	timers []int
+}
+
+type sentMsg struct {
+	to msg.NodeID
+	m  msg.Message
+}
+
+func (e *fakeEnv) ID() msg.NodeID                    { return e.id }
+func (e *fakeEnv) Now() int64                        { return 0 }
+func (e *fakeEnv) Send(to msg.NodeID, m msg.Message) { e.sent = append(e.sent, sentMsg{to, m}) }
+func (e *fakeEnv) SetTimer(_ int64, tag int)         { e.timers = append(e.timers, tag) }
+
+// mergeSim is a minimal in-order merge frontier for the fetcher callbacks.
+type mergeSim struct {
+	next uint64
+	held map[uint64]cstruct.Cmd
+}
+
+func (ms *mergeSim) feed(inst uint64, cmd cstruct.Cmd) {
+	if ms.held == nil {
+		ms.held = make(map[uint64]cstruct.Cmd)
+	}
+	ms.held[inst] = cmd
+	for {
+		if _, ok := ms.held[ms.next]; !ok {
+			return
+		}
+		delete(ms.held, ms.next)
+		ms.next++
+	}
+}
+
+func (ms *mergeSim) buffered() int { return len(ms.held) }
+
+func newUnderTest(peers, accs []msg.NodeID) (*Fetcher, *fakeEnv, *mergeSim) {
+	env := &fakeEnv{id: 300}
+	ms := &mergeSim{}
+	f := New(env, peers, 4,
+		func() uint64 { return ms.next }, ms.buffered, ms.feed)
+	f.Acceptors = accs
+	return f, env, ms
+}
+
+// drainReqs pops and returns the CatchupReq sends recorded so far.
+func drainReqs(env *fakeEnv) []sentMsg {
+	var out []sentMsg
+	for _, s := range env.sent {
+		if _, ok := s.m.(msg.CatchupReq); ok {
+			out = append(out, s)
+		}
+	}
+	env.sent = nil
+	return out
+}
+
+// A synced, gap-free fetcher must still probe a peer's frontier on the
+// watch tick: a learner that lost the 2bs of the trailing decided instance
+// has nothing buffered and no gap, so only a peer's higher frontier can
+// reveal the miss.
+func TestWatchProbesFrontierWhenIdle(t *testing.T) {
+	f, env, ms := newUnderTest([]msg.NodeID{301}, nil)
+	ms.next = 5 // learned 0..4 live; instance 5 decided elsewhere, 2bs lost
+	f.Start()
+	if !f.Synced() {
+		// Born unsynced with peers: complete the initial pull first.
+		drainReqs(env)
+		f.OnResp(msg.CatchupResp{Learner: 301, From: 5, Frontier: 5})
+		if !f.Synced() {
+			t.Fatal("fetcher should sync on a frontier-matching response")
+		}
+	}
+	drainReqs(env)
+
+	f.OnTimer(TagWatch)
+	reqs := drainReqs(env)
+	if len(reqs) != 1 {
+		t.Fatalf("idle watch tick sent %d catch-up requests, want 1 probe", len(reqs))
+	}
+	req := reqs[0].m.(msg.CatchupReq)
+	if reqs[0].to != 301 || req.From != 5 {
+		t.Fatalf("probe = %+v to %d, want From=5 to peer 301", req, reqs[0].to)
+	}
+	if f.Stats().Probes != 1 {
+		t.Fatalf("Probes = %d, want 1", f.Stats().Probes)
+	}
+
+	// The peer's answer proves instance 5 exists: the pull re-opens and the
+	// command is fed, then the fetcher syncs again at the new frontier.
+	f.OnResp(msg.CatchupResp{Learner: 301, From: 5, Frontier: 6,
+		Cmds: []cstruct.Cmd{{ID: 42}}})
+	if ms.next != 6 {
+		t.Fatalf("frontier = %d after probe answer, want 6", ms.next)
+	}
+	if !f.Synced() {
+		t.Fatal("fetcher should re-sync once the trailing miss is filled")
+	}
+}
+
+// A probe answer with nothing newer must not disturb the synced state or
+// feed anything.
+func TestProbeAnswerWithNothingNewerIsDropped(t *testing.T) {
+	f, env, ms := newUnderTest([]msg.NodeID{301}, nil)
+	f.OnResp(msg.CatchupResp{Learner: 301, From: 0, Frontier: 0})
+	if !f.Synced() {
+		t.Fatal("empty deployment should sync immediately")
+	}
+	drainReqs(env)
+	f.OnResp(msg.CatchupResp{Learner: 301, From: 0, Frontier: 0})
+	if !f.Synced() || ms.next != 0 {
+		t.Fatalf("no-op probe answer changed state: synced=%v next=%d", f.Synced(), ms.next)
+	}
+}
+
+// An unsynced fetcher whose frontier freezes for two watch periods must
+// escalate to Resync — which, with acceptors configured, broadcasts the
+// durable-tier fallback — instead of chaining empty peer chunks forever.
+func TestFrozenUnsyncedPullEscalatesToFallback(t *testing.T) {
+	f, env, _ := newUnderTest([]msg.NodeID{301}, []msg.NodeID{100, 101, 102})
+	f.Start() // unsynced: probing peer for the prefix
+	drainReqs(env)
+
+	// Two watch ticks with the frontier frozen at 0 and the pull still open.
+	f.OnTimer(TagWatch)
+	f.OnTimer(TagWatch)
+	if f.Stats().Resyncs != 1 {
+		t.Fatalf("Resyncs = %d after two frozen unsynced ticks, want 1", f.Stats().Resyncs)
+	}
+	if f.Stats().Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1 (acceptor broadcast)", f.Stats().Fallbacks)
+	}
+	var accReqs int
+	for _, s := range drainReqs(env) {
+		if s.to >= 100 && s.to <= 102 {
+			accReqs++
+		}
+	}
+	if accReqs != 3 {
+		t.Fatalf("fallback reached %d acceptors, want 3", accReqs)
+	}
+}

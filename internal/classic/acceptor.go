@@ -130,6 +130,27 @@ func (a *Acceptor) OnMessage(from msg.NodeID, m msg.Message) {
 		a.onP1a(from, mm)
 	case msg.P2a:
 		a.onP2a(from, mm)
+	case msg.CatchupReq:
+		a.onCatchup(mm)
+	}
+}
+
+// onCatchup re-announces the acceptor's current votes for a range of
+// instances to one rejoining learner — the catch-up path of last resort,
+// for when no peer learner retains the decided prefix (every learner
+// restarted while the others were down, so the prefix survives only here,
+// on the durable tier). The learner counts the re-announced 2bs through
+// its ordinary quorum rule, so the fallback adds no new trust: one
+// acceptor's vote proves nothing until a quorum matches.
+func (a *Acceptor) onCatchup(mm msg.CatchupReq) {
+	max := uint64(mm.Max)
+	if max == 0 {
+		max = 128
+	}
+	for inst := mm.From; inst < mm.From+max; inst++ {
+		if v, ok := a.votes[inst]; ok {
+			a.env.Send(mm.Learner, msg.P2b{Inst: inst, Rnd: v.vrnd, Acc: a.env.ID(), Val: wrap(v.vval)})
+		}
 	}
 }
 

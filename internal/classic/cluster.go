@@ -139,6 +139,18 @@ func NewCluster(o ClusterOpts) *Cluster {
 			}
 		}
 		l := NewLearner(s.Env(id), cfg, fn)
+		if i == 0 {
+			// A repaired coordinator re-forwards its shard's decided history;
+			// the acceptors' duplicate announcements land here and must
+			// re-acknowledge those instances, or the repaired member's window
+			// wedges retransmitting slots that decided before it restarted
+			// (the simulator twin of the deploy layer's OnDuplicate quiesce).
+			l.OnDuplicate = func(inst uint64) {
+				for _, co := range cl.Coords {
+					co.MarkLearned(inst)
+				}
+			}
+		}
 		s.Register(id, l)
 		cl.Learners = append(cl.Learners, l)
 	}

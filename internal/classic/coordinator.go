@@ -84,6 +84,14 @@ type Coordinator struct {
 	// claim (a masked coordinator crash costs zero round changes).
 	everLed      bool
 	roundChanges int
+
+	// repairing marks a restarted group member probing the acceptors for the
+	// shard's live round (Repair): Stale rejections are adopted exactly
+	// instead of outbid, so rejoining costs zero round changes.
+	repairing bool
+	// repairTarget is the highest live round learned from Stale rejections
+	// while repairing.
+	repairTarget ballot.Ballot
 }
 
 var _ node.Handler = (*Coordinator)(nil)
@@ -147,6 +155,44 @@ func (c *Coordinator) StepDown() {
 func (c *Coordinator) BecomeLeaderAt(mcount uint32) {
 	c.wantLead = true
 	c.startRound(ballot.SingleScheme{}.First(mcount, uint32(c.env.ID())))
+}
+
+// Repair reconstructs a restarted group member's volatile round state from
+// the acceptors (the Section 4.4 recovery applied to coordinators): a fresh
+// 1a at the member's current (restarted: zero) round never outbids the
+// shard's live round — acceptors either re-send their promise (round
+// already joined) or answer Stale with the live round, which the repairing
+// member adopts *exactly* instead of outbidding. The promises carry every
+// past vote of the shard, so establishment re-forwards the unlearned
+// history under the live round: abandoned slots decide instead of
+// retransmitting forever, and a successful repair costs zero round changes.
+// Single-coordinated deployments have no co-equal group to rejoin; they
+// fall back to starting a fresh higher round.
+func (c *Coordinator) Repair() {
+	if !c.multi() {
+		c.BecomeLeader()
+		return
+	}
+	if !c.member() {
+		return
+	}
+	if c.leading {
+		return // nothing to repair
+	}
+	c.repairing = true
+	c.probe()
+	c.armRetry()
+}
+
+// probe re-sends the repair 1a at the best-known live round.
+func (c *Coordinator) probe() {
+	r := c.repairTarget
+	if r.IsZero() {
+		r = ballot.Max(c.crnd, c.attempt)
+	}
+	node.Broadcast(c.env, c.cfg.Acceptors, msg.P1a{
+		Rnd: r, Coord: c.env.ID(), Shard: uint32(c.Shard),
+	})
 }
 
 func (c *Coordinator) startRound(r ballot.Ballot) {
@@ -444,6 +490,7 @@ func (c *Coordinator) establish(r ballot.Ballot, byAcc map[msg.NodeID]msg.P1bMul
 	c.crnd = r
 	c.attempt = ballot.Max(c.attempt, r)
 	c.leading = true
+	c.repairing = false
 	for past := range c.p1bs {
 		if past.LessEq(r) {
 			delete(c.p1bs, past)
@@ -530,6 +577,16 @@ func (c *Coordinator) establish(r ballot.Ballot, byAcc map[msg.NodeID]msg.P1bMul
 // rejection wave yields one new round per member.
 func (c *Coordinator) onStale(mm msg.Stale) {
 	if c.multi() {
+		if c.repairing && !c.leading {
+			// Repair adopts the live round exactly: outbidding it here would
+			// force the round change the whole exercise exists to avoid.
+			if c.repairTarget.Less(mm.Rnd) {
+				c.repairTarget = mm.Rnd
+				c.probe()
+				c.armRetry()
+			}
+			return
+		}
 		cur := ballot.Max(c.attempt, c.crnd)
 		if mm.Rnd.Less(cur) {
 			return // rejection of an attempt already superseded
@@ -562,23 +619,39 @@ func (c *Coordinator) OnTimer(tag int) {
 	outstanding := false
 	switch {
 	case !c.leading:
-		if !c.crnd.IsZero() {
+		if c.repairing {
+			c.probe()
+			outstanding = true
+		} else if !c.crnd.IsZero() {
 			c.send1a()
 			outstanding = true
 		}
 	case c.multi():
+		// Instance order, not map order: the retransmission sequence must be
+		// deterministic or a probabilistic dropper's dice land on different
+		// messages run to run, breaking seed reproducibility.
+		insts := make([]uint64, 0, len(c.sent))
 		for inst := range c.sent {
 			if !c.learned[inst] {
-				c.send2a(inst, c.proposals[inst])
-				outstanding = true
+				insts = append(insts, inst)
 			}
 		}
+		sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+		for _, inst := range insts {
+			c.send2a(inst, c.proposals[inst])
+			outstanding = true
+		}
 	default:
-		for inst, cmd := range c.proposals {
+		insts := make([]uint64, 0, len(c.proposals))
+		for inst := range c.proposals {
 			if !c.learned[inst] {
-				c.send2a(inst, cmd)
-				outstanding = true
+				insts = append(insts, inst)
 			}
+		}
+		sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+		for _, inst := range insts {
+			c.send2a(inst, c.proposals[inst])
+			outstanding = true
 		}
 	}
 	if outstanding {

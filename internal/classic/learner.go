@@ -50,6 +50,13 @@ type Learner struct {
 	// floor is the release watermark: every instance < floor was learned,
 	// delivered and GC'd; late 2b duplicates below it are dropped.
 	floor uint64
+
+	// OnDuplicate, when set, observes every 2b for an instance this learner
+	// already learned (retained or released). A repaired coordinator re-2as
+	// its shard's whole history; the acceptors' re-announcements land here,
+	// and the host uses the hook to re-acknowledge the instance so the
+	// repaired member's pipeline window drains instead of wedging.
+	OnDuplicate func(inst uint64)
 }
 
 var _ node.Handler = (*Learner)(nil)
@@ -102,9 +109,15 @@ func (l *Learner) OnMessage(_ msg.NodeID, m msg.Message) {
 		return
 	}
 	if mm.Inst < l.floor {
+		if l.OnDuplicate != nil {
+			l.OnDuplicate(mm.Inst)
+		}
 		return
 	}
 	if _, done := l.learned[mm.Inst]; done {
+		if l.OnDuplicate != nil {
+			l.OnDuplicate(mm.Inst)
+		}
 		return
 	}
 	t, ok := l.votes[mm.Inst]

@@ -230,6 +230,74 @@ func TestMulticoordCollisionPromotes(t *testing.T) {
 	}
 }
 
+// A restarted group member has lost its volatile round state. Repair must
+// rebuild it by probing the acceptors — rejoining the live round exactly
+// (never outbidding it) with zero round changes — after which the member
+// counts toward coordinator quorums again. The scenario forces the repair
+// to matter: with two of three members down, a lone survivor cannot form a
+// coordinator quorum, so a pending proposal stays undecided until the
+// repaired member's 2a completes the tally.
+func TestMulticoordMemberRestartRepairs(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NAcceptors: 3, F: 1, Seed: 59, CoordsPerShard: 3, RetryEvery: 4})
+	cl.LeadAll()
+	live := cl.ShardRound(0)
+	for i := 0; i < 4; i++ {
+		cl.Prop.ProposeTo(0, mcCmd(uint64(400+i)))
+	}
+	cl.Sim.Run()
+
+	// Two members die: the survivor's 2as can never reach ⌊3/2⌋+1.
+	victim := cl.Cfg.Coords[1]
+	cl.Sim.Crash(victim)
+	cl.Sim.Crash(cl.Cfg.Coords[2])
+	cl.Prop.ProposeTo(0, mcCmd(900))
+	cl.Sim.RunUntil(cl.Sim.Now() + 20)
+	if _, ok := cl.LearnedCmds[4]; ok {
+		t.Fatal("instance decided without a coordinator quorum")
+	}
+
+	// Restart member 1 as a fresh process: a brand-new handler with no
+	// memory of the round it helped serve.
+	fresh := NewCoordinator(cl.Sim.Env(victim), cl.Cfg)
+	fresh.Shard = 0
+	fresh.RetryEvery = 4
+	cl.Sim.Register(victim, fresh)
+	cl.Sim.Recover(victim)
+	cl.Coords[1] = fresh // keep the harness quiesce and metrics pointed at it
+	fresh.Repair()
+	cl.Sim.Run()
+
+	if !fresh.Leading() {
+		t.Fatal("repaired member never re-established the live round")
+	}
+	if !fresh.Rnd().Equal(live) {
+		t.Fatalf("repaired member serves round %v, want the live round %v", fresh.Rnd(), live)
+	}
+	if got := cl.ShardRound(0); !got.Equal(live) {
+		t.Fatalf("repair moved the shard round %v → %v (probe outbid the live round)", live, got)
+	}
+	if got := cl.RoundChanges(); got != 0 {
+		t.Errorf("repair paid %d round changes, want 0", got)
+	}
+	// The pending proposal now completes: the proposer's retransmission
+	// reaches the repaired member, whose 2a is the quorum's second vote.
+	if cmd, ok := cl.LearnedCmds[4]; !ok || cmd.ID != 900 {
+		t.Fatalf("pending instance still undecided after repair (got %v, %v)", cmd, ok)
+	}
+	// And the shard keeps deciding through the re-formed quorum.
+	cl.Prop.ProposeTo(0, mcCmd(901))
+	cl.Sim.Run()
+	found := false
+	for _, cmd := range cl.LearnedCmds {
+		if cmd.ID == 901 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("shard stopped deciding after the member rejoined")
+	}
+}
+
 // Two shards, each with its own coordinator group: killing one member per
 // shard must mask on both shards at once, and the surviving members'
 // identical seq→instance assignment must keep the merged order gapless.

@@ -2,6 +2,7 @@ package classic
 
 import (
 	"fmt"
+	"sort"
 
 	"mcpaxos/internal/cstruct"
 	"mcpaxos/internal/msg"
@@ -140,7 +141,15 @@ func (p *Proposer) OnTimer(tag int) {
 	if tag != timerRetry || p.RetryEvery <= 0 || len(p.inflight) == 0 {
 		return
 	}
-	for _, r := range p.inflight {
+	// Command-ID order, not map order: a deterministic retransmission
+	// sequence keeps seeded nemesis runs reproducible under lossy networks.
+	ids := make([]uint64, 0, len(p.inflight))
+	for id := range p.inflight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := p.inflight[id]
 		if r.shard >= 0 {
 			node.Broadcast(p.env, p.shardTargets(r.shard),
 				msg.Propose{Cmd: r.cmd, Seq: r.seq, HasSeq: r.hasSeq})

@@ -64,6 +64,12 @@ type ClientStats struct {
 	// Noops counts shard-alignment skip commands the client injected to keep
 	// the merged order gap-free under skewed flush counts.
 	Noops uint64
+	// Abandoned counts batches whose calls failed at the deadline but whose
+	// proposals kept retransmitting (see abandon).
+	Abandoned uint64
+	// ReplayProbes counts retry rounds that also broadcast the proposal to
+	// the learners, soliciting cached replies for already-applied commands.
+	ReplayProbes uint64
 }
 
 // Client is the embeddable client of a deployment: it connects over TCP,
@@ -113,6 +119,7 @@ func Dial(spec ClusterSpec, id uint32) (*Client, error) {
 		func(from msg.NodeID, m msg.Message) { c.agent.Inject(from, m) })
 	tcp.SetFaults(spec.Faults, spec.tick())
 	c.tcp = tcp
+	c.net.SetFaults(spec.Faults) // clock skew reaches the client's timers too
 	c.net.SetFallback(func(_, to msg.NodeID, m msg.Message) { _ = tcp.Send(to, m) })
 	return c, nil
 }
@@ -463,6 +470,14 @@ func (h *clientHandler) OnTimer(tag int) {
 			b.next = now + backoff
 			node.Broadcast(h.env, h.targets(b.shard, b.attempts),
 				msg.Propose{Cmd: b.cmd, Seq: b.seq, HasSeq: true})
+			if b.attempts >= 2 {
+				// The command may already be applied with every reply frame
+				// lost — the consensus path deduplicates it and never
+				// replies again. Probe the learners' replay caches too.
+				node.Broadcast(h.env, h.cfg.Learners,
+					msg.Propose{Cmd: b.cmd, Seq: b.seq, HasSeq: true})
+				h.stats.ReplayProbes++
+			}
 		}
 		h.armRetry()
 	}
@@ -529,6 +544,7 @@ func (h *clientHandler) abandon(bid uint64, b *pendingBatch, err error) {
 		close(call.done)
 	}
 	b.abandoned = true
+	h.stats.Abandoned++
 }
 
 // fail resolves every unanswered call of a batch with err and retires it.

@@ -166,11 +166,17 @@ func TestClientRetryBroadcastsGroup(t *testing.T) {
 	if got := proposeTargets(env.sent, mark); len(got) != 0 {
 		t.Fatalf("retry fired before the backoff elapsed: %v", got)
 	}
-	// After the doubled interval it is due again.
+	// After the doubled interval it is due again — and from the second
+	// attempt on, the retry also probes the learners' replay caches (the
+	// command may already be applied with every reply frame lost).
 	env.now += 2 * h.retryEvery
 	h.OnTimer(tagClientRetry)
-	if got := proposeTargets(env.sent, mark); !equalIDs(got, group) {
-		t.Fatalf("backed-off retry targeted %v, want %v", got, group)
+	want := append(append([]msg.NodeID(nil), group...), ids(spec.Learners)...)
+	if got := proposeTargets(env.sent, mark); !equalIDs(got, want) {
+		t.Fatalf("backed-off retry targeted %v, want %v", got, want)
+	}
+	if h.stats.ReplayProbes != 1 {
+		t.Fatalf("replay probes = %d, want 1", h.stats.ReplayProbes)
 	}
 }
 

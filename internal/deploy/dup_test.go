@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mcpaxos/internal/faults"
+	"mcpaxos/internal/msg"
 	"mcpaxos/internal/smr"
 )
 
@@ -108,6 +109,61 @@ func TestAbandonedProposalStillFillsItsSlot(t *testing.T) {
 	}
 }
 
+// TestReplyReplayReelicitsLostReplies: sever every learner→client reply
+// link for a window. The command decides and applies, but no result
+// reaches the caller — and the consensus path can never re-reply, because
+// the retransmitted proposal deduplicates against the already-decided
+// instance. After the links heal, the client's replay probe (the learner
+// broadcast riding the second retry) must re-elicit the cached result,
+// and the state machine must have applied the command exactly once.
+func TestReplyReplayReelicitsLostReplies(t *testing.T) {
+	f := faults.New(1)
+	spec := LocalSpec(2, 3, 3, 2, 1)
+	spec.BatchMax = 1
+	spec.RetryEvery = 20 * time.Millisecond
+	spec.Faults = f
+	rep, cli := openLocal(t, spec)
+
+	if err := cli.Wait([]*Call{cli.Set("warm", "0"), cli.Set("warm2", "0")}, 15*time.Second); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	client := msg.NodeID(spec.Clients[0].ID)
+	f.Cut(300, client)
+	f.Cut(301, client)
+	call := cli.Set("lost", "1")
+	cli.Flush()
+	// The command applies on both learners while every reply frame dies.
+	for _, l := range []uint32{300, 301} {
+		if err := rep.WaitApplied(l, 3, 15*time.Second); err != nil {
+			t.Fatalf("learner %d never applied under severed replies: %v", l, err)
+		}
+	}
+	select {
+	case <-call.Done():
+		t.Fatal("call resolved through severed reply links")
+	default:
+	}
+
+	f.Restore(300, client)
+	f.Restore(301, client)
+	if err := cli.Wait([]*Call{call}, 15*time.Second); err != nil {
+		t.Fatalf("replay probe never re-elicited the reply: %v", err)
+	}
+	for _, l := range []uint32{300, 301} {
+		applied, _ := rep.Applied(l)
+		if applied != 3 {
+			t.Fatalf("learner %d applied %d, want exactly 3 (at-most-once)", l, applied)
+		}
+	}
+	if rep.Replays() == 0 {
+		t.Fatal("no reply was served from the replay cache")
+	}
+	if s := cli.Stats(); s.ReplayProbes == 0 {
+		t.Fatalf("client never probed the learners: %+v", s)
+	}
+}
+
 // TestGetReadsThroughConsensus pins the client's linearizable read path:
 // Get is serialized against the writes and resolves to the value or the
 // missing sentinel.
@@ -161,7 +217,116 @@ func TestRestartRebuildsAcceptorFromWAL(t *testing.T) {
 	if err := rep.WaitApplied(300, 5, 15*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if err := rep.Restart(300); err == nil {
-		t.Fatal("learner restart must be refused")
+}
+
+// TestLearnerRestartCatchesUp: kill one of two learners, keep deciding
+// while it is down, Restart it, and require it to rebuild the decided
+// prefix it missed through the peer catch-up protocol — the acceptors
+// never re-announce quiesced instances, so only the pull can fill them.
+func TestLearnerRestartCatchesUp(t *testing.T) {
+	spec := LocalSpec(2, 3, 3, 2, 1)
+	spec.RetryEvery = 20 * time.Millisecond
+	rep, cli := openLocal(t, spec)
+
+	if err := cli.Wait([]*Call{cli.Set("a", "1"), cli.Set("b", "2")}, 15*time.Second); err != nil {
+		t.Fatalf("before kill: %v", err)
+	}
+	if !rep.Kill(300) {
+		t.Fatal("kill learner failed")
+	}
+	// The surviving learner keeps the deployment live and grows the decided
+	// prefix the dead one will have to pull.
+	if err := cli.Wait([]*Call{cli.Set("c", "3"), cli.Set("d", "4")}, 15*time.Second); err != nil {
+		t.Fatalf("during learner downtime: %v", err)
+	}
+	if err := rep.Restart(300); err != nil {
+		t.Fatalf("learner restart: %v", err)
+	}
+	if err := cli.Wait([]*Call{cli.Set("e", "5")}, 15*time.Second); err != nil {
+		t.Fatalf("after learner restart: %v", err)
+	}
+	// The restarted learner must apply everything, including the commands
+	// decided while it was down.
+	for _, l := range []uint32{300, 301} {
+		if err := rep.WaitApplied(l, 5, 15*time.Second); err != nil {
+			t.Fatalf("learner %d never caught up: %v", l, err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		synced, err := rep.CatchupSynced(300)
+		if err != nil {
+			t.Fatalf("catchup synced: %v", err)
+		}
+		if synced {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted learner never reported synced")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Both learners hold identical gap-free orders.
+	a, errA := rep.Order(300)
+	b, errB := rep.Order(301)
+	if errA != nil || errB != nil {
+		t.Fatalf("orders: %v, %v", errA, errB)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("order lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("orders diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLearnerCatchupAcceptorFallback: kill BOTH learners, then restart
+// them — no learner retains the decided prefix, so peer catch-up finds
+// nothing and the prefix survives only in the acceptors' votes. The gap
+// watch's durable-tier fallback must ask the acceptors to re-announce,
+// and ordinary quorum counting relearns the prefix. (Found by nemesis
+// seed 14: recover-one-learner and kill-the-other landing on the same
+// tick left both learners empty and the run permanently stalled.)
+func TestLearnerCatchupAcceptorFallback(t *testing.T) {
+	spec := LocalSpec(2, 3, 3, 2, 1)
+	spec.RetryEvery = 20 * time.Millisecond
+	rep, cli := openLocal(t, spec)
+
+	if err := cli.Wait([]*Call{cli.Set("a", "1"), cli.Set("b", "2")}, 15*time.Second); err != nil {
+		t.Fatalf("before kills: %v", err)
+	}
+	if !rep.Kill(300) || !rep.Kill(301) {
+		t.Fatal("kill learners failed")
+	}
+	if err := rep.Restart(300); err != nil {
+		t.Fatalf("restart 300: %v", err)
+	}
+	if err := rep.Restart(301); err != nil {
+		t.Fatalf("restart 301: %v", err)
+	}
+	// New traffic decides above the lost prefix: the restarted learners
+	// buffer it behind the gap until the fallback refills instance 0 on.
+	if err := cli.Wait([]*Call{cli.Set("c", "3")}, 15*time.Second); err != nil {
+		t.Fatalf("after restart: %v", err)
+	}
+	for _, l := range []uint32{300, 301} {
+		if err := rep.WaitApplied(l, 3, 15*time.Second); err != nil {
+			t.Fatalf("learner %d never recovered the prefix: %v", l, err)
+		}
+	}
+	if s := rep.CatchupStats(); s.Fallbacks == 0 {
+		t.Fatalf("prefix recovered without the acceptor fallback? stats: %+v", s)
+	}
+	a, _ := rep.Order(300)
+	b, _ := rep.Order(301)
+	if len(a) != len(b) {
+		t.Fatalf("order lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("orders diverge at %d: %d vs %d", i, a[i], b[i])
+		}
 	}
 }

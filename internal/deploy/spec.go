@@ -87,6 +87,16 @@ type ClusterSpec struct {
 	// means 1ms.
 	Tick time.Duration
 
+	// ReplyCache bounds the per-client reply-replay cache each learner
+	// keeps (applied command IDs → results, evicted by per-client
+	// watermark), so a retransmitted proposal for an already-applied
+	// command re-elicits its reply instead of being silently deduplicated.
+	// 0 means 512 entries per client; negative disables replay.
+	ReplyCache int
+	// CatchupChunk bounds how many instances one learner catch-up response
+	// carries (chunked state transfer to a rejoining learner); 0 means 128.
+	CatchupChunk int
+
 	// Faults, when set, is installed on the send path of every TCP endpoint
 	// this process opens (replica nodes and clients alike): the nemesis
 	// harness's loss, duplication, reordering, partitions and link cuts.
@@ -133,10 +143,12 @@ func (s ClusterSpec) listen(addr string) (net.Listener, error) {
 
 // Spec defaults.
 const (
-	defaultBatchMax   = 8
-	defaultBatchWait  = 2 * time.Millisecond
-	defaultRetryEvery = 25 * time.Millisecond
-	defaultTimeout    = 15 * time.Second
+	defaultBatchMax     = 8
+	defaultBatchWait    = 2 * time.Millisecond
+	defaultRetryEvery   = 25 * time.Millisecond
+	defaultTimeout      = 15 * time.Second
+	defaultReplyCache   = 512
+	defaultCatchupChunk = 128
 )
 
 // noopKey marks a shard-alignment no-op command: the client pads a lagging,
@@ -277,6 +289,25 @@ func (s ClusterSpec) timeoutTicks() int64 {
 		d = defaultTimeout
 	}
 	return s.ticks(d)
+}
+
+// replyCacheSize normalizes the per-client reply-replay bound: 0 means the
+// default, negative disables replay entirely.
+func (s ClusterSpec) replyCacheSize() int {
+	if s.ReplyCache < 0 {
+		return 0
+	}
+	if s.ReplyCache == 0 {
+		return defaultReplyCache
+	}
+	return s.ReplyCache
+}
+
+func (s ClusterSpec) catchupChunk() uint32 {
+	if s.CatchupChunk < 1 {
+		return defaultCatchupChunk
+	}
+	return uint32(s.CatchupChunk)
 }
 
 func (s ClusterSpec) batchWaitTicks() int64 {

@@ -34,6 +34,8 @@ type Stats struct {
 	// Delayed counts deliveries pushed past their natural slot (the
 	// reordering knob).
 	Delayed uint64
+	// Skewed counts timers stretched or shrunk by the clock-skew knob.
+	Skewed uint64
 }
 
 // Faults decides the fate of every message on a network's send path:
@@ -63,6 +65,11 @@ type Faults struct {
 	// cut holds asymmetric severed links: from→to is dead while to→from
 	// may still flow.
 	cut map[link]bool
+
+	// skew scales every timer armed while it is set: >1 models a slow clock
+	// (timeouts fire late, stretching retransmission intervals), <1 a fast
+	// one (timeout storms). 0 or 1 means no skew.
+	skew float64
 
 	stats Stats
 }
@@ -170,7 +177,40 @@ func (f *Faults) Clear() {
 	f.group = nil
 	f.cut = make(map[link]bool)
 	f.lossP, f.dupP, f.reorderP = 0, 0, 0
+	f.skew = 0
 	f.mu.Unlock()
+}
+
+// SetSkew scales every subsequently armed timer by scale: >1 is a slow
+// clock, a value in (0,1) a fast clock firing timeouts early (the
+// timeout-storm half of a clock-skew schedule). 0 or 1 disables skew.
+func (f *Faults) SetSkew(scale float64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.skew = scale
+	f.mu.Unlock()
+}
+
+// TimerDelay adjudicates one timer arming of d ticks under the current
+// skew. It is purely multiplicative — no randomness is consumed — so a
+// simulator schedule replays identically whether or not skew is active.
+func (f *Faults) TimerDelay(d int64) int64 {
+	if f == nil {
+		return d
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.skew <= 0 || f.skew == 1 {
+		return d
+	}
+	nd := int64(float64(d) * f.skew)
+	if nd < 1 {
+		nd = 1
+	}
+	f.stats.Skewed++
+	return nd
 }
 
 // Stats snapshots the injector's counters.

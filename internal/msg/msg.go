@@ -38,6 +38,8 @@ const (
 	TStale
 	THeartbeat
 	TReply
+	TCatchupReq
+	TCatchupResp
 )
 
 // String renders the message type.
@@ -59,6 +61,10 @@ func (t Type) String() string {
 		return "heartbeat"
 	case TReply:
 		return "reply"
+	case TCatchupReq:
+		return "catchup-req"
+	case TCatchupResp:
+		return "catchup-resp"
 	default:
 		return "unknown"
 	}
@@ -203,6 +209,51 @@ func (Reply) Type() Type { return TReply }
 
 // Instance implements Message.
 func (m Reply) Instance() uint64 { return m.Inst }
+
+// CatchupReq asks a peer learner for the decided prefix at and above
+// instance From: a restarted (or gap-stalled) learner cannot re-elicit old
+// 2b announcements — acceptors quiesce once a learner acknowledges the
+// instance — so it pulls the merged prefix from a peer that delivered it
+// (the learner-rejoin half of Section 4.4's recovery story; the MIT paxos
+// Min()/Done() catch-up contract has the same shape).
+type CatchupReq struct {
+	// Learner is the requesting learner, where the response goes.
+	Learner NodeID
+	// From is the requester's merge frontier: the first instance it is
+	// missing.
+	From uint64
+	// Max bounds the number of instances one response may carry (chunked
+	// state transfer); 0 leaves the bound to the responder.
+	Max uint32
+}
+
+// Type implements Message.
+func (CatchupReq) Type() Type { return TCatchupReq }
+
+// Instance implements Message.
+func (m CatchupReq) Instance() uint64 { return m.From }
+
+// CatchupResp carries one chunk of a peer learner's decided prefix: Cmds[i]
+// is the command delivered at instance From+i. Frontier is the responder's
+// own merge frontier; the requester keeps pulling while From+len(Cmds) is
+// still below it. An empty Cmds with Frontier ≤ From says the responder has
+// nothing newer — the requester is already caught up to this peer.
+type CatchupResp struct {
+	// Learner is the responding learner.
+	Learner NodeID
+	// From is the instance of Cmds[0] (echoed from the request).
+	From uint64
+	// Frontier is the responder's next-undelivered instance.
+	Frontier uint64
+	// Cmds is the contiguous decided slice [From, From+len(Cmds)).
+	Cmds []cstruct.Cmd
+}
+
+// Type implements Message.
+func (CatchupResp) Type() Type { return TCatchupResp }
+
+// Instance implements Message.
+func (m CatchupResp) Instance() uint64 { return m.From }
 
 // Heartbeat is exchanged by coordinators for failure detection and leader
 // election.

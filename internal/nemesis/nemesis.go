@@ -94,6 +94,7 @@ const (
 	FaultLoss
 	FaultDup
 	FaultReorder
+	FaultSkew
 )
 
 // String renders the kind.
@@ -117,6 +118,8 @@ func (k Kind) String() string {
 		return "dup"
 	case FaultReorder:
 		return "reorder"
+	case FaultSkew:
+		return "skew"
 	default:
 		return "?"
 	}
@@ -153,6 +156,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("t=%d %s p=%.2f", e.At, e.Kind, e.P)
 	case FaultReorder:
 		return fmt.Sprintf("t=%d reorder p=%.2f max=%d", e.At, e.P, e.Delay)
+	case FaultSkew:
+		return fmt.Sprintf("t=%d skew x%.2f", e.At, e.P)
 	default:
 		return fmt.Sprintf("t=%d %s", e.At, e.Kind)
 	}
@@ -177,6 +182,8 @@ func Apply(f *faults.Faults, e Event) bool {
 		f.SetDup(e.P)
 	case FaultReorder:
 		f.SetReorder(e.P, e.Delay)
+	case FaultSkew:
+		f.SetSkew(e.P)
 	default:
 		return false
 	}
@@ -193,8 +200,10 @@ type Topology struct {
 	Coords [][]msg.NodeID
 	// Acceptors is the acceptor set; at most F are down simultaneously.
 	Acceptors []msg.NodeID
-	// Learners are partitionable but never crashed (they carry the merged
-	// history the checker reads).
+	// Learners are partitionable and — when Options.KillLearners is set and
+	// there are at least two of them — crashed one at a time, so the checker
+	// always has a surviving history and the host can rejoin the dead one
+	// through the catch-up path.
 	Learners []msg.NodeID
 	// F is the acceptor fault tolerance of the quorum system.
 	F int
@@ -208,12 +217,42 @@ func (t Topology) allCoords() []msg.NodeID {
 	return out
 }
 
+// Options widens the fault repertoire of ScheduleWith. The zero value
+// reproduces Schedule exactly (same events for the same seed), so existing
+// seed corpora stay valid.
+type Options struct {
+	// KillLearners permits learner crash/recover events, one learner at a
+	// time, and only with ≥ 2 learners in the topology: the checker needs a
+	// surviving history, and the host is expected to rejoin the dead one
+	// through the catch-up path.
+	KillLearners bool
+	// QuorumPartition permits partitions that isolate exactly a coordinator
+	// quorum — ⌊c/2⌋+1 members of one group — from the rest of the world.
+	// The shard cannot decide while the window lasts (the survivors are one
+	// short of a quorum); the pin is that it converges after the heal.
+	QuorumPartition bool
+	// ClockSkew permits windows in which every timer in the deployment runs
+	// fast (retransmission storms) or slow (timeout starvation).
+	ClockSkew bool
+	// Background adds a whole-run low-grade loss floor (1–4%) under the
+	// discrete faults. The quiet tail stays clean, and discrete loss bursts
+	// are suppressed (the floor owns the loss knob).
+	Background bool
+}
+
 // Schedule generates a fault schedule over [0, horizon), deterministic
 // under seed. Faults of different kinds overlap freely; same-kind faults
 // are serialized. No fault outlives 3/4 of the horizon: the final quarter
 // is a quiet tail (everything healed, everyone recovered, probabilistic
 // knobs at zero) in which retransmission converges the run.
 func Schedule(seed int64, topo Topology, horizon int64) []Event {
+	return ScheduleWith(seed, topo, horizon, Options{})
+}
+
+// ScheduleWith is Schedule with a wider fault repertoire. With the zero
+// Options it consumes the seed's randomness identically to Schedule and
+// returns the same events.
+func ScheduleWith(seed int64, topo Topology, horizon int64, opts Options) []Event {
 	rng := rand.New(rand.NewSource(seed))
 	end := horizon - horizon/4
 	maxDur := horizon / 8
@@ -236,8 +275,33 @@ func Schedule(seed int64, topo Topology, horizon int64) []Event {
 		return d
 	}
 
+	// The extra repertoire gets pick slots 6.. so the base six keep their
+	// rng draws; every extra is gated on the topology actually supporting
+	// it (a slot that always continues would just thin the schedule).
+	var extras []string
+	if opts.KillLearners && len(topo.Learners) >= 2 {
+		extras = append(extras, "crashL")
+	}
+	if opts.QuorumPartition {
+		for _, g := range topo.Coords {
+			if len(g) >= 3 {
+				extras = append(extras, "qpart")
+				break
+			}
+		}
+	}
+	if opts.ClockSkew {
+		extras = append(extras, "skew")
+	}
+	if opts.Background {
+		// The floor owns the loss knob for the whole faulted window.
+		busy["loss"] = horizon
+		emit(Event{At: 0, Kind: FaultLoss, P: 0.01 + 0.03*rng.Float64()})
+		emit(Event{At: end, Kind: FaultLoss, P: 0})
+	}
+
 	for t := 1 + rng.Int63n(maxDur); t < end-1; t += 1 + rng.Int63n(maxDur) {
-		switch pick := rng.Intn(6); pick {
+		switch pick := rng.Intn(6 + len(extras)); pick {
 		case 0: // symmetric partition: a minority of acceptors plus a random
 			// slice of coordinators on the far side.
 			if busy["part"] > t || topo.F < 1 {
@@ -315,7 +379,7 @@ func Schedule(seed int64, topo Topology, horizon int64) []Event {
 			busy["dup"] = t + d
 			emit(Event{At: t, Kind: FaultDup, P: 0.3 + 0.7*rng.Float64()})
 			emit(Event{At: t + d, Kind: FaultDup, P: 0})
-		default: // reorder window
+		case 5: // reorder window
 			if busy["reorder"] > t {
 				continue
 			}
@@ -324,6 +388,59 @@ func Schedule(seed int64, topo Topology, horizon int64) []Event {
 			emit(Event{At: t, Kind: FaultReorder,
 				P: 0.2 + 0.4*rng.Float64(), Delay: 1 + rng.Int63n(4)})
 			emit(Event{At: t + d, Kind: FaultReorder, P: 0, Delay: 1})
+		default:
+			switch extras[pick-6] {
+			case "crashL": // kill one learner (the host rejoins it via catch-up)
+				if busy["crashL"] > t {
+					continue
+				}
+				d := dur(t)
+				busy["crashL"] = t + d
+				n := topo.Learners[rng.Intn(len(topo.Learners))]
+				emit(Event{At: t, Kind: FaultCrash, Node: n})
+				emit(Event{At: t + d, Kind: FaultRecover, Node: n})
+			case "qpart": // isolate exactly a coordinator quorum of one group
+				if busy["part"] > t {
+					continue
+				}
+				d := dur(t)
+				busy["part"] = t + d
+				var gs [][]msg.NodeID
+				for _, g := range topo.Coords {
+					if len(g) >= 3 {
+						gs = append(gs, g)
+					}
+				}
+				g := gs[rng.Intn(len(gs))]
+				far := make(map[msg.NodeID]bool)
+				perm := rng.Perm(len(g))
+				for _, i := range perm[:len(g)/2+1] {
+					far[g[i]] = true
+				}
+				var a, b []msg.NodeID
+				for _, id := range append(append(append(append([]msg.NodeID{},
+					topo.Proposers...), coords...), topo.Acceptors...), topo.Learners...) {
+					if far[id] {
+						b = append(b, id)
+					} else {
+						a = append(a, id)
+					}
+				}
+				emit(Event{At: t, Kind: FaultPartition, Groups: [][]msg.NodeID{a, b}})
+				emit(Event{At: t + d, Kind: FaultHeal})
+			case "skew": // every timer runs fast or slow for a window
+				if busy["skew"] > t {
+					continue
+				}
+				d := dur(t)
+				busy["skew"] = t + d
+				scale := 0.2 + 0.3*rng.Float64() // fast clocks: timeout storms
+				if rng.Intn(2) == 1 {
+					scale = 2 + 2*rng.Float64() // slow clocks: starved retries
+				}
+				emit(Event{At: t, Kind: FaultSkew, P: scale})
+				emit(Event{At: t + d, Kind: FaultSkew, P: 0})
+			}
 		}
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })

@@ -144,6 +144,124 @@ func TestScheduleNeverTouchesProposersOrLearners(t *testing.T) {
 	}
 }
 
+// TestScheduleWithZeroOptionsIdentical pins the corpus-compatibility
+// contract: the widened generator with zero Options must consume the
+// seed's randomness exactly like Schedule always has, so every recorded
+// failing seed keeps reproducing its schedule.
+func TestScheduleWithZeroOptionsIdentical(t *testing.T) {
+	topo := testTopo()
+	for seed := int64(0); seed < 50; seed++ {
+		a := Schedule(seed, topo, 4000)
+		b := ScheduleWith(seed, topo, 4000, Options{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: zero-Options ScheduleWith diverged from Schedule", seed)
+		}
+	}
+}
+
+// TestScheduleWithDeepenedRepertoire: with every option on, the generator
+// must stay inside the liveness budgets — at most one learner down at a
+// time, quorum partitions isolating exactly ⌊c/2⌋+1 members of one group,
+// skew windows closed, the background loss floor owning the loss knob —
+// and still end every run clean before the quiet tail.
+func TestScheduleWithDeepenedRepertoire(t *testing.T) {
+	topo := testTopo()
+	opts := Options{KillLearners: true, QuorumPartition: true, ClockSkew: true, Background: true}
+	const horizon = 4000
+	quietStart := int64(horizon - horizon/4)
+	learner := map[msg.NodeID]bool{300: true, 301: true}
+	groupOf := make(map[msg.NodeID]int)
+	for gi, g := range topo.Coords {
+		for _, c := range g {
+			groupOf[c] = gi
+		}
+	}
+
+	var sawLearnerKill, sawQuorumPart, sawSkew bool
+	for seed := int64(0); seed < 80; seed++ {
+		ev := ScheduleWith(seed, topo, horizon, opts)
+		if !reflect.DeepEqual(ev, ScheduleWith(seed, topo, horizon, opts)) {
+			t.Fatalf("seed %d: widened schedule not deterministic", seed)
+		}
+		down := make(map[msg.NodeID]bool)
+		skewOn, lossEvents := false, 0
+		for _, e := range ev {
+			if e.At > quietStart {
+				t.Fatalf("seed %d: event after quiet tail: %s", seed, e)
+			}
+			switch e.Kind {
+			case FaultCrash:
+				down[e.Node] = true
+				if learner[e.Node] {
+					sawLearnerKill = true
+					n := 0
+					for l := range learner {
+						if down[l] {
+							n++
+						}
+					}
+					if n > 1 {
+						t.Fatalf("seed %d: both learners down at once", seed)
+					}
+				}
+			case FaultRecover:
+				delete(down, e.Node)
+			case FaultSkew:
+				skewOn = e.P > 0
+				if skewOn {
+					sawSkew = true
+					fast := e.P >= 0.2 && e.P <= 0.5
+					slow := e.P >= 2 && e.P <= 4
+					if !fast && !slow {
+						t.Fatalf("seed %d: skew scale %.2f outside both bands", seed, e.P)
+					}
+				}
+			case FaultLoss:
+				lossEvents++
+				if e.At == 0 && (e.P < 0.01 || e.P > 0.04) {
+					t.Fatalf("seed %d: background floor p=%.3f outside [0.01,0.04]", seed, e.P)
+				}
+			case FaultPartition:
+				if len(e.Groups) != 2 {
+					t.Fatalf("seed %d: partition with %d groups", seed, len(e.Groups))
+				}
+				far := e.Groups[1]
+				g := -1
+				coordsOnly := true
+				for _, id := range far {
+					gi, isCoord := groupOf[id]
+					if !isCoord {
+						coordsOnly = false
+						break
+					}
+					if g == -1 {
+						g = gi
+					} else if gi != g {
+						coordsOnly = false
+						break
+					}
+				}
+				if coordsOnly && g >= 0 {
+					if want := len(topo.Coords[g])/2 + 1; len(far) == want {
+						sawQuorumPart = true
+					}
+				}
+			}
+		}
+		// Background: exactly the floor's two events touch the loss knob.
+		if lossEvents != 2 {
+			t.Fatalf("seed %d: %d loss events, want exactly the background floor pair", seed, lossEvents)
+		}
+		if len(down) != 0 || skewOn {
+			t.Fatalf("seed %d: run ends dirty (down=%v skew=%v)", seed, down, skewOn)
+		}
+	}
+	if !sawLearnerKill || !sawQuorumPart || !sawSkew {
+		t.Fatalf("80 seeds never exercised the full repertoire (learnerKill=%v quorumPart=%v skew=%v)",
+			sawLearnerKill, sawQuorumPart, sawSkew)
+	}
+}
+
 func TestApplyRoutesInjectorEvents(t *testing.T) {
 	f := faults.New(1)
 	if !Apply(f, Event{Kind: FaultPartition, Groups: [][]msg.NodeID{{1}, {2}}}) {

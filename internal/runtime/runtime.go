@@ -320,6 +320,8 @@ func (e agentEnv) Send(to msg.NodeID, m msg.Message) {
 
 func (e agentEnv) SetTimer(d int64, tag int) {
 	a := e.a
+	// Clock skew (fault injection) scales the delay before the floor clamp.
+	d = a.net.faults.Load().TimerDelay(d)
 	if d < 1 {
 		d = 1
 	}

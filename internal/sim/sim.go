@@ -171,6 +171,9 @@ func (e *simEnv) SetTimer(d int64, tag int) {
 		return
 	}
 	epoch := n.epoch
+	// Clock skew scales the delay before the floor clamp, so a fast clock
+	// can shrink any timeout down to one tick but never to zero.
+	d = s.faults.TimerDelay(d)
 	if d < 1 {
 		d = 1
 	}

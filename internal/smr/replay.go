@@ -1,0 +1,138 @@
+// Reply replay: a bounded per-client cache of applied command results.
+//
+// A learner replica replies exactly once, at apply time. On a lossy network
+// that is a liveness hole: if every replica's reply frame for a command is
+// dropped, the client retransmits, the learners deduplicate the proposal
+// (the instance is already decided and applied), and no reply is ever sent
+// again. The ReplyCache closes the hole — each learner remembers the result
+// of recently applied commands keyed by the stamped command ID, so a
+// retransmitted proposal for an already-applied command re-elicits its
+// msg.Reply without touching the state machine (at-most-once apply is
+// preserved; at-least-once reply is restored).
+package smr
+
+// ReplyRecord is one cached apply result.
+type ReplyRecord struct {
+	// Inst is the merged-order instance the command was delivered at.
+	Inst uint64
+	// Result is the state machine's apply result.
+	Result string
+}
+
+// ReplyCache holds the most recent perClient apply results of every client,
+// evicted by per-client watermark: client sequence numbers are stamped
+// monotonically (cmdID = client<<shift | seq), so once seq s is cached,
+// anything below s-perClient+1 can no longer draw a retransmission from a
+// correct client — its call resolved or was abandoned long before the
+// client's window advanced that far — and is dropped. Memory is therefore
+// bounded by perClient × (number of distinct clients seen), independent of
+// history length.
+//
+// The cache is not safe for concurrent use; callers serialize (the learner
+// mailbox goroutine in the live stack).
+type ReplyCache struct {
+	perClient int
+	shift     uint
+	// byClient maps client → its cached window; floor is the lowest
+	// sequence number still retained (watermark).
+	byClient map[uint64]*clientWindow
+}
+
+type clientWindow struct {
+	floor   uint64
+	hi      uint64
+	hasHi   bool
+	results map[uint64]ReplyRecord // seq → record
+}
+
+// NewReplyCache builds a cache keeping up to perClient results per client;
+// shift is the bit position of the client ID inside a command ID (the
+// deployment's cmdID scheme). perClient < 1 disables the cache: Put and Get
+// become no-ops.
+func NewReplyCache(perClient int, shift uint) *ReplyCache {
+	return &ReplyCache{perClient: perClient, shift: shift, byClient: make(map[uint64]*clientWindow)}
+}
+
+func (c *ReplyCache) split(cmdID uint64) (client, seq uint64) {
+	return cmdID >> c.shift, cmdID & (1<<c.shift - 1)
+}
+
+// Put records the apply result of cmdID. Sequence numbers more than
+// perClient below the client's highest seen are already evicted and are not
+// re-admitted (the watermark only advances).
+func (c *ReplyCache) Put(cmdID uint64, inst uint64, result string) {
+	if c == nil || c.perClient < 1 {
+		return
+	}
+	client, seq := c.split(cmdID)
+	w := c.byClient[client]
+	if w == nil {
+		w = &clientWindow{results: make(map[uint64]ReplyRecord)}
+		c.byClient[client] = w
+	}
+	if seq < w.floor {
+		return // below the watermark: evicted, stays evicted
+	}
+	w.results[seq] = ReplyRecord{Inst: inst, Result: result}
+	if !w.hasHi || seq > w.hi {
+		w.hi, w.hasHi = seq, true
+	}
+	// Advance the watermark so at most perClient entries survive. The
+	// eviction walk is bounded by min(floor gap, live entries): a sparse
+	// window that jumped far ahead is swept by map scan instead of by
+	// counting through seqs that were never cached.
+	if span := c.perClient; w.hi >= uint64(span) {
+		newFloor := w.hi - uint64(span) + 1
+		if gap := newFloor - w.floor; gap <= uint64(len(w.results)) {
+			for f := w.floor; f < newFloor; f++ {
+				delete(w.results, f)
+			}
+		} else {
+			for s := range w.results {
+				if s < newFloor {
+					delete(w.results, s)
+				}
+			}
+		}
+		w.floor = newFloor
+	}
+}
+
+// Get returns the cached result of cmdID, if retained.
+func (c *ReplyCache) Get(cmdID uint64) (ReplyRecord, bool) {
+	if c == nil || c.perClient < 1 {
+		return ReplyRecord{}, false
+	}
+	client, seq := c.split(cmdID)
+	w := c.byClient[client]
+	if w == nil {
+		return ReplyRecord{}, false
+	}
+	r, ok := w.results[seq]
+	return r, ok
+}
+
+// Len reports the total number of cached results across all clients.
+func (c *ReplyCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range c.byClient {
+		n += len(w.results)
+	}
+	return n
+}
+
+// ClientLen reports how many results are cached for one client (testing the
+// per-client bound).
+func (c *ReplyCache) ClientLen(client uint64) int {
+	if c == nil {
+		return 0
+	}
+	w := c.byClient[client]
+	if w == nil {
+		return 0
+	}
+	return len(w.results)
+}

@@ -101,7 +101,7 @@ func (c Codec) Decode(data []byte) (msg.Message, error) {
 func encodable(m msg.Message) bool {
 	switch m.(type) {
 	case msg.Propose, msg.P1a, msg.P1b, msg.P1bMulti, msg.P2a, msg.P2b,
-		msg.Stale, msg.Heartbeat, msg.Reply:
+		msg.Stale, msg.Heartbeat, msg.Reply, msg.CatchupReq, msg.CatchupResp:
 		return true
 	}
 	return false
@@ -269,6 +269,17 @@ func appendEncodeBinary(dst []byte, m msg.Message) ([]byte, error) {
 		dst = appendUvarint(dst, uint64(mm.From))
 		dst = appendUvarint(dst, mm.Inst)
 		return appendString(dst, mm.Result), nil
+	case msg.CatchupReq:
+		dst = append(dst, verBinary, byte(msg.TCatchupReq), 0)
+		dst = appendUvarint(dst, uint64(mm.Learner))
+		dst = appendUvarint(dst, mm.From)
+		return appendUvarint(dst, uint64(mm.Max)), nil
+	case msg.CatchupResp:
+		dst = append(dst, verBinary, byte(msg.TCatchupResp), 0)
+		dst = appendUvarint(dst, uint64(mm.Learner))
+		dst = appendUvarint(dst, mm.From)
+		dst = appendUvarint(dst, mm.Frontier)
+		return appendCmds(dst, mm.Cmds), nil
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -553,6 +564,25 @@ func (c Codec) decodeBinary(data []byte) (msg.Message, error) {
 			From:   msg.NodeID(r.u32("from")),
 			Inst:   r.uvarint("inst"),
 			Result: r.stringVal("result"),
+		}
+	case msg.TCatchupReq:
+		if flags != 0 {
+			return nil, fmt.Errorf("transport: decode: bad catchup-req flags %#x", flags)
+		}
+		m = msg.CatchupReq{
+			Learner: msg.NodeID(r.u32("learner")),
+			From:    r.uvarint("from"),
+			Max:     r.u32("max"),
+		}
+	case msg.TCatchupResp:
+		if flags != 0 {
+			return nil, fmt.Errorf("transport: decode: bad catchup-resp flags %#x", flags)
+		}
+		m = msg.CatchupResp{
+			Learner:  msg.NodeID(r.u32("learner")),
+			From:     r.uvarint("from"),
+			Frontier: r.uvarint("frontier"),
+			Cmds:     r.cmds(),
 		}
 	default:
 		return nil, fmt.Errorf("transport: decode: unknown wire type %d", typ)

@@ -107,6 +107,13 @@ func msgEq(a, b msg.Message) bool {
 	case msg.Reply:
 		bm, ok := b.(msg.Reply)
 		return ok && am == bm
+	case msg.CatchupReq:
+		bm, ok := b.(msg.CatchupReq)
+		return ok && am == bm
+	case msg.CatchupResp:
+		bm, ok := b.(msg.CatchupResp)
+		return ok && am.Learner == bm.Learner && am.From == bm.From &&
+			am.Frontier == bm.Frontier && cmdsEq(am.Cmds, bm.Cmds)
 	default:
 		return false
 	}
@@ -153,6 +160,13 @@ func codecCases(set cstruct.Set) []struct {
 		{"heartbeat", msg.Heartbeat{From: 100, Epoch: math.MaxUint64}},
 		{"reply", msg.Reply{CmdID: 1<<40 | 3, From: 300, Inst: 11, Result: "OK"}},
 		{"reply-empty-result", msg.Reply{CmdID: math.MaxUint64, From: math.MaxUint32, Inst: math.MaxUint64}},
+		{"catchup-req", msg.CatchupReq{Learner: 300, From: 42}},
+		{"catchup-req-max", msg.CatchupReq{Learner: math.MaxUint32, From: math.MaxUint64, Max: math.MaxUint32}},
+		{"catchup-resp-empty", msg.CatchupResp{Learner: 301, From: 42, Frontier: 42}},
+		{"catchup-resp", msg.CatchupResp{Learner: 301, From: 42, Frontier: 45, Cmds: []cstruct.Cmd{
+			{ID: 9, Key: "k", Op: cstruct.OpWrite, Payload: []byte("p")},
+			{ID: 10, Key: "q", Op: cstruct.OpRead},
+		}}},
 	}
 }
 

@@ -30,6 +30,11 @@ func fuzzSeeds() []msg.Message {
 		msg.Stale{Inst: 5, Acc: 200, Rnd: b, Got: ballot.Zero},
 		msg.Heartbeat{From: 100, Epoch: 9},
 		msg.Reply{CmdID: 1<<40 | 3, From: 300, Inst: 11, Result: "OK"},
+		msg.CatchupReq{Learner: 300, From: 42, Max: 64},
+		msg.CatchupResp{Learner: 301, From: 42, Frontier: 44, Cmds: []cstruct.Cmd{
+			{ID: 9, Key: "k", Op: cstruct.OpWrite, Payload: []byte("p")},
+			{ID: 10, Key: "q"},
+		}},
 	}
 }
 

@@ -171,6 +171,15 @@ func toWire(m msg.Message) (wire, error) {
 		return wire{Type: msg.THeartbeat, Coord: mm.From, Epoch: mm.Epoch}, nil
 	case msg.Reply:
 		return wire{Type: msg.TReply, Inst: mm.Inst, Acc: mm.From, CmdID: mm.CmdID, Result: mm.Result}, nil
+	case msg.CatchupReq:
+		return wire{Type: msg.TCatchupReq, Acc: mm.Learner, Inst: mm.From, Shard: mm.Max}, nil
+	case msg.CatchupResp:
+		w := wire{Type: msg.TCatchupResp, Acc: mm.Learner, Inst: mm.From, Epoch: mm.Frontier}
+		// Normalize an empty chunk to nil so both formats decode identically.
+		if len(mm.Cmds) > 0 {
+			w.Val = mm.Cmds
+		}
+		return w, nil
 	default:
 		return wire{}, fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -213,6 +222,14 @@ func (c Codec) fromWire(w wire) (msg.Message, error) {
 		return msg.Heartbeat{From: w.Coord, Epoch: w.Epoch}, nil
 	case msg.TReply:
 		return msg.Reply{Inst: w.Inst, From: w.Acc, CmdID: w.CmdID, Result: w.Result}, nil
+	case msg.TCatchupReq:
+		return msg.CatchupReq{Learner: w.Acc, From: w.Inst, Max: w.Shard}, nil
+	case msg.TCatchupResp:
+		out := msg.CatchupResp{Learner: w.Acc, From: w.Inst, Frontier: w.Epoch}
+		if len(w.Val) > 0 {
+			out.Cmds = w.Val
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown wire type %d", w.Type)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"mcpaxos/internal/catchup"
 	"mcpaxos/internal/faults"
 	"mcpaxos/internal/linearize"
 	"mcpaxos/internal/msg"
@@ -26,10 +27,21 @@ type LiveNemesisResult struct {
 	// Ops counts operations issued; Resolved those that drew a reply;
 	// Applied the commands in the longest learner's merged order.
 	Ops, Resolved, Applied int
+	// Acked counts the ops whose reply arrived before the client's request
+	// timeout: the convergence judgment requires each of them applied on
+	// every learner.
+	Acked int
 	// FaultEvents is the number of schedule events enacted.
 	FaultEvents int
 	// Net is the injector's accounting.
 	Net faults.Stats
+	// Client is the client endpoint's own accounting (retries, rotations,
+	// abandoned batches, replay probes).
+	Client ClientStats
+	// Replays counts replies the learners served from their replay caches.
+	Replays uint64
+	// Catchup sums the learners' catch-up fetcher activity.
+	Catchup catchup.Stats
 	// Elapsed is the wall time of the whole run.
 	Elapsed time.Duration
 	// Ok reports a clean run; Failure says what broke otherwise.
@@ -90,7 +102,16 @@ func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveN
 		F:         1,
 	}
 	const horizonTicks = 2500 // ~2.5s of hostility at the default 1ms tick
-	schedule := nemesis.Schedule(seed, topo, horizonTicks)
+	// The live harness runs the full repertoire: learner kills exercise the
+	// catch-up rejoin, quorum partitions stall a shard until the heal, clock
+	// skew windows stretch and shrink every timeout, and a background loss
+	// floor keeps the discrete faults from ever running on a clean network.
+	schedule := nemesis.ScheduleWith(seed, topo, horizonTicks, nemesis.Options{
+		KillLearners:    true,
+		QuorumPartition: true,
+		ClockSkew:       true,
+		Background:      true,
+	})
 	res.FaultEvents = len(schedule)
 
 	start := time.Now()
@@ -127,6 +148,7 @@ func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveN
 	var (
 		mu      sync.Mutex
 		writeID = make(map[uint64]int) // cmd ID → history index (unresolved writes)
+		acked   []uint64               // cmd IDs whose reply arrived in time
 	)
 	// Pace each worker so its ops span the fault window: an unpaced closed
 	// loop finishes in tens of milliseconds on an idle machine, before the
@@ -179,6 +201,9 @@ func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveN
 					val = out[1:]
 				}
 				hist.Resolve(idx, val, found, time.Now().UnixNano())
+				mu.Lock()
+				acked = append(acked, call.ID)
+				mu.Unlock()
 				time.Sleep(pace)
 			}
 		}(c)
@@ -189,31 +214,72 @@ func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveN
 	res.Elapsed = time.Since(start)
 	res.Net = inj.Stats()
 	res.Ops = clients * opsPerClient
+	mu.Lock()
+	res.Acked = len(acked)
+	mu.Unlock()
 
-	// Let in-flight traffic settle, then snapshot both learners' merged
-	// orders once they stop growing.
-	l0, l1 := spec.Learners[0].ID, spec.Learners[1].ID
-	o0, o1 := stableOrders(rep, l0, l1, 5*time.Second)
+	// Let in-flight traffic and any pending catch-up pull settle, then
+	// snapshot every learner's merged order.
+	learners := []uint32{spec.Learners[0].ID, spec.Learners[1].ID}
+	orders := stableOrders(rep, learners, 10*time.Second)
 
-	// The orders are merged prefixes of one total order: one must prefix the
-	// other, and neither may repeat a command.
-	long, short := o0, o1
-	if len(o1) > len(o0) {
-		long, short = o1, o0
-	}
-	for i, id := range short {
-		if long[i] != id {
-			fail("learner orders diverge at position %d: %d vs %d", i, long[i], id)
+	// Convergence judgment, part 1: no learner may end the run stalled
+	// behind a gap — learned instances buffered above a frozen frontier
+	// mean a decided instance was lost for good.
+	for i, l := range learners {
+		if _, buffered, err := rep.Progress(l); err != nil {
+			fail("learner %d progress: %v", l, err)
+		} else if buffered > 0 {
+			fail("learner %d ends stalled: %d instances buffered behind a gap (order %d)",
+				l, buffered, len(orders[i]))
 		}
 	}
-	seen := make(map[uint64]bool, len(long))
-	for _, id := range long {
-		if seen[id] {
-			fail("command %d merged twice", id)
+
+	// Part 2: the orders are merged prefixes of one total order — each must
+	// prefix the longest, and none may repeat a command.
+	long := orders[0]
+	for _, o := range orders[1:] {
+		if len(o) > len(long) {
+			long = o
 		}
-		seen[id] = true
+	}
+	perLearner := make([]map[uint64]bool, len(orders))
+	for i, o := range orders {
+		for j, id := range o {
+			if long[j] != id {
+				fail("learner %d order diverges at position %d: %d vs %d", learners[i], j, long[j], id)
+				break
+			}
+		}
+		m := make(map[uint64]bool, len(o))
+		for _, id := range o {
+			if m[id] {
+				fail("learner %d merged command %d twice", learners[i], id)
+			}
+			m[id] = true
+		}
+		perLearner[i] = m
 	}
 	res.Applied = len(long)
+	seen := perLearner[0]
+	if len(orders) > 1 && len(orders[1]) > len(orders[0]) {
+		seen = perLearner[1]
+	}
+
+	// Part 3: every acknowledged op is applied on every learner — a reply
+	// promises the command a slot in the total order, and catch-up plus the
+	// quiet tail must have propagated that slot everywhere, restarted
+	// learners included.
+	mu.Lock()
+	ackedIDs := append([]uint64(nil), acked...)
+	mu.Unlock()
+	for _, id := range ackedIDs {
+		for i, m := range perLearner {
+			if !m[id] {
+				fail("acked command %d missing from learner %d's order", id, learners[i])
+			}
+		}
+	}
 
 	// Classify unresolved writes against the merged order: applied writes
 	// stay (Ret = ∞, they linearize somewhere after their call), unapplied
@@ -226,6 +292,9 @@ func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveN
 	}
 	mu.Unlock()
 	res.Resolved = hist.Resolved()
+	res.Client = cli.Stats()
+	res.Replays = rep.Replays()
+	res.Catchup = rep.CatchupStats()
 
 	if r := linearize.Check(hist.Ops()); !r.Ok {
 		fail("history not linearizable (key %s): %s", r.Key, r.Info)
@@ -233,20 +302,31 @@ func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveN
 	return res, nil
 }
 
-// stableOrders polls both learners until their merged orders stop growing
-// (two consecutive identical snapshots 150ms apart) or the timeout passes.
-func stableOrders(rep *Replica, l0, l1 uint32, timeout time.Duration) ([]uint64, []uint64) {
+// stableOrders polls the learners until every merged order stops growing
+// with nothing buffered behind a gap (two consecutive identical snapshots
+// 150ms apart) or the timeout passes. Waiting on the buffered count too
+// matters after a catch-up resync: the order length freezes while the gap
+// watch re-probes, and judging that snapshot would misreport a stall the
+// fetcher was already repairing.
+func stableOrders(rep *Replica, learners []uint32, timeout time.Duration) [][]uint64 {
 	deadline := time.Now().Add(timeout)
-	var a0, a1 []uint64
+	prev := make([]int, len(learners))
+	for i := range prev {
+		prev[i] = -1
+	}
 	for {
-		b0, _ := rep.Order(l0)
-		b1, _ := rep.Order(l1)
-		if len(b0) == len(a0) && len(b1) == len(a1) {
-			return b0, b1
+		cur := make([][]uint64, len(learners))
+		stable := true
+		for i, l := range learners {
+			cur[i], _ = rep.Order(l)
+			_, buffered, _ := rep.Progress(l)
+			if len(cur[i]) != prev[i] || buffered > 0 {
+				stable = false
+			}
+			prev[i] = len(cur[i])
 		}
-		a0, a1 = b0, b1
-		if time.Now().After(deadline) {
-			return b0, b1
+		if stable || time.Now().After(deadline) {
+			return cur
 		}
 		time.Sleep(150 * time.Millisecond)
 	}

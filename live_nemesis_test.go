@@ -1,6 +1,10 @@
 package mcpaxos
 
 import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"mcpaxos/internal/smr"
@@ -36,5 +40,56 @@ func TestLiveNemesisSeeds(t *testing.T) {
 	// depends on.
 	if smr.KVMissing != "#missing" {
 		t.Fatalf("KVMissing sentinel changed: %q", smr.KVMissing)
+	}
+}
+
+// TestLiveNemesisSeedCorpus replays every seed in
+// testdata/live_nemesis_seeds.txt through the live-TCP nemesis — the
+// regression ratchet for the recovery machinery. The corpus pins schedules
+// whose convergence demonstrably rides learner catch-up, the acceptor
+// fallback or reply replay; in short mode only the first (formerly
+// stalling) seed replays.
+func TestLiveNemesisSeedCorpus(t *testing.T) {
+	f, err := os.Open("testdata/live_nemesis_seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var seeds []int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		seed, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			t.Fatalf("corpus line %q: %v", sc.Text(), err)
+		}
+		seeds = append(seeds, seed)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("empty live seed corpus")
+	}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		res, err := RunLiveNemesis(seed, 3, 8, t.TempDir())
+		if err != nil {
+			t.Fatalf("corpus seed %d: %v", seed, err)
+		}
+		if !res.Ok {
+			t.Errorf("corpus seed %d failed: %s", seed, res.Failure)
+		}
+		t.Logf("corpus seed %d: acked=%d applied=%d replays=%d catchup=%+v",
+			seed, res.Acked, res.Applied, res.Replays, res.Catchup)
 	}
 }
