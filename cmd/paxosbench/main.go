@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paxosbench [-seed N] [-exp all|e1|...|e14|live|nemesis] [-trials N] [-commands N]
+//	paxosbench [-seed N] [-exp all|e1|...|e14|e15|live|nemesis] [-trials N] [-commands N]
 //
 // The live and nemesis experiments are the non-simulated modes: live stands
 // up the full batched, sharded, multicoordinated deployment on loopback TCP
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e14, live or nemesis")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e14, e15, live or nemesis")
 	trials := flag.Int("trials", 20, "trials per sample point (E7, E9)")
 	seeds := flag.Int("seeds", 50, "randomized seeds per nemesis sweep (E14)")
 	liveSeeds := flag.Int("liveseeds", 3, "live-TCP seeds per nemesis sweep (wall clock; capped by -seeds)")
@@ -34,6 +34,8 @@ func main() {
 	shards := flag.Int("shards", 2, "instance-space shards (live)")
 	coords := flag.Int("coords", 3, "coordinator group size per shard (live)")
 	batchMax := flag.Int("batch", 8, "client batch size (live)")
+	clients := flag.Int("clients", 8, "max concurrent client processes in the E15 sweep")
+	workers := flag.Int("workers", 8, "closed-loop workers per client (E15)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -98,12 +100,16 @@ func main() {
 		live(*shards, *coords, *commands, *batchMax)
 		any = true
 	}
+	if *exp == "e15" {
+		e15(*shards, *coords, *clients, *commands, *workers)
+		any = true
+	}
 	if *exp == "nemesis" {
 		nemesisExp(*seed, *seeds, *liveSeeds)
 		any = true
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1..e14, live or nemesis)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1..e14, e15, live or nemesis)\n", *exp)
 		os.Exit(2)
 	}
 }
@@ -335,6 +341,57 @@ func live(shards, coords, commands, batchMax int) {
 		r.Retries, r.DupReplies, r.Abandoned, r.ReplayProbes, r.RoundChanges)
 	fmt.Println("  (every message crosses a real socket; the sim experiments above measure")
 	fmt.Println("   the same stack in communication steps instead of wall time)")
+}
+
+func e15(shards, coords, maxClients, perClient, workers int) {
+	header("E15: multi-client scaling — N client processes, server-side sequencing")
+	fmt.Printf("  %d commands per client, %d closed-loop workers each, %d shards × group of %d,\n",
+		perClient, workers, shards, coords)
+	fmt.Println("  3 acceptors; fresh deployment per point; loopback TCP, wall clock")
+	counts := []int{}
+	for _, n := range []int{1, 2, 4, 8} {
+		if n <= maxClients {
+			counts = append(counts, n)
+		}
+	}
+	rows, err := mcpaxos.RunE15(shards, coords, 3, counts, perClient, workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e15: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("  clients  cmds   agg-cmds/s  scaling  per-client p50        per-client p99")
+	base := 0.0
+	for _, r := range rows {
+		if base == 0 {
+			base = r.Aggregate
+		}
+		p50lo, p50hi, p99lo, p99hi := r.PerClient[0].P50, r.PerClient[0].P50, r.PerClient[0].P99, r.PerClient[0].P99
+		for _, c := range r.PerClient[1:] {
+			if c.P50 < p50lo {
+				p50lo = c.P50
+			}
+			if c.P50 > p50hi {
+				p50hi = c.P50
+			}
+			if c.P99 < p99lo {
+				p99lo = c.P99
+			}
+			if c.P99 > p99hi {
+				p99hi = c.P99
+			}
+		}
+		fmt.Printf("  %-8d %-6d %-11.0f %-8s %-21s %s\n",
+			r.Clients, r.Commands, r.Aggregate,
+			fmt.Sprintf("%.2fx", r.Aggregate/base),
+			fmt.Sprintf("%v–%v", p50lo.Round(10*time.Microsecond), p50hi.Round(10*time.Microsecond)),
+			fmt.Sprintf("%v–%v", p99lo.Round(10*time.Microsecond), p99hi.Round(10*time.Microsecond)))
+		if r.Retries+r.Rotations > 0 {
+			fmt.Printf("           (retries=%d rotations=%d)\n", r.Retries, r.Rotations)
+		}
+	}
+	fmt.Println("  (clients tag commands (ClientID, ReqID) and never sequence; the shard's")
+	fmt.Println("   primary coordinator stamps Seq at ingress and shares the stamp with its")
+	fmt.Println("   group, so independent client processes feed one multicoordinated stream)")
 }
 
 func e9(seed int64, trials int) {

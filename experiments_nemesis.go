@@ -158,6 +158,7 @@ func RunE14One(seed int64, clients, opsPerClient int) E14Row {
 	schedule := nemesis.ScheduleWith(seed, topo, horizon, nemesis.Options{
 		QuorumPartition: true,
 		ClockSkew:       true,
+		KillPrimary:     true,
 		Background:      true,
 	})
 	for _, ev := range schedule {

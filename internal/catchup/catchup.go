@@ -63,6 +63,14 @@ type Fetcher struct {
 	// RetryTicks is the re-request interval; WatchTicks the gap-watch
 	// period (0 disables the watch).
 	RetryTicks, WatchTicks int64
+	// OnStall, when set, fires alongside each stall-triggered resync with
+	// the frozen frontier. Hosts use it to nudge the frontier instance's
+	// coordinator group (msg.Fill): a resync can only recover instances
+	// that were *decided* and lost, while a stall on a sequence slot that
+	// was stamped but never proposed — its ingress stamper crashed, or the
+	// shard went idle while its peers advanced — needs the group to fill
+	// the slot before anything can decide it.
+	OnStall func(frontier uint64)
 
 	// next reports the local merge frontier; buffered how many instances
 	// are held back by a gap; feed hands one decided (instance, command)
@@ -229,6 +237,9 @@ func (f *Fetcher) watchTick() {
 	if stalled && f.watchStalled {
 		f.stats.Resyncs++
 		f.Resync()
+		if f.OnStall != nil {
+			f.OnStall(n)
+		}
 	} else if !behind && len(f.peers) > 0 {
 		f.rr++
 		f.env.Send(f.peers[f.rr%len(f.peers)],

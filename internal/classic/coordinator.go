@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"mcpaxos/internal/ballot"
+	"mcpaxos/internal/batch"
 	"mcpaxos/internal/cstruct"
 	"mcpaxos/internal/msg"
 	"mcpaxos/internal/node"
@@ -12,7 +13,33 @@ import (
 // Timer tags used by the coordinator.
 const (
 	timerRetry = 1
+	// timerIngress drives the time-triggered flush of the ingress batcher.
+	timerIngress = 2
 )
+
+// reqTrackMax bounds the ingress idempotency map: past this size, entries
+// whose instance is already learned are swept out. A learned entry only
+// served to suppress late duplicate stamps; once evicted, a very late client
+// retry restamps the command at a fresh instance, which replicas dedup by
+// command ID at apply time — wasteful but safe.
+const reqTrackMax = 4096
+
+// reqKey is the ingress idempotency key: the issuing client and its
+// per-client request counter, carried by unsequenced proposals.
+type reqKey struct {
+	client msg.NodeID
+	req    uint64
+}
+
+// ingressRec remembers where a client request was stamped: the instance and
+// the ID of the stamped value (the command itself, or the batch wrapping
+// it). If the instance later decides a different value — the stamp lost a
+// collision with a concurrent failover stamper or a gap fill — the mismatch
+// tells the ingress to restamp the retried request at a fresh slot.
+type ingressRec struct {
+	inst uint64
+	val  uint64
+}
 
 // Coordinator drives phase 2 of a shard's rounds. In single-coordinated
 // deployments (CoordsPerShard ≤ 1) it is the Classic Paxos leader: at most
@@ -92,6 +119,48 @@ type Coordinator struct {
 	// repairTarget is the highest live round learned from Stale rejections
 	// while repairing.
 	repairTarget ballot.Ballot
+
+	// --- server-side ingress sequencing (multicoordinated mode) ---
+	// Clients submit unsequenced proposals tagged (Client, Req); whichever
+	// group member they reach stamps the next free per-shard Seq and shares
+	// the stamped proposal with its peers, so the group keeps assigning
+	// identical instances without the client owning the sequence stream.
+
+	// IngressBatchMax/IngressBatchWait configure the per-shard ingress
+	// batcher: client submissions buffer at the stamping member and are
+	// packed into one batch command per sequence slot, so stamping does not
+	// serialize the hot path. Max < 2 stamps every submission individually.
+	IngressBatchMax  int
+	IngressBatchWait int64
+	// FillCmd, when set, constructs the canonical no-op for an instance the
+	// group is asked to fill (msg.Fill): every member derives the identical
+	// command, so a fill cannot collide with a concurrent fill. Nil
+	// disables filling.
+	FillCmd func(inst uint64) cstruct.Cmd
+	// ReqOf, when set, derives the ingress idempotency key a command's ID
+	// carries implicitly (hosts with a structured command-ID scheme). It
+	// lets a member index the constituents of a peer's batch stamp share —
+	// which goes untagged on the wire — so a client retry arriving after a
+	// failover maps to the already-stamped slot instead of restamping the
+	// command at a wasted second instance.
+	ReqOf func(cmd cstruct.Cmd) (client msg.NodeID, req uint64, ok bool)
+
+	// ingressNext is the next unassigned per-shard sequence number; every
+	// observed stamp (local or shared by a peer) advances it, so a failover
+	// stamper resumes the counter instead of colliding with past slots.
+	ingressNext uint64
+	byReq       map[reqKey]ingressRec
+	ing         *batch.Batcher
+	ingArmed    bool
+	// bufKeys/bufd track the (client, req) keys buffered in the open
+	// ingress batch, in arrival order, so the flush can bind them all to
+	// the stamped instance (and retries of buffered commands are absorbed).
+	bufKeys []reqKey
+	bufd    map[reqKey]bool
+
+	stamped   uint64 // sequence slots stamped at this member's ingress
+	restamped uint64 // client retries restamped after losing their slot
+	filled    uint64 // no-op fills adopted for stalled instances
 }
 
 var _ node.Handler = (*Coordinator)(nil)
@@ -108,6 +177,8 @@ func NewCoordinator(env node.Env, cfg Config) *Coordinator {
 		queued:    make(map[uint64]bool),
 		learned:   make(map[uint64]bool),
 		sent:      make(map[uint64]bool),
+		byReq:     make(map[reqKey]ingressRec),
+		bufd:      make(map[reqKey]bool),
 	}
 }
 
@@ -292,6 +363,8 @@ func (c *Coordinator) OnMessage(_ msg.NodeID, m msg.Message) {
 	case msg.P2b:
 		// Leaders may watch 2b traffic to garbage-collect retransmissions.
 		c.noteLearned(mm.Inst)
+	case msg.Fill:
+		c.onFill(mm)
 	}
 }
 
@@ -362,15 +435,33 @@ func (c *Coordinator) onPropose(mm msg.Propose) {
 }
 
 // onProposeMulti records a sequence-numbered proposal at its fixed instance
-// and forwards it within the window. Proposals without a sequence number
-// cannot be placed deterministically across the group and are dropped (the
-// proposer always stamps them).
+// and forwards it within the window. A proposal without a sequence number is
+// an unsequenced client submission: it is stamped at this member's ingress
+// (untagged unsequenced proposals cannot be placed deterministically across
+// the group and are dropped).
 func (c *Coordinator) onProposeMulti(mm msg.Propose) {
 	if !mm.HasSeq {
+		if mm.Client != 0 {
+			c.onIngress(mm)
+		}
 		return
 	}
+	// Every observed stamp advances the ingress counter, so this member can
+	// take over stamping without colliding with slots already claimed.
+	if mm.Seq >= c.ingressNext {
+		c.ingressNext = mm.Seq + 1
+	}
 	inst := c.seqInst(mm.Seq)
+	if mm.Client != 0 {
+		// A peer's stamp share carries the request key: record it so a
+		// client failing over to this member maps to the same slot.
+		c.recordReq(reqKey{mm.Client, mm.Req}, inst, mm.Cmd.ID)
+	}
 	if cmd, dup := c.proposals[inst]; dup {
+		if !cmd.Equal(mm.Cmd) && !c.learned[inst] {
+			c.converge(inst, mm.Cmd, cmd)
+			return
+		}
 		// Retransmitted proposal: refresh the in-flight 2a so a lost one is
 		// eventually replaced.
 		if c.leading && c.sent[inst] && !c.learned[inst] {
@@ -385,7 +476,289 @@ func (c *Coordinator) onProposeMulti(mm msg.Propose) {
 	if inst >= c.nextInst {
 		c.nextInst = inst + c.stride()
 	}
+	c.indexValue(inst, mm.Cmd)
 	c.trySend(inst)
+}
+
+// converge resolves a divergence between this member's value and a peer's
+// for one unlearned instance. Divergence arises when overlapping failover
+// stampers claim the same slot for different commands, or when a gap fill
+// races the real stamp — and it must not persist: members forwarding
+// different values collide at the acceptors forever (each promotion
+// re-establishes a round in which they re-forward the same split). Every
+// member applies the same total preference, so the group converges without
+// coordination: the real value beats the canonical fill no-op, ties break
+// toward the lower command ID.
+//
+// An acceptor's collision detection assumes a member forwards at most one
+// value per (instance, round) — two same-round accepts of different values
+// would otherwise become possible, breaking the pick rule's safety. So a
+// member that already forwarded the losing value in the current round adopts
+// the winner but converges through a fresh round instead of re-sending
+// within this one.
+func (c *Coordinator) converge(inst uint64, incoming, existing cstruct.Cmd) {
+	if !c.prefer(inst, incoming, existing) {
+		// Our value wins: re-share it so the peer adopts — it may have filled
+		// a no-op (or stamped a loser) because it never saw our stamp share.
+		c.shareStamp(inst, existing, 0, 0)
+		return
+	}
+	c.proposals[inst] = incoming
+	c.indexValue(inst, incoming)
+	if c.sent[inst] {
+		c.startRound(ballot.SingleScheme{}.Next(ballot.Max(c.attempt, c.crnd), uint32(c.env.ID())))
+		return
+	}
+	c.trySend(inst)
+}
+
+// prefer reports whether value a beats value b for an instance under the
+// group's fixed preference order.
+func (c *Coordinator) prefer(inst uint64, a, b cstruct.Cmd) bool {
+	if c.FillCmd != nil {
+		noop := c.FillCmd(inst)
+		if an, bn := a.Equal(noop), b.Equal(noop); an != bn {
+			return bn // the real value beats the fill no-op
+		}
+	}
+	return a.ID < b.ID
+}
+
+// indexValue records the ingress idempotency keys implied by a stamped
+// value's constituents (batch or lone command), so retried submissions map
+// to the slot no matter which group member they reach.
+func (c *Coordinator) indexValue(inst uint64, val cstruct.Cmd) {
+	if c.ReqOf == nil {
+		return
+	}
+	inner, isBatch := batch.UnpackMeta(val)
+	if !isBatch {
+		inner = []cstruct.Cmd{val}
+	}
+	for _, cc := range inner {
+		if client, req, ok := c.ReqOf(cc); ok {
+			c.recordReq(reqKey{client, req}, inst, val.ID)
+		}
+	}
+}
+
+// onIngress handles an unsequenced client submission: the server side of
+// sequence assignment. A request seen before maps to its recorded slot (the
+// 2a is refreshed and the stamp re-shared, covering lost messages); a fresh
+// request buffers in the ingress batch and is stamped on flush.
+func (c *Coordinator) onIngress(mm msg.Propose) {
+	k := reqKey{mm.Client, mm.Req}
+	if rec, ok := c.byReq[k]; ok {
+		if cmd, have := c.proposals[rec.inst]; have && cmd.ID == rec.val {
+			if !c.learned[rec.inst] {
+				if c.leading && c.sent[rec.inst] {
+					c.send2a(rec.inst, cmd)
+					c.armRetry()
+				} else {
+					c.trySend(rec.inst)
+				}
+				// Re-share the stamp: the retry may mean the original share
+				// was lost, leaving peers without the assignment.
+				c.shareStamp(rec.inst, cmd, mm.Client, mm.Req)
+			}
+			// Learned instances need nothing from the ingress: the client's
+			// replay probes re-elicit the reply from the learners' caches.
+			return
+		}
+		// The slot decided a different value (the stamp lost a collision
+		// with a concurrent failover stamper or a gap fill): restamp.
+		delete(c.byReq, k)
+		c.restamped++
+	}
+	if c.bufd[k] {
+		// A retry of a command still buffered: the client has waited out its
+		// retry interval, so the batch has sat too long — flush it now. This
+		// is the liveness backstop when no flush timer runs (size-only
+		// batching with a partial tail, or a lost timer tick).
+		c.ing.Flush()
+		return
+	}
+	c.bufd[k] = true
+	c.bufKeys = append(c.bufKeys, k)
+	if c.ing == nil {
+		c.ing = batch.NewBatcher(c.IngressBatchMax, c.IngressBatchWait, c.env.Now, c.stampFlush)
+	}
+	c.ing.Add(mm.Cmd)
+	c.armIngress()
+}
+
+// stampFlush binds one flushed ingress batch (or lone command) to the next
+// free sequence slot and launches it: record the assignment, forward the 2a
+// within the window, and share the stamped proposal with the group so every
+// member keeps assigning identical instances.
+func (c *Coordinator) stampFlush(cmd cstruct.Cmd) {
+	keys := c.bufKeys
+	c.bufKeys = nil
+	for _, k := range keys {
+		delete(c.bufd, k)
+	}
+	// Skip slots another stamper already claimed (observed via stamp shares
+	// or 2as after a failover overlap).
+	var inst uint64
+	for {
+		seq := c.ingressNext
+		c.ingressNext++
+		inst = c.seqInst(seq)
+		if _, occ := c.proposals[inst]; !occ && !c.learned[inst] {
+			break
+		}
+	}
+	for _, k := range keys {
+		c.recordReq(k, inst, cmd.ID)
+	}
+	c.stamped++
+	c.proposals[inst] = cmd
+	if inst >= c.nextInst {
+		c.nextInst = inst + c.stride()
+	}
+	c.trySend(inst)
+	var client msg.NodeID
+	var req uint64
+	if len(keys) == 1 {
+		// A lone command keeps its request key on the share, so peers learn
+		// the idempotent mapping too. Batch shares go untagged: peers absorb
+		// failover retries of their constituents by restamping (replicas
+		// dedup by command ID at apply time).
+		client, req = keys[0].client, keys[0].req
+	}
+	c.shareStamp(inst, cmd, client, req)
+}
+
+// shareStamp replicates a stamped proposal to the other group members.
+func (c *Coordinator) shareStamp(inst uint64, cmd cstruct.Cmd, client msg.NodeID, req uint64) {
+	m := msg.Propose{Cmd: cmd, Seq: inst / c.stride(), HasSeq: true, Client: client, Req: req}
+	for _, id := range c.cfg.ShardGroup(c.Shard) {
+		if id != c.env.ID() {
+			c.env.Send(id, m)
+		}
+	}
+}
+
+// recordReq remembers a request key's stamped slot, sweeping learned
+// entries once the map outgrows reqTrackMax.
+func (c *Coordinator) recordReq(k reqKey, inst uint64, val uint64) {
+	if len(c.byReq) >= reqTrackMax {
+		for kk, rec := range c.byReq {
+			if c.learned[rec.inst] {
+				delete(c.byReq, kk)
+			}
+		}
+	}
+	c.byReq[k] = ingressRec{inst: inst, val: val}
+}
+
+// armIngress schedules the time-triggered flush of a partial ingress batch.
+func (c *Coordinator) armIngress() {
+	if c.ingArmed || c.ing == nil {
+		return
+	}
+	if _, ok := c.ing.Deadline(); ok {
+		c.ingArmed = true
+		c.env.SetTimer(c.IngressBatchWait, timerIngress)
+	}
+}
+
+// IngressCounts reports the ingress stamping activity: sequence slots
+// stamped at this member, client retries restamped after losing their slot
+// to a collision, and no-op fills adopted for stalled instances.
+func (c *Coordinator) IngressCounts() (stamped, restamped, filled uint64) {
+	return c.stamped, c.restamped, c.filled
+}
+
+// onFill makes a stalled instance decidable on a learner's request: a known
+// proposal is retransmitted (covering a stamp whose 2as were all lost), an
+// unknown one is taken by the canonical no-op so a sequence slot orphaned by
+// a crashed stamper — or never reached because the shard went idle while
+// its peers advanced — cannot stall the merged order. Members that disagree
+// (one holds the real proposal, another fills no-op) converge on one value:
+// the holder re-shares the assignment on every Fill, and converge() prefers
+// the real value over the no-op, so the split cannot outlive a watch period.
+// A client command that loses its slot to a fill is restamped on retry.
+func (c *Coordinator) onFill(mm msg.Fill) {
+	if !c.owns(mm.Inst) || c.learned[mm.Inst] {
+		return
+	}
+	if cmd, ok := c.proposals[mm.Inst]; ok {
+		// Re-share the assignment first: a peer that missed the original
+		// stamp share would otherwise answer this same Fill with a no-op and
+		// the two values would collide at the acceptors.
+		c.shareStamp(mm.Inst, cmd, 0, 0)
+		if !c.leading {
+			return
+		}
+		if !c.multi() || c.sent[mm.Inst] {
+			c.send2a(mm.Inst, cmd)
+			c.armRetry()
+		} else {
+			c.trySend(mm.Inst)
+		}
+		return
+	}
+	if c.FillCmd == nil {
+		return
+	}
+	if c.multi() {
+		// Fill every local hole from the stalled instance through this
+		// member's frontier, not just the one: a crashed stamper may have
+		// orphaned many slots, and draining them one learner watch period at
+		// a time would crawl.
+		end := c.nextInst
+		if mm.Inst >= end {
+			end = mm.Inst + c.stride()
+		}
+		for inst := mm.Inst; inst < end; inst += c.stride() {
+			if c.learned[inst] {
+				continue
+			}
+			if _, ok := c.proposals[inst]; ok {
+				continue
+			}
+			if seq := inst / c.stride(); seq >= c.ingressNext {
+				c.ingressNext = seq + 1
+			}
+			cmd := c.FillCmd(inst)
+			c.proposals[inst] = cmd
+			if inst >= c.nextInst {
+				c.nextInst = inst + c.stride()
+			}
+			c.filled++
+			c.trySend(inst)
+		}
+		return
+	}
+	// Single-coordinated mode: only the leader binds values, but the same
+	// range fill applies — an idle shard's leader never claimed the slots its
+	// peers' progress made the merged order wait on, so the stalled instance
+	// sits at or above its frontier.
+	if !c.leading {
+		return
+	}
+	end := c.nextInst
+	if mm.Inst >= end {
+		end = mm.Inst + c.stride()
+	}
+	for inst := mm.Inst; inst < end; inst += c.stride() {
+		if c.learned[inst] {
+			continue
+		}
+		if _, ok := c.proposals[inst]; ok {
+			continue
+		}
+		cmd := c.FillCmd(inst)
+		c.proposals[inst] = cmd
+		if inst >= c.nextInst {
+			c.nextInst = inst + c.stride()
+		}
+		c.open++
+		c.filled++
+		c.send2a(inst, cmd)
+	}
+	c.armRetry()
 }
 
 // trySend forwards an assigned instance's 2a if the member is leading and
@@ -540,6 +913,7 @@ func (c *Coordinator) establish(r ballot.Ballot, byAcc map[msg.NodeID]msg.P1bMul
 				c.nextInst = inst + c.stride()
 			}
 			c.proposals[inst] = p.cmd
+			c.indexValue(inst, p.cmd)
 		}
 		c.sent = make(map[uint64]bool)
 		c.unsent = nil
@@ -613,6 +987,14 @@ func (c *Coordinator) armRetry() {
 // paper's answer to message loss (processes re-send their last message).
 // The timer quiesces once nothing is outstanding.
 func (c *Coordinator) OnTimer(tag int) {
+	if tag == timerIngress {
+		c.ingArmed = false
+		if c.ing != nil {
+			c.ing.Tick()
+			c.armIngress()
+		}
+		return
+	}
 	if tag != timerRetry || c.RetryEvery <= 0 {
 		return
 	}

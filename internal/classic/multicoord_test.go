@@ -230,6 +230,34 @@ func TestMulticoordCollisionPromotes(t *testing.T) {
 	}
 }
 
+// Two failover stampers claiming one sequence slot for different commands
+// must converge on a single value instead of colliding forever: promotion
+// alone only re-establishes rounds in which the members re-forward the same
+// split. Each member receives the other's stamp share, the group-wide
+// preference picks one winner (lower command ID), and the slot decides.
+func TestMulticoordDivergentStampsConverge(t *testing.T) {
+	cl := NewCluster(ClusterOpts{NAcceptors: 3, F: 1, Seed: 61, CoordsPerShard: 3, RetryEvery: 4})
+	cl.LeadAll()
+
+	// Members 0 and 1 each stamped a different command at seq 0 — the live
+	// analogue is two overlapping ingress stampers during a primary failover
+	// — and each then receives the other's stamp share.
+	x, y := mcCmd(901), mcCmd(902)
+	cl.Coords[0].OnMessage(cl.Cfg.Coords[0], msg.Propose{Cmd: x, Seq: 0, HasSeq: true})
+	cl.Coords[1].OnMessage(cl.Cfg.Coords[1], msg.Propose{Cmd: y, Seq: 0, HasSeq: true})
+	cl.Coords[0].OnMessage(cl.Cfg.Coords[1], msg.Propose{Cmd: y, Seq: 0, HasSeq: true})
+	cl.Coords[1].OnMessage(cl.Cfg.Coords[0], msg.Propose{Cmd: x, Seq: 0, HasSeq: true})
+	cl.Sim.Run()
+
+	got, ok := cl.LearnedCmds[0]
+	if !ok {
+		t.Fatal("instance 0 never decided: divergent stamps did not converge")
+	}
+	if got.ID != x.ID {
+		t.Fatalf("decided command %d, want the preference winner %d", got.ID, x.ID)
+	}
+}
+
 // A restarted group member has lost its volatile round state. Repair must
 // rebuild it by probing the acceptors — rejoining the live round exactly
 // (never outbidding it) with zero round changes — after which the member

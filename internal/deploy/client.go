@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"mcpaxos/internal/batch"
 	"mcpaxos/internal/classic"
 	"mcpaxos/internal/cstruct"
 	"mcpaxos/internal/msg"
@@ -54,31 +53,36 @@ type ClientStats struct {
 	// Proposed counts submitted commands; Resolved counts replies matched to
 	// a call; Failed counts calls that timed out.
 	Proposed, Resolved, Failed uint64
-	// Retries counts batch retransmissions (dropped connections, slow or
-	// crashed coordinators); Rotations counts quorum-window advances of the
-	// initial-send load balancer.
+	// Retries counts proposal retransmissions (dropped connections, slow or
+	// crashed coordinators); Rotations counts retries that failed over to a
+	// non-primary member of the shard's coordinator group.
 	Retries, Rotations uint64
 	// DupReplies counts replies dropped because another learner replica
 	// answered first — the duplicate-response suppression at work.
 	DupReplies uint64
-	// Noops counts shard-alignment skip commands the client injected to keep
-	// the merged order gap-free under skewed flush counts.
+	// Noops is retained for printer compatibility; the client no longer
+	// injects alignment no-ops (idle shards are filled server-side).
 	Noops uint64
-	// Abandoned counts batches whose calls failed at the deadline but whose
-	// proposals kept retransmitting (see abandon).
+	// Abandoned is retained for printer compatibility; sequence-slot
+	// liveness moved server-side with the ingress stamp, so a timed-out call
+	// simply stops retrying.
 	Abandoned uint64
 	// ReplayProbes counts retry rounds that also broadcast the proposal to
 	// the learners, soliciting cached replies for already-applied commands.
 	ReplayProbes uint64
 }
 
-// Client is the embeddable client of a deployment: it connects over TCP,
-// spreads proposals round-robin across the shards (batching each shard's
-// stream independently), load-balances each shard's coordinator group by
-// rotating the quorum-sized window the initial send targets, retries with
-// exponential backoff — falling back to the whole group, so a crashed or
-// unreachable coordinator is masked — and resolves each command's Call when
-// the first learner replica reports its apply result.
+// Client is the embeddable client of a deployment: it connects over TCP and
+// submits commands *unsequenced*, tagged (client, request counter) — the
+// shard's coordinator group assigns the sequence number at ingress, so any
+// number of Clients (and any number of goroutines per Client) share one
+// deployment without coordinating. Submissions spread round-robin across the
+// shards; each proposal initially targets the shard's primary stamper and
+// retries rotate through the group with exponential backoff, so a crashed or
+// unreachable coordinator is masked. The idempotency tag makes retries safe:
+// a re-received request maps to its already-stamped slot instead of a fresh
+// one. Each command's Call resolves when the first learner replica reports
+// its apply result.
 type Client struct {
 	id     msg.NodeID
 	net    *runtime.Network
@@ -124,12 +128,12 @@ func Dial(spec ClusterSpec, id uint32) (*Client, error) {
 	return c, nil
 }
 
-// Propose submits one command and returns its in-flight Call. A zero cmd.ID
-// is stamped with the client's identity and submission counter — required
-// for reply correlation; callers supplying their own IDs must use the same
-// scheme (see cmdID) or forgo replies. Submission is asynchronous: the
-// command travels through the client's mailbox, so a burst of proposals
-// never blocks behind the protocol traffic it generates.
+// Propose submits one command and returns its in-flight Call. Safe for
+// concurrent use: any number of goroutines may propose at once — the ID
+// stamp is atomic and submission travels through the client's mailbox. A
+// zero cmd.ID is stamped with the client's identity and submission counter —
+// required for reply correlation and retry idempotency; callers supplying
+// their own IDs must use the same scheme (see cmdID) or forgo replies.
 func (c *Client) Propose(cmd cstruct.Cmd) *Call {
 	if cmd.ID == 0 {
 		cmd.ID = cmdID(c.id, c.h.seq.Add(1)-1)
@@ -142,7 +146,7 @@ func (c *Client) Propose(cmd cstruct.Cmd) *Call {
 		close(call.done)
 		return call
 	}
-	c.agent.Inject(c.id, proposeMsg{cmd: cmd, call: call})
+	c.agent.Inject(c.id, proposeMsg{Propose: msg.Propose{Cmd: cmd}, call: call})
 	return call
 }
 
@@ -163,20 +167,14 @@ func (c *Client) Get(key string) *Call {
 	return c.Propose(smr.GetCmd(0, key))
 }
 
-// Flush submits every partially filled batch immediately instead of waiting
-// for size or BatchWait, then aligns the shard streams (no-op padding) so
-// the merged order cannot stall on a never-proposed instance.
-func (c *Client) Flush() {
-	c.agent.Do(func(node.Handler) {
-		c.h.router.FlushAll()
-		c.h.alignShards()
-	})
-}
+// Flush is retained for API compatibility: submissions are forwarded as they
+// arrive and batching happens server-side at the ingress stamper, so there
+// is no client-side stream to flush.
+func (c *Client) Flush() {}
 
-// Wait flushes and blocks until every given call resolves or the timeout
-// elapses; it returns the first call error, if any.
+// Wait blocks until every given call resolves or the timeout elapses; it
+// returns the first call error, if any.
 func (c *Client) Wait(calls []*Call, timeout time.Duration) error {
-	c.Flush()
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	var firstErr error
@@ -214,41 +212,28 @@ func (c *Client) Close() error {
 }
 
 // Client timer tags.
-const (
-	tagClientRetry = 1
-	tagClientFlush = 2
-)
+const tagClientRetry = 1
 
-// proposeMsg carries one submission through the client's mailbox (it never
-// crosses the wire).
+// proposeMsg carries one submission through the client's mailbox. It wraps
+// the real wire message — Type and Instance report the embedded proposal's —
+// but never crosses the wire itself: the handler fills in the ingress tag
+// and routes it.
 type proposeMsg struct {
-	cmd  cstruct.Cmd
+	msg.Propose
 	call *Call
 }
 
-// Type implements msg.Message.
-func (proposeMsg) Type() msg.Type { return msg.TUnknown }
-
-// Instance implements msg.Message.
-func (proposeMsg) Instance() uint64 { return 0 }
-
-// pendingBatch is one flushed batch (or lone command) awaiting replies for
-// its constituents; retries resend the identical command under the identical
-// per-shard sequence number, so every coordinator group member keeps the
-// same instance placement.
-type pendingBatch struct {
+// pendingCmd is one unresolved proposal's retry state. The client retries
+// the identical tagged submission; the ingress idempotency key (client, req)
+// maps every re-receipt to the already-stamped slot, so retrying is safe no
+// matter how many group members see it.
+type pendingCmd struct {
 	shard    int
-	seq      uint64
+	req      uint64
 	cmd      cstruct.Cmd
-	waiting  int
 	attempts int
 	next     int64 // env time of the next retry
-	deadline int64 // env time at which the batch's calls fail
-	// abandoned marks a batch whose calls already failed at the deadline but
-	// whose proposal must keep retransmitting: its sequence number owns an
-	// instance in the shard's stream, and a slot no proposal ever fills
-	// again would wedge the merged order for every learner.
-	abandoned bool
+	deadline int64 // env time at which the call fails
 }
 
 // clientHandler is the protocol-facing half of the Client. It runs on the
@@ -259,21 +244,17 @@ type clientHandler struct {
 	cfg  classic.Config
 	spec ClusterSpec
 
-	router *batch.Router
-	// seq is the command-ID stamp counter. It is atomic because Propose
-	// stamps on the caller's goroutine while alignShards stamps no-ops on
-	// the mailbox goroutine.
+	// seq is the command-ID stamp counter; atomic because Propose stamps on
+	// the caller's goroutine — any number of them concurrently.
 	seq atomic.Uint64
 
-	calls   map[uint64]*Call         // inner command ID → call
-	batchOf map[uint64]uint64        // inner command ID → flushed cmd ID
-	pend    map[uint64]*pendingBatch // flushed cmd ID → retry state
-	rr      []int                    // per-shard rotation cursor of the initial-send window
+	calls map[uint64]*Call       // command ID → call
+	pend  map[uint64]*pendingCmd // command ID → retry state
+	rr    uint64                 // shard rotation cursor
 
 	retryEvery   int64
 	timeoutTicks int64
 	retryArmed   bool
-	flushArmed   bool
 	stats        ClientStats
 }
 
@@ -281,17 +262,13 @@ var _ node.Handler = (*clientHandler)(nil)
 var _ node.TimerHandler = (*clientHandler)(nil)
 
 func newClientHandler(env node.Env, cfg classic.Config, spec ClusterSpec) *clientHandler {
-	h := &clientHandler{
+	return &clientHandler{
 		env: env, cfg: cfg, spec: spec,
 		calls:        make(map[uint64]*Call),
-		batchOf:      make(map[uint64]uint64),
-		pend:         make(map[uint64]*pendingBatch),
-		rr:           make([]int, cfg.NShards()),
+		pend:         make(map[uint64]*pendingCmd),
 		retryEvery:   spec.retryTicks(),
 		timeoutTicks: spec.timeoutTicks(),
 	}
-	h.router = batch.NewRouter(cfg.NShards(), spec.batchMax(), spec.batchWaitTicks(), env.Now, h.submit)
-	return h
 }
 
 // propose stamps, registers and routes one command from the mailbox
@@ -305,12 +282,13 @@ func (h *clientHandler) propose(cmd cstruct.Cmd) *Call {
 	return call
 }
 
-// proposeCall registers and routes one stamped command.
+// proposeCall registers one stamped command and sends its initial tagged,
+// unsequenced proposal.
 func (h *clientHandler) proposeCall(cmd cstruct.Cmd, call *Call) {
 	if cmd.Key == noopKey {
 		// The skip key is the deploy layer's own vocabulary: a user command
 		// carrying it would be silently discarded at apply time.
-		call.err, call.end = fmt.Errorf("deploy: key %q is reserved for shard-alignment no-ops", noopKey), time.Now()
+		call.err, call.end = fmt.Errorf("deploy: key %q is reserved for fill no-ops", noopKey), time.Now()
 		close(call.done)
 		return
 	}
@@ -324,76 +302,58 @@ func (h *clientHandler) proposeCall(cmd cstruct.Cmd, call *Call) {
 	}
 	h.calls[cmd.ID] = call
 	h.stats.Proposed++
-	h.router.Route(cmd)
-	if wait := h.spec.batchWaitTicks(); wait > 0 && h.router.Pending() > 0 && !h.flushArmed {
-		h.flushArmed = true
-		h.env.SetTimer(wait, tagClientFlush)
-	}
-}
-
-// submit receives each flushed batch from the router and sends it to the
-// shard's initial-target window.
-func (h *clientHandler) submit(shard int, seq uint64, cmd cstruct.Cmd) {
-	// Keys-only unpack: retry bookkeeping needs the constituent IDs, not
-	// copies of their payloads.
-	inner, isBatch := batch.UnpackMeta(cmd)
-	if !isBatch {
-		inner = []cstruct.Cmd{cmd}
-	}
-	b := &pendingBatch{
-		shard: shard, seq: seq, cmd: cmd,
+	shard := int(h.rr % uint64(h.cfg.NShards()))
+	h.rr++
+	p := &pendingCmd{
+		shard: shard,
+		// The request counter is the sub-client part of the command ID: for
+		// stamped IDs that is exactly the submission counter, unique per
+		// client, making (client, req) a sound ingress idempotency key.
+		req: cmd.ID & (1<<clientShift - 1),
+		cmd: cmd,
 		// The first retry waits twice the base interval: under a burst the
 		// end-to-end reply time legitimately exceeds one interval, and a
-		// premature full-group rebroadcast only adds to the load it is
-		// waiting out.
+		// premature retransmission only adds to the load it is waiting out.
 		next:     h.env.Now() + 2*h.retryEvery,
 		deadline: h.env.Now() + h.timeoutTicks,
 	}
-	for _, c := range inner {
-		if _, tracked := h.calls[c.ID]; tracked {
-			h.batchOf[c.ID] = cmd.ID
-			b.waiting++
-		}
-	}
-	h.pend[cmd.ID] = b
-	node.Broadcast(h.env, h.targets(shard, 0), msg.Propose{Cmd: cmd, Seq: seq, HasSeq: true})
+	h.pend[cmd.ID] = p
+	h.send(p)
 	h.armRetry()
 }
 
-// targets picks where a batch goes. The initial send of a multicoordinated
-// shard load-balances: a quorum-sized window of the group, rotated per
-// flush, is enough for acceptors to gather ⌊c/2⌋+1 matching 2as while
-// spreading forwarding work across the members (the paper's Section 4.1
-// load-balance lever applied to coordinator quorums). Retries broadcast to
-// the whole group — any live quorum of members masks the rest.
-// Single-coordinated shards always target the primary plus its standbys.
+// send transmits one tagged, unsequenced proposal to its current targets.
+func (h *clientHandler) send(p *pendingCmd) {
+	node.Broadcast(h.env, h.targets(p.shard, p.attempts),
+		msg.Propose{Cmd: p.cmd, Client: h.env.ID(), Req: p.req})
+}
+
+// targets picks where a proposal goes. Multicoordinated shards funnel the
+// initial send to the group's first member — the shard's primary stamper:
+// one stamper at a time keeps concurrent submissions from colliding over
+// sequence slots, and stamping is cheap enough not to need the Section 4.1
+// load-balance lever. Retries rotate through the group one member at a
+// time, so a dead primary is failed over without fanning a retry burst into
+// multiple simultaneous stampers. Single-coordinated shards always target
+// the primary plus its standbys (only the leader assigns; duplicates dedup
+// by command ID).
 func (h *clientHandler) targets(shard, attempt int) []msg.NodeID {
 	if !h.cfg.Multicoordinated() {
 		return h.cfg.ShardCoords(shard)
 	}
 	group := h.cfg.ShardGroup(shard)
-	if attempt > 0 {
-		return group
+	i := attempt % len(group)
+	if i != 0 {
+		h.stats.Rotations++
 	}
-	q := h.cfg.CoordQuorumSize(shard)
-	if q >= len(group) {
-		return group
-	}
-	start := h.rr[shard]
-	h.rr[shard] = (start + 1) % len(group)
-	h.stats.Rotations++
-	out := make([]msg.NodeID, 0, q)
-	for i := 0; i < q; i++ {
-		out = append(out, group[(start+i)%len(group)])
-	}
-	return out
+	return group[i : i+1]
 }
 
 // OnMessage implements node.Handler: submissions are routed, replies resolve
 // calls; everything else is ignored.
 func (h *clientHandler) OnMessage(_ msg.NodeID, m msg.Message) {
 	if pm, ok := m.(proposeMsg); ok {
-		h.proposeCall(pm.cmd, pm.call)
+		h.proposeCall(pm.Cmd, pm.call)
 		return
 	}
 	mm, ok := m.(msg.Reply)
@@ -403,180 +363,81 @@ func (h *clientHandler) OnMessage(_ msg.NodeID, m msg.Message) {
 	call, ok := h.calls[mm.CmdID]
 	if !ok {
 		h.stats.DupReplies++
-		// A late reply for an abandoned call still settles its batch, so
-		// the retransmission of a decided slot stops.
-		h.settle(mm.CmdID)
 		return
 	}
 	delete(h.calls, mm.CmdID)
+	delete(h.pend, mm.CmdID)
 	h.stats.Resolved++
 	call.result, call.end = mm.Result, time.Now()
 	close(call.done)
-	h.settle(mm.CmdID)
 }
 
-// settle removes a resolved command from its batch's waiting count,
-// retiring the batch once every constituent has answered.
-func (h *clientHandler) settle(cmdID uint64) {
-	bid, ok := h.batchOf[cmdID]
-	if !ok {
-		return
-	}
-	delete(h.batchOf, cmdID)
-	b, ok := h.pend[bid]
-	if !ok {
-		return
-	}
-	if b.waiting--; b.waiting <= 0 {
-		delete(h.pend, bid)
-	}
-}
-
-// OnTimer implements node.TimerHandler: due batches are retransmitted to the
-// whole coordinator group with exponential backoff; batches past their
-// deadline fail their remaining calls but keep retransmitting until their
-// slots are known decided (see abandon).
+// OnTimer implements node.TimerHandler: due proposals are retransmitted with
+// exponential backoff; proposals past their deadline fail their calls and
+// stop — sequence-slot liveness is the ingress stamper's problem now, so an
+// abandoned command leaves no hole for the learners to stall on.
 func (h *clientHandler) OnTimer(tag int) {
-	switch tag {
-	case tagClientFlush:
-		h.flushArmed = false
-		h.router.Tick()
-		h.alignShards()
-		if h.spec.batchWaitTicks() > 0 && h.router.Pending() > 0 {
-			h.flushArmed = true
-			h.env.SetTimer(1, tagClientFlush)
-		}
-		return
-	case tagClientRetry:
-		h.retryArmed = false
-		now := h.env.Now()
-		// Deterministic retry order (map iteration is not).
-		ids := make([]uint64, 0, len(h.pend))
-		for id := range h.pend {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			b := h.pend[id]
-			if !b.abandoned && now >= b.deadline {
-				h.abandon(id, b, fmt.Errorf("deploy: no reply for command %d after %d attempts", id, b.attempts+1))
-			}
-			if now < b.next {
-				continue
-			}
-			b.attempts++
-			h.stats.Retries++
-			backoff := h.retryEvery << uint(min(b.attempts, 5))
-			b.next = now + backoff
-			node.Broadcast(h.env, h.targets(b.shard, b.attempts),
-				msg.Propose{Cmd: b.cmd, Seq: b.seq, HasSeq: true})
-			if b.attempts >= 2 {
-				// The command may already be applied with every reply frame
-				// lost — the consensus path deduplicates it and never
-				// replies again. Probe the learners' replay caches too.
-				node.Broadcast(h.env, h.cfg.Learners,
-					msg.Propose{Cmd: b.cmd, Seq: b.seq, HasSeq: true})
-				h.stats.ReplayProbes++
-			}
-		}
-		h.armRetry()
-	}
-}
-
-// alignShards pads lagging, idle shards with no-op commands until every
-// shard's flushed sequence count matches the leader's: each shard's stream
-// then covers the same sequence numbers, so the merged instance order has no
-// gap that no proposal will ever fill (one slow or time-flushed shard would
-// otherwise stall delivery forever — the Mencius skip problem). No-ops are
-// client-stamped and tracked like any proposal, so a lost skip is retried
-// through the same coordinator-group path and is itself crash-masked;
-// learner replicas acknowledge and discard them.
-func (h *clientHandler) alignShards() {
-	if h.cfg.NShards() < 2 {
+	if tag != tagClientRetry {
 		return
 	}
-	for {
-		seqs := h.router.Seqs()
-		var hi uint64
-		for _, s := range seqs {
-			if s > hi {
-				hi = s
-			}
-		}
-		padded := false
-		for k, s := range seqs {
-			if s < hi && h.router.PendingShard(k) == 0 {
-				cmd := cstruct.Cmd{ID: cmdID(h.env.ID(), h.seq.Add(1)-1), Key: noopKey, Op: cstruct.OpWrite}
-				// Tracked like a user call so the retry/settlement machinery
-				// covers the skip, but never handed out.
-				h.calls[cmd.ID] = &Call{ID: cmd.ID, done: make(chan struct{}), start: time.Now()}
-				h.stats.Noops++
-				h.router.RouteTo(k, cmd)
-				padded = true
-			}
-		}
-		if !padded {
-			return
-		}
-		h.router.FlushAll()
+	h.retryArmed = false
+	now := h.env.Now()
+	// Deterministic retry order (map iteration is not).
+	ids := make([]uint64, 0, len(h.pend))
+	for id := range h.pend {
+		ids = append(ids, id)
 	}
-}
-
-// abandon fails a batch's outstanding calls at the deadline but keeps the
-// batch itself retransmitting until its replies prove the slot decided. The
-// callers get the standard at-most-once ambiguity (the command may yet
-// apply); the shard stream gets the guarantee it actually needs — every
-// claimed sequence number is eventually proposed until filled, so a client
-// timeout can never leave a permanent gap that stalls apply for everyone.
-func (h *clientHandler) abandon(bid uint64, b *pendingBatch, err error) {
-	inner, isBatch := batch.UnpackMeta(b.cmd)
-	if !isBatch {
-		inner = []cstruct.Cmd{b.cmd}
-	}
-	for _, c := range inner {
-		call, ok := h.calls[c.ID]
-		if !ok {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := h.pend[id]
+		if now >= p.deadline {
+			h.failCmd(id, fmt.Errorf("deploy: no reply for command %d after %d attempts", id, p.attempts+1))
 			continue
 		}
-		delete(h.calls, c.ID)
-		h.stats.Failed++
-		call.err, call.end = err, time.Now()
-		close(call.done)
-	}
-	b.abandoned = true
-	h.stats.Abandoned++
-}
-
-// fail resolves every unanswered call of a batch with err and retires it.
-func (h *clientHandler) fail(bid uint64, b *pendingBatch, err error) {
-	inner, isBatch := batch.UnpackMeta(b.cmd)
-	if !isBatch {
-		inner = []cstruct.Cmd{b.cmd}
-	}
-	for _, c := range inner {
-		call, ok := h.calls[c.ID]
-		if !ok {
+		if now < p.next {
 			continue
 		}
-		delete(h.calls, c.ID)
-		delete(h.batchOf, c.ID)
-		h.stats.Failed++
-		call.err, call.end = err, time.Now()
-		close(call.done)
+		p.attempts++
+		h.stats.Retries++
+		backoff := h.retryEvery << uint(min(p.attempts, 5))
+		p.next = now + backoff
+		h.send(p)
+		if p.attempts >= 2 {
+			// The command may already be applied with every reply frame
+			// lost — the ingress dedups it and the consensus path never
+			// replies again. Probe the learners' replay caches too.
+			node.Broadcast(h.env, h.cfg.Learners,
+				msg.Propose{Cmd: p.cmd, Client: h.env.ID(), Req: p.req})
+			h.stats.ReplayProbes++
+		}
 	}
-	delete(h.pend, bid)
+	h.armRetry()
+}
+
+// failCmd resolves one command's call with err and stops retrying it.
+func (h *clientHandler) failCmd(id uint64, err error) {
+	delete(h.pend, id)
+	call, ok := h.calls[id]
+	if !ok {
+		return
+	}
+	delete(h.calls, id)
+	h.stats.Failed++
+	call.err, call.end = err, time.Now()
+	close(call.done)
 }
 
 // failAll fails every in-flight call (client shutdown).
 func (h *clientHandler) failAll(err error) {
-	for bid, b := range h.pend {
-		h.fail(bid, b, err)
-	}
 	for id, call := range h.calls {
 		delete(h.calls, id)
+		delete(h.pend, id)
 		h.stats.Failed++
 		call.err, call.end = err, time.Now()
 		close(call.done)
+	}
+	for id := range h.pend {
+		delete(h.pend, id)
 	}
 }
 

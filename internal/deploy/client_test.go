@@ -7,7 +7,6 @@ import (
 	"mcpaxos/internal/cstruct"
 	"mcpaxos/internal/msg"
 	"mcpaxos/internal/node"
-	"mcpaxos/internal/smr"
 )
 
 // fakeEnv drives a clientHandler deterministically: sends are recorded,
@@ -38,8 +37,8 @@ func (e *fakeEnv) SetTimer(d int64, tag int) {
 	e.timers = append(e.timers, fakeTimer{at: e.now + d, tag: tag})
 }
 
-// proposeTargets returns the distinct destinations of the Propose messages
-// sent since index from.
+// proposeTargets returns the destinations of the Propose messages sent since
+// index from.
 func proposeTargets(sent []fakeSent, from int) []msg.NodeID {
 	var out []msg.NodeID
 	for _, s := range sent[from:] {
@@ -50,24 +49,21 @@ func proposeTargets(sent []fakeSent, from int) []msg.NodeID {
 	return out
 }
 
-// multiSpec is a 1-shard spec with a coordinator group of three, batching
-// disabled so every propose flushes immediately.
+// concreteAddrs gives every node a concrete address so config() accepts the
+// spec; the fake env never dials them.
+func concreteAddrs(spec *ClusterSpec) {
+	for _, group := range []*[]NodeSpec{&spec.Coords, &spec.Acceptors, &spec.Learners, &spec.Clients} {
+		for i := range *group {
+			(*group)[i].Addr = "127.0.0.1:1"
+		}
+	}
+}
+
+// multiSpec is a 1-shard spec with a coordinator group of three.
 func multiSpec(t *testing.T) (ClusterSpec, *clientHandler, *fakeEnv) {
 	t.Helper()
 	spec := LocalSpec(1, 3, 3, 1, 1)
-	spec.BatchMax = 1
-	for i := range spec.Coords {
-		spec.Coords[i].Addr = "127.0.0.1:1" // concrete, never dialed by the fake env
-	}
-	for i := range spec.Acceptors {
-		spec.Acceptors[i].Addr = "127.0.0.1:1"
-	}
-	for i := range spec.Learners {
-		spec.Learners[i].Addr = "127.0.0.1:1"
-	}
-	for i := range spec.Clients {
-		spec.Clients[i].Addr = "127.0.0.1:1"
-	}
+	concreteAddrs(&spec)
 	cfg, err := spec.config()
 	if err != nil {
 		t.Fatalf("config: %v", err)
@@ -96,67 +92,82 @@ func equalIDs(a, b []msg.NodeID) bool {
 	return true
 }
 
-// TestClientRotation: successive initial sends of a multicoordinated shard
-// rotate a quorum-sized window across the group, spreading forwarding work.
-func TestClientRotation(t *testing.T) {
+// TestClientPrimaryFunnel: every initial send of a multicoordinated shard
+// targets the group's first member — the shard's primary stamper — and
+// carries an unsequenced proposal tagged with the client's identity and
+// request counter. Funneling keeps one stamper at a time, so concurrent
+// submissions never race over sequence slots.
+func TestClientPrimaryFunnel(t *testing.T) {
 	spec, h, env := multiSpec(t)
 	group := ids(spec.Coords) // 1 shard: the group is the first 3 coords
-	want := [][]msg.NodeID{
-		{group[0], group[1]},
-		{group[1], group[2]},
-		{group[2], group[0]},
-		{group[0], group[1]},
-	}
-	for i, w := range want {
+	var reqs []uint64
+	for i := 0; i < 4; i++ {
 		mark := len(env.sent)
 		h.propose(cstruct.Cmd{Key: "k", Op: cstruct.OpWrite})
 		got := proposeTargets(env.sent, mark)
-		if !equalIDs(got, w) {
-			t.Fatalf("propose %d targeted %v, want %v", i, got, w)
+		if !equalIDs(got, []msg.NodeID{group[0]}) {
+			t.Fatalf("propose %d targeted %v, want the primary %v alone", i, got, group[0])
+		}
+		p := env.sent[len(env.sent)-1].m.(msg.Propose)
+		if p.HasSeq {
+			t.Fatalf("client stamped a sequence number itself: %+v", p)
+		}
+		if p.Client != h.env.ID() {
+			t.Fatalf("proposal tagged client %v, want %v", p.Client, h.env.ID())
+		}
+		reqs = append(reqs, p.Req)
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i] == reqs[i-1] {
+			t.Fatalf("request counters not distinct: %v", reqs)
 		}
 	}
-	if h.stats.Rotations != 4 {
-		t.Fatalf("rotations = %d, want 4", h.stats.Rotations)
+	if h.stats.Rotations != 0 {
+		t.Fatalf("rotations = %d, want 0 (initial sends never rotate)", h.stats.Rotations)
 	}
 }
 
-// TestClientRetryBroadcastsGroup: an unanswered proposal is retransmitted to
-// the whole coordinator group with exponential backoff — the path that masks
-// a crashed or unreachable window member.
-func TestClientRetryBroadcastsGroup(t *testing.T) {
+// TestClientRetryRotatesGroup: an unanswered proposal fails over one group
+// member at a time with exponential backoff — masking a crashed primary
+// without fanning a retry burst into several simultaneous stampers — and
+// every retry carries the identical idempotency tag, so whichever member
+// receives it maps it to the same stamped slot.
+func TestClientRetryRotatesGroup(t *testing.T) {
 	spec, h, env := multiSpec(t)
 	group := ids(spec.Coords)
 	h.propose(cstruct.Cmd{Key: "k", Op: cstruct.OpWrite})
-	if n := len(proposeTargets(env.sent, 0)); n != 2 {
-		t.Fatalf("initial send reached %d coordinators, want the quorum window of 2", n)
+	if got := proposeTargets(env.sent, 0); !equalIDs(got, []msg.NodeID{group[0]}) {
+		t.Fatalf("initial send targeted %v, want the primary alone", got)
 	}
 
 	// First retry: due after twice the base interval (bursts pay one full
-	// round trip before the client assumes loss), to all three members.
+	// round trip before the client assumes loss), failing over to the next
+	// member.
 	env.now += 2 * h.retryEvery
 	mark := len(env.sent)
 	h.OnTimer(tagClientRetry)
-	if got := proposeTargets(env.sent, mark); !equalIDs(got, group) {
-		t.Fatalf("retry 1 targeted %v, want the whole group %v", got, group)
+	if got := proposeTargets(env.sent, mark); !equalIDs(got, []msg.NodeID{group[1]}) {
+		t.Fatalf("retry 1 targeted %v, want the next member %v", got, group[1])
 	}
-	if h.stats.Retries != 1 {
-		t.Fatalf("retries = %d, want 1", h.stats.Retries)
+	if h.stats.Retries != 1 || h.stats.Rotations != 1 {
+		t.Fatalf("retries = %d rotations = %d, want 1 and 1", h.stats.Retries, h.stats.Rotations)
 	}
 
-	// The retransmission carries the same sequence number: group members
-	// must keep the same instance placement.
-	var seqs []uint64
+	// Every transmission carries the same (client, request) tag and no
+	// sequence number: the ingress idempotency key must be stable across
+	// retries or a failover would stamp the command twice.
+	var tags [][2]uint64
 	for _, s := range env.sent {
 		if p, ok := s.m.(msg.Propose); ok {
-			if !p.HasSeq {
-				t.Fatalf("proposal without sequence number: %+v", p)
+			if p.HasSeq {
+				t.Fatalf("retry carried a client-stamped sequence number: %+v", p)
 			}
-			seqs = append(seqs, p.Seq)
+			tags = append(tags, [2]uint64{uint64(p.Client), p.Req})
 		}
 	}
-	for _, q := range seqs {
-		if q != seqs[0] {
-			t.Fatalf("retry changed the sequence number: %v", seqs)
+	for _, tag := range tags {
+		if tag != tags[0] {
+			t.Fatalf("retry changed the idempotency tag: %v", tags)
 		}
 	}
 
@@ -171,12 +182,36 @@ func TestClientRetryBroadcastsGroup(t *testing.T) {
 	// command may already be applied with every reply frame lost).
 	env.now += 2 * h.retryEvery
 	h.OnTimer(tagClientRetry)
-	want := append(append([]msg.NodeID(nil), group...), ids(spec.Learners)...)
+	want := append([]msg.NodeID{group[2]}, ids(spec.Learners)...)
 	if got := proposeTargets(env.sent, mark); !equalIDs(got, want) {
 		t.Fatalf("backed-off retry targeted %v, want %v", got, want)
 	}
 	if h.stats.ReplayProbes != 1 {
 		t.Fatalf("replay probes = %d, want 1", h.stats.ReplayProbes)
+	}
+}
+
+// TestClientShardRoundRobin: successive submissions spread across the
+// shards, each to its own group's primary.
+func TestClientShardRoundRobin(t *testing.T) {
+	spec := LocalSpec(2, 3, 3, 1, 1)
+	concreteAddrs(&spec)
+	cfg, err := spec.config()
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	env := &fakeEnv{id: msg.NodeID(spec.Clients[0].ID)}
+	h := newClientHandler(env, cfg, spec)
+	want := []msg.NodeID{
+		cfg.ShardGroup(0)[0], cfg.ShardGroup(1)[0],
+		cfg.ShardGroup(0)[0], cfg.ShardGroup(1)[0],
+	}
+	for i, w := range want {
+		mark := len(env.sent)
+		h.propose(cstruct.Cmd{Key: "k", Op: cstruct.OpWrite})
+		if got := proposeTargets(env.sent, mark); !equalIDs(got, []msg.NodeID{w}) {
+			t.Fatalf("propose %d targeted %v, want shard primary %v", i, got, w)
+		}
 	}
 }
 
@@ -199,47 +234,17 @@ func TestClientDuplicateReplySuppression(t *testing.T) {
 	if h.stats.DupReplies != 1 || h.stats.Resolved != 1 {
 		t.Fatalf("stats = %+v, want 1 resolved, 1 duplicate", h.stats)
 	}
-	if len(h.pend) != 0 || len(h.calls) != 0 || len(h.batchOf) != 0 {
-		t.Fatalf("client retained state after settlement: pend=%d calls=%d batchOf=%d",
-			len(h.pend), len(h.calls), len(h.batchOf))
-	}
-}
-
-// TestClientBatchSettlement: a batch retires only once every constituent has
-// been answered, and each constituent resolves with its own result.
-func TestClientBatchSettlement(t *testing.T) {
-	spec, h, _ := multiSpec(t)
-	spec.BatchMax = 2
-	cfg, _ := spec.config()
-	env := &fakeEnv{id: msg.NodeID(spec.Clients[0].ID)}
-	h = newClientHandler(env, cfg, spec)
-
-	a := h.propose(smr.SetCmd(0, "a", "1"))
-	b := h.propose(smr.SetCmd(0, "b", "2"))
-	if len(h.pend) != 1 {
-		t.Fatalf("pend = %d batches, want 1 (both commands in one batch)", len(h.pend))
-	}
-	h.OnMessage(300, msg.Reply{CmdID: a.ID, From: 300, Result: "ra"})
-	if len(h.pend) != 1 {
-		t.Fatal("batch retired with a constituent still unanswered")
-	}
-	h.OnMessage(300, msg.Reply{CmdID: b.ID, From: 300, Result: "rb"})
-	if len(h.pend) != 0 {
-		t.Fatal("batch not retired after every constituent answered")
-	}
-	if ra, _ := a.Result(); ra != "ra" {
-		t.Fatalf("a resolved to %q", ra)
-	}
-	if rb, _ := b.Result(); rb != "rb" {
-		t.Fatalf("b resolved to %q", rb)
+	if len(h.pend) != 0 || len(h.calls) != 0 {
+		t.Fatalf("client retained state after settlement: pend=%d calls=%d",
+			len(h.pend), len(h.calls))
 	}
 }
 
 // TestClientRequestTimeout: a proposal that never draws a reply fails after
-// RequestTimeout with the attempt count in the error — but its batch keeps
-// retransmitting: the claimed sequence number owns a fixed instance in the
-// shard stream, and dropping it would leave a gap no proposal ever fills,
-// wedging apply on every learner. A late reply retires the abandoned batch.
+// RequestTimeout with the attempt count in the error and stops retrying —
+// sequence-slot liveness moved server-side with the ingress stamp, so an
+// unstamped command abandons cleanly and a stamped one is the coordinator
+// group's to finish.
 func TestClientRequestTimeout(t *testing.T) {
 	_, h, env := multiSpec(t)
 	call := h.propose(cstruct.Cmd{Key: "k", Op: cstruct.OpWrite})
@@ -256,53 +261,40 @@ func TestClientRequestTimeout(t *testing.T) {
 	if h.stats.Failed != 1 {
 		t.Fatalf("failed = %d, want 1", h.stats.Failed)
 	}
-	if len(h.calls) != 0 {
-		t.Fatal("failed call left call state behind")
+	if len(h.calls) != 0 || len(h.pend) != 0 {
+		t.Fatalf("failed call left state behind: calls=%d pend=%d", len(h.calls), len(h.pend))
 	}
-	if len(h.pend) != 1 {
-		t.Fatal("abandoned batch must keep retransmitting until its slot decides")
-	}
-	// Retransmission continues past the deadline...
+	// No zombie retransmissions after the failure.
 	before := h.stats.Retries
 	env.now += h.retryEvery << 6
 	h.OnTimer(tagClientRetry)
-	if h.stats.Retries <= before {
-		t.Fatal("abandoned batch stopped retransmitting")
-	}
-	// ...until a (late) reply proves the slot decided.
-	h.OnMessage(300, msg.Reply{CmdID: call.ID, From: 300, Result: "late"})
-	if len(h.pend) != 0 {
-		t.Fatal("late reply did not retire the abandoned batch")
+	if h.stats.Retries != before {
+		t.Fatal("timed-out command kept retransmitting")
 	}
 }
 
 // TestClientSingleCoordinatedTargets: without coordinator groups the client
 // targets the shard's primary and standbys on every attempt (the failover
-// route), never a rotating window.
+// route), never a single rotating member.
 func TestClientSingleCoordinatedTargets(t *testing.T) {
 	spec := LocalSpec(2, 1, 3, 1, 1)
-	spec.BatchMax = 1
 	// Two standby coordinators beyond the two primaries.
 	spec.Coords = append(spec.Coords, NodeSpec{ID: 110}, NodeSpec{ID: 111})
-	for _, group := range []*[]NodeSpec{&spec.Coords, &spec.Acceptors, &spec.Learners, &spec.Clients} {
-		for i := range *group {
-			(*group)[i].Addr = "127.0.0.1:1" // concrete, never dialed by the fake env
-		}
-	}
+	concreteAddrs(&spec)
 	cfg, err := spec.config()
 	if err != nil {
 		t.Fatalf("config: %v", err)
 	}
 	env := &fakeEnv{id: msg.NodeID(spec.Clients[0].ID)}
 	h := newClientHandler(env, cfg, spec)
-	h.propose(cstruct.Cmd{ID: cmdID(1, 0), Key: "k", Op: cstruct.OpWrite}) // shard 0 via router round-robin
+	h.propose(cstruct.Cmd{ID: cmdID(1, 0), Key: "k", Op: cstruct.OpWrite}) // shard 0: first round-robin pick
 	got := proposeTargets(env.sent, 0)
 	want := cfg.ShardCoords(0)
 	if !equalIDs(got, want) {
 		t.Fatalf("single-coordinated send targeted %v, want primary+standbys %v", got, want)
 	}
 	if h.stats.Rotations != 0 {
-		t.Fatal("single-coordinated shards must not rotate windows")
+		t.Fatal("single-coordinated shards must not rotate")
 	}
 }
 

@@ -1,0 +1,125 @@
+package deploy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// checkMergedOrder fails the test unless both learner replicas converged on
+// the same duplicate-free merged order of exactly want commands.
+func checkMergedOrder(t *testing.T, rep *Replica, want int) {
+	t.Helper()
+	for _, l := range []uint32{300, 301} {
+		if err := rep.WaitApplied(l, want, 20*time.Second); err != nil {
+			t.Fatalf("learner %d: %v", l, err)
+		}
+		order, err := rep.Order(l)
+		if err != nil {
+			t.Fatalf("order %d: %v", l, err)
+		}
+		if len(order) != want {
+			t.Fatalf("learner %d merged %d commands, want %d", l, len(order), want)
+		}
+		seen := make(map[uint64]bool, len(order))
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("learner %d merged command %d twice", l, id)
+			}
+			seen[id] = true
+		}
+	}
+	a, _ := rep.Order(300)
+	b, _ := rep.Order(301)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("learner orders diverged:\n%v\n%v", a, b)
+	}
+}
+
+// TestClientConcurrentPropose hammers one Client from many goroutines —
+// the server-side ingress owns sequence assignment, so nothing in the
+// submission path serializes callers beyond the atomic ID stamp. Every call
+// must resolve, every reply must correlate, and the merged order must carry
+// each command exactly once. Run under -race this also pins the submission
+// path's memory safety.
+func TestClientConcurrentPropose(t *testing.T) {
+	spec := LocalSpec(2, 3, 3, 2, 1)
+	spec.RetryEvery = 20 * time.Millisecond
+	rep, cli := openLocal(t, spec)
+
+	const goroutines, perG = 8, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				call := cli.Set(fmt.Sprintf("g%d-k%d", g, i), fmt.Sprintf("v%d", i))
+				if _, err := call.Result(); err != nil {
+					errs <- fmt.Errorf("goroutine %d call %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := cli.Stats()
+	if st.Resolved != goroutines*perG {
+		t.Fatalf("resolved %d of %d", st.Resolved, goroutines*perG)
+	}
+	checkMergedOrder(t, rep, goroutines*perG)
+}
+
+// TestTwoClientsOneDeployment runs two separate Client processes against a
+// single deployment concurrently — the configuration the client-side
+// sequencer could not support (two processes cannot share a sequence
+// counter). The ingress stamps both streams into one per-shard sequence, so
+// every command from either client lands exactly once and both learner
+// replicas converge on one merged order.
+func TestTwoClientsOneDeployment(t *testing.T) {
+	spec := LocalSpec(2, 3, 3, 2, 2)
+	spec.RetryEvery = 20 * time.Millisecond
+	spec, err := spec.ResolveEphemeral()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	rep, err := Open(spec)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { rep.Close() })
+
+	const perClient = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, len(spec.Clients))
+	for _, cs := range spec.Clients {
+		cli, err := Dial(spec, cs.ID)
+		if err != nil {
+			t.Fatalf("dial %d: %v", cs.ID, err)
+		}
+		t.Cleanup(func() { cli.Close() })
+		wg.Add(1)
+		go func(id uint32, cli *Client) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				call := cli.Set(fmt.Sprintf("c%d-k%d", id, i), fmt.Sprintf("v%d", i))
+				if _, err := call.Result(); err != nil {
+					errs <- fmt.Errorf("client %d call %d: %w", id, i, err)
+					return
+				}
+			}
+		}(cs.ID, cli)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	checkMergedOrder(t, rep, len(spec.Clients)*perClient)
+}

@@ -187,6 +187,9 @@ func liveE13Run(t *testing.T, commands int, crash bool) (order []uint64, roundCh
 			advanced++
 		}
 	}
+	st, re, fi := rep.IngressCounts()
+	t.Logf("e13 crash=%v: ingress stamped=%d restamped=%d filled=%d catchup=%+v clistats=%+v",
+		crash, st, re, fi, rep.CatchupStats(), cli.Stats())
 	return o0, rep.RoundChanges(), advanced
 }
 

@@ -172,6 +172,21 @@ func (r *Replica) openNode(id msg.NodeID) error {
 			// retransmitter amplifies itself (every duplicate 2a draws
 			// re-announcements from the acceptors).
 			c.RetryEvery = 4 * r.spec.retryTicks()
+			// Server-side ingress: unsequenced client submissions batch and
+			// stamp at whichever group member they reach. The fill no-op's ID
+			// is the instance itself — below the client bits, so replyTo is 0
+			// and no reply is ever owed for a fill.
+			c.IngressBatchMax = r.spec.batchMax()
+			c.IngressBatchWait = r.spec.batchWaitTicks()
+			c.FillCmd = func(inst uint64) cstruct.Cmd {
+				return cstruct.Cmd{ID: inst, Key: noopKey, Op: cstruct.OpWrite}
+			}
+			c.ReqOf = func(cc cstruct.Cmd) (msg.NodeID, uint64, bool) {
+				if to := replyTo(cc.ID); to != 0 {
+					return to, cc.ID & (1<<clientShift - 1), true
+				}
+				return 0, 0, false
+			}
 			return c
 		case "acceptor":
 			var disk storage.Stable = &storage.Disk{}
@@ -197,15 +212,24 @@ func (r *Replica) openNode(id msg.NodeID) error {
 					inner = []cstruct.Cmd{cmd}
 				}
 				for _, c := range inner {
-					res := "noop"
+					res, dup := "noop", false
 					if c.Key != noopKey {
-						// Shard-alignment skips fill an instance but never
-						// reach the state machine or the apply order.
+						// Fill skips occupy an instance but never reach the
+						// state machine or the apply order. A command seen
+						// before — its first stamp decided after all and the
+						// client's retry was restamped at a second instance —
+						// re-elicits its cached result without re-applying or
+						// re-entering the merged order.
+						_, dup = st.rep.Result(c.ID)
 						res = st.rep.ApplyOnce(c)
-						st.order = append(st.order, c.ID)
+						if !dup {
+							st.order = append(st.order, c.ID)
+						}
 					}
 					if to := replyTo(c.ID); to != 0 {
-						st.replay.Put(c.ID, inst, res)
+						if !dup {
+							st.replay.Put(c.ID, inst, res)
+						}
 						if !st.catchup {
 							env.Send(to, msg.Reply{CmdID: c.ID, From: env.ID(), Inst: inst, Result: res})
 						}
@@ -249,11 +273,19 @@ func (r *Replica) openNode(id msg.NodeID) error {
 					st.mu.Unlock()
 				})
 			fetch.RetryTicks = r.spec.retryTicks()
-			fetch.WatchTicks = 4 * r.spec.retryTicks()
+			fetch.WatchTicks = r.spec.fillTicks()
 			// Durable-tier fallback: if no peer learner retains the prefix
 			// this learner is missing, the acceptors re-announce their votes
 			// and the ordinary quorum counting relearns it.
 			fetch.Acceptors = r.cfg.Acceptors
+			// A frozen frontier that no catch-up pull can move means the
+			// stalled instance was never decided — its sequence slot died
+			// with a crashed ingress stamper, or its shard idled while the
+			// others advanced. Nudge the owning group to fill it.
+			fetch.OnStall = func(frontier uint64) {
+				shard := r.cfg.ShardOf(frontier)
+				node.Broadcast(env, r.cfg.ShardGroup(shard), msg.Fill{Inst: frontier, Learner: id})
+			}
 			r.mu.Lock()
 			r.learners[id] = st
 			r.mu.Unlock()
@@ -631,6 +663,22 @@ func (r *Replica) NetStats() transport.TCPStats {
 		}
 	}
 	return s
+}
+
+// IngressCounts sums the server-side ingress activity across the hosted,
+// live coordinators: sequence slots stamped, client retries restamped after
+// losing their slot to a collision, and no-op fills adopted for stalled
+// instances.
+func (r *Replica) IngressCounts() (stamped, restamped, filled uint64) {
+	for _, h := range r.coordHosts() {
+		h.agent.Do(func(hd node.Handler) {
+			s, re, f := hd.(*classic.Coordinator).IngressCounts()
+			stamped += s
+			restamped += re
+			filled += f
+		})
+	}
+	return
 }
 
 // RoundChanges sums the post-establishment round changes across the hosted,

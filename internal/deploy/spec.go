@@ -67,8 +67,9 @@ type ClusterSpec struct {
 	// WALDir/acc-<id>; empty keeps votes in process memory (demos, tests).
 	WALDir string
 
-	// BatchMax is the client-side batch size per shard (commands packed into
-	// one consensus instance); 0 means 8. 1 disables batching.
+	// BatchMax is the per-shard ingress batch size at the stamping
+	// coordinator (client submissions packed into one consensus instance);
+	// 0 means 8. 1 disables batching.
 	BatchMax int
 	// BatchWait bounds the latency a buffered command waits for its batch to
 	// fill; 0 means 2ms.
@@ -96,6 +97,13 @@ type ClusterSpec struct {
 	// CatchupChunk bounds how many instances one learner catch-up response
 	// carries (chunked state transfer to a rejoining learner); 0 means 128.
 	CatchupChunk int
+	// FillAfter is how long a learner lets its merge frontier sit frozen
+	// with later instances buffered before nudging the stalled instance's
+	// coordinator group to fill the slot (msg.Fill) — the recovery path for
+	// a sequence number orphaned by a crashed ingress stamper, and the
+	// alignment path for a shard idling while its peers advance. 0 means
+	// 4 × RetryEvery.
+	FillAfter time.Duration
 
 	// Faults, when set, is installed on the send path of every TCP endpoint
 	// this process opens (replica nodes and clients alike): the nemesis
@@ -151,12 +159,14 @@ const (
 	defaultCatchupChunk = 128
 )
 
-// noopKey marks a shard-alignment no-op command: the client pads a lagging,
-// idle shard's sequence stream with them so the merged instance order never
-// stalls on a gap no proposal will ever fill (the Mencius skip, Coordinated
-// Paxos-style: the no-op rides the shard's ordinary coordinator-group path,
-// so the skip itself is crash-masked). Learner replicas acknowledge and then
-// discard them without touching the state machine or the apply order.
+// noopKey marks a fill no-op command: when a learner's merged order stalls
+// on an instance no proposal will ever reach — its sequence number died with
+// a crashed ingress stamper, or the shard idled while its peers advanced —
+// the shard's coordinator group pads the slot with one (the Mencius skip,
+// Coordinated Paxos-style: the no-op rides the shard's ordinary
+// coordinator-group path, so the skip itself is crash-masked). Learner
+// replicas acknowledge and then discard them without touching the state
+// machine or the apply order.
 const noopKey = "\x00noop"
 
 // clientShift positions the issuing client's node ID in the top bits of a
@@ -308,6 +318,16 @@ func (s ClusterSpec) catchupChunk() uint32 {
 		return defaultCatchupChunk
 	}
 	return uint32(s.CatchupChunk)
+}
+
+// fillTicks is the learner gap-watch period driving both catch-up resyncs
+// and fill nudges (a stall is two consecutive periods at a frozen frontier).
+func (s ClusterSpec) fillTicks() int64 {
+	d := s.FillAfter
+	if d <= 0 {
+		return 4 * s.retryTicks()
+	}
+	return s.ticks(d)
 }
 
 func (s ClusterSpec) batchWaitTicks() int64 {

@@ -40,6 +40,7 @@ const (
 	TReply
 	TCatchupReq
 	TCatchupResp
+	TFill
 )
 
 // String renders the message type.
@@ -65,6 +66,8 @@ func (t Type) String() string {
 		return "catchup-req"
 	case TCatchupResp:
 		return "catchup-resp"
+	case TFill:
+		return "fill"
 	default:
 		return "unknown"
 	}
@@ -96,6 +99,17 @@ type Propose struct {
 	// the same instance. Single-coordinated deployments ignore it.
 	Seq    uint64
 	HasSeq bool
+	// Client and Req tag an *unsequenced* client submission: a proposal
+	// that has not yet been assigned a Seq crosses the wire tagged with the
+	// issuing client's ID and a per-client request counter. The shard's
+	// ingress coordinator stamps Seq at the server side and uses
+	// (Client, Req) as the idempotency key, so a retried submission maps to
+	// the same sequence slot instead of claiming a second one. Client zero
+	// means untagged (a pre-stamped proposer stream, or a stamped batch
+	// aggregating commands from several clients). Replies correlate back
+	// through Reply.CmdID, which embeds the same (client, request) pair.
+	Client NodeID
+	Req    uint64
 }
 
 // Type implements Message.
@@ -254,6 +268,29 @@ func (CatchupResp) Type() Type { return TCatchupResp }
 
 // Instance implements Message.
 func (m CatchupResp) Instance() uint64 { return m.From }
+
+// Fill asks a shard's coordinator group to make instance Inst decidable: a
+// learner whose merged order is stalled — later instances sit buffered above
+// a frozen frontier — sends it to every member of the owning group. A member
+// that knows a proposal for the instance retransmits its 2a; members that
+// have never seen one adopt a canonical no-op for the slot, so a sequence
+// number lost with a crashed ingress stamper (or never assigned because the
+// shard went idle mid-stream) cannot stall the total order. All members
+// derive the identical no-op, so the fill itself cannot collide; if a real
+// proposal survives at some member, Section 4.2 collision promotion decides
+// between it and the no-op.
+type Fill struct {
+	// Inst is the stalled instance (the learner's merge frontier).
+	Inst uint64
+	// Learner is the requesting learner.
+	Learner NodeID
+}
+
+// Type implements Message.
+func (Fill) Type() Type { return TFill }
+
+// Instance implements Message.
+func (m Fill) Instance() uint64 { return m.Inst }
 
 // Heartbeat is exchanged by coordinators for failure detection and leader
 // election.

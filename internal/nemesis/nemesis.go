@@ -234,6 +234,15 @@ type Options struct {
 	// ClockSkew permits windows in which every timer in the deployment runs
 	// fast (retransmission storms) or slow (timeout starvation).
 	ClockSkew bool
+	// KillPrimary permits crashes aimed specifically at the first member of
+	// a coordinator group — the shard's primary ingress stamper, the member
+	// every client funnels its unsequenced submissions to. A random group
+	// crash only sometimes hits it; this slot always does, pinning the
+	// stamping handoff: the failover member must resume the shard's sequence
+	// without duplicating a command or orphaning a slot. Only groups of ≥ 3
+	// qualify (the masking budget), and the slot shares the group's crash
+	// budget with the random-member crash.
+	KillPrimary bool
 	// Background adds a whole-run low-grade loss floor (1–4%) under the
 	// discrete faults. The quiet tail stays clean, and discrete loss bursts
 	// are suppressed (the floor owns the loss knob).
@@ -292,6 +301,14 @@ func ScheduleWith(seed int64, topo Topology, horizon int64, opts Options) []Even
 	}
 	if opts.ClockSkew {
 		extras = append(extras, "skew")
+	}
+	if opts.KillPrimary {
+		for _, g := range topo.Coords {
+			if len(g) >= 3 {
+				extras = append(extras, "crashP")
+				break
+			}
+		}
 	}
 	if opts.Background {
 		// The floor owns the loss knob for the whole faulted window.
@@ -428,6 +445,22 @@ func ScheduleWith(seed int64, topo Topology, horizon int64, opts Options) []Even
 				}
 				emit(Event{At: t, Kind: FaultPartition, Groups: [][]msg.NodeID{a, b}})
 				emit(Event{At: t + d, Kind: FaultHeal})
+			case "crashP": // crash a group's primary: the shard's ingress stamper
+				var gs [][]msg.NodeID
+				for _, g := range topo.Coords {
+					if len(g) >= 3 {
+						gs = append(gs, g)
+					}
+				}
+				g := gs[rng.Intn(len(gs))]
+				slot := fmt.Sprintf("crash%d", g[0])
+				if busy[slot] > t {
+					continue
+				}
+				d := dur(t)
+				busy[slot] = t + d
+				emit(Event{At: t, Kind: FaultCrash, Node: g[0]})
+				emit(Event{At: t + d, Kind: FaultRecover, Node: g[0]})
 			case "skew": // every timer runs fast or slow for a window
 				if busy["skew"] > t {
 					continue

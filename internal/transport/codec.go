@@ -50,6 +50,11 @@ const (
 	flagMulti = 1 << 2
 	// flagHasSeq marks a proposal carrying its per-shard sequence number.
 	flagHasSeq = 1 << 3
+	// flagHasClient marks a proposal tagged with its issuing client's
+	// (Client, Req) idempotency key — an unsequenced client submission
+	// awaiting a server-side Seq stamp, or a stamped single-command proposal
+	// whose key rides along for ingress failover.
+	flagHasClient = 1 << 4
 )
 
 // Codec encodes protocol messages for the TCP transport. It needs the
@@ -101,7 +106,8 @@ func (c Codec) Decode(data []byte) (msg.Message, error) {
 func encodable(m msg.Message) bool {
 	switch m.(type) {
 	case msg.Propose, msg.P1a, msg.P1b, msg.P1bMulti, msg.P2a, msg.P2b,
-		msg.Stale, msg.Heartbeat, msg.Reply, msg.CatchupReq, msg.CatchupResp:
+		msg.Stale, msg.Heartbeat, msg.Reply, msg.CatchupReq, msg.CatchupResp,
+		msg.Fill:
 		return true
 	}
 	return false
@@ -176,12 +182,20 @@ func appendEncodeBinary(dst []byte, m msg.Message) ([]byte, error) {
 		if mm.HasSeq {
 			flags |= flagHasSeq
 		}
+		hasClient := mm.Client != 0 || mm.Req != 0
+		if hasClient {
+			flags |= flagHasClient
+		}
 		dst = append(dst, verBinary, byte(msg.TPropose), flags)
 		dst = appendCmd(dst, mm.Cmd)
 		dst = appendNodeIDs(dst, mm.AccQuorum)
 		dst = appendUvarint(dst, mm.Inst)
 		if mm.HasSeq {
 			dst = appendUvarint(dst, mm.Seq)
+		}
+		if hasClient {
+			dst = appendUvarint(dst, uint64(mm.Client))
+			dst = appendUvarint(dst, mm.Req)
 		}
 		return dst, nil
 	case msg.P1a:
@@ -280,6 +294,10 @@ func appendEncodeBinary(dst []byte, m msg.Message) ([]byte, error) {
 		dst = appendUvarint(dst, mm.From)
 		dst = appendUvarint(dst, mm.Frontier)
 		return appendCmds(dst, mm.Cmds), nil
+	case msg.Fill:
+		dst = append(dst, verBinary, byte(msg.TFill), 0)
+		dst = appendUvarint(dst, mm.Inst)
+		return appendUvarint(dst, uint64(mm.Learner)), nil
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -450,7 +468,7 @@ func (c Codec) decodeBinary(data []byte) (msg.Message, error) {
 	var m msg.Message
 	switch typ {
 	case msg.TPropose:
-		if flags&^flagHasSeq != 0 {
+		if flags&^(flagHasSeq|flagHasClient) != 0 {
 			return nil, fmt.Errorf("transport: decode: bad propose flags %#x", flags)
 		}
 		mm := msg.Propose{HasSeq: flags&flagHasSeq != 0}
@@ -459,6 +477,14 @@ func (c Codec) decodeBinary(data []byte) (msg.Message, error) {
 		mm.Inst = r.uvarint("inst")
 		if mm.HasSeq {
 			mm.Seq = r.uvarint("seq")
+		}
+		if flags&flagHasClient != 0 {
+			mm.Client = msg.NodeID(r.u32("client"))
+			mm.Req = r.uvarint("req")
+			if r.err == nil && mm.Client == 0 && mm.Req == 0 {
+				// Canonical encoding: the flag is set iff the key is non-zero.
+				r.fail("client key")
+			}
 		}
 		m = mm
 	case msg.TP1a:
@@ -583,6 +609,14 @@ func (c Codec) decodeBinary(data []byte) (msg.Message, error) {
 			From:     r.uvarint("from"),
 			Frontier: r.uvarint("frontier"),
 			Cmds:     r.cmds(),
+		}
+	case msg.TFill:
+		if flags != 0 {
+			return nil, fmt.Errorf("transport: decode: bad fill flags %#x", flags)
+		}
+		m = msg.Fill{
+			Inst:    r.uvarint("inst"),
+			Learner: msg.NodeID(r.u32("learner")),
 		}
 	default:
 		return nil, fmt.Errorf("transport: decode: unknown wire type %d", typ)

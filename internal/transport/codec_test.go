@@ -69,7 +69,8 @@ func msgEq(a, b msg.Message) bool {
 	case msg.Propose:
 		bm, ok := b.(msg.Propose)
 		return ok && am.Inst == bm.Inst && cmdsEq([]cstruct.Cmd{am.Cmd}, []cstruct.Cmd{bm.Cmd}) &&
-			nodeIDsEq(am.AccQuorum, bm.AccQuorum) && am.Seq == bm.Seq && am.HasSeq == bm.HasSeq
+			nodeIDsEq(am.AccQuorum, bm.AccQuorum) && am.Seq == bm.Seq && am.HasSeq == bm.HasSeq &&
+			am.Client == bm.Client && am.Req == bm.Req
 	case msg.P1a:
 		bm, ok := b.(msg.P1a)
 		return ok && am == bm
@@ -114,6 +115,9 @@ func msgEq(a, b msg.Message) bool {
 		bm, ok := b.(msg.CatchupResp)
 		return ok && am.Learner == bm.Learner && am.From == bm.From &&
 			am.Frontier == bm.Frontier && cmdsEq(am.Cmds, bm.Cmds)
+	case msg.Fill:
+		bm, ok := b.(msg.Fill)
+		return ok && am == bm
 	default:
 		return false
 	}
@@ -140,6 +144,13 @@ func codecCases(set cstruct.Set) []struct {
 		{"propose-seq-max", msg.Propose{Inst: math.MaxUint64, Cmd: cstruct.Cmd{ID: math.MaxUint64},
 			Seq: math.MaxUint64, HasSeq: true}},
 		{"propose-empty-cmd", msg.Propose{Cmd: cstruct.Cmd{}}},
+		{"propose-client", msg.Propose{Cmd: cstruct.Cmd{ID: 1<<40 | 3, Key: "k"},
+			Client: 1, Req: 3}},
+		{"propose-client-max", msg.Propose{Cmd: cstruct.Cmd{ID: math.MaxUint64},
+			Client: math.MaxUint32, Req: math.MaxUint64}},
+		{"propose-client-zero-req", msg.Propose{Cmd: cstruct.Cmd{ID: 1 << 40}, Client: 1}},
+		{"propose-client-stamped", msg.Propose{Cmd: cstruct.Cmd{ID: 1<<40 | 9, Key: "k"},
+			Seq: 42, HasSeq: true, Client: 1, Req: 9}},
 		{"1a", msg.P1a{Inst: 1, Rnd: b, Coord: 100, Shard: 3}},
 		{"1a-max", msg.P1a{Inst: math.MaxUint64, Rnd: bMax, Coord: math.MaxUint32, Shard: math.MaxUint32}},
 		{"1b-nil-val", msg.P1b{Inst: 2, Rnd: b, Acc: 200, VRnd: ballot.Zero}},
@@ -167,6 +178,8 @@ func codecCases(set cstruct.Set) []struct {
 			{ID: 9, Key: "k", Op: cstruct.OpWrite, Payload: []byte("p")},
 			{ID: 10, Key: "q", Op: cstruct.OpRead},
 		}}},
+		{"fill", msg.Fill{Inst: 17, Learner: 300}},
+		{"fill-max", msg.Fill{Inst: math.MaxUint64, Learner: math.MaxUint32}},
 	}
 }
 

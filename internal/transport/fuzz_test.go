@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"mcpaxos/internal/ballot"
@@ -11,13 +12,21 @@ import (
 
 // fuzzSeeds is the seed corpus shared by the codec fuzz targets: every
 // message type, including the coordinator-id and sequence-number fields of
-// the multicoordinated path (P2a.Coord, Propose.Seq/HasSeq, P1bMulti.Shard).
+// the multicoordinated path (P2a.Coord, Propose.Seq/HasSeq, P1bMulti.Shard)
+// and the server-side ingress fields (Propose.Client/Req: max-varint, zero
+// request, and the absent-flag pre-stamped form; Fill).
 func fuzzSeeds() []msg.Message {
 	b := ballot.Ballot{MCount: 1, MinCount: 2, ID: 3, RType: 4}
 	sv := cstruct.NewSingleValue(cstruct.Cmd{ID: 9, Key: "k", Op: cstruct.OpWrite, Payload: []byte("p")})
 	return []msg.Message{
 		msg.Propose{Inst: 7, Cmd: cstruct.Cmd{ID: 5, Key: "k"},
 			AccQuorum: []msg.NodeID{200, 201}, Seq: 12, HasSeq: true},
+		msg.Propose{Cmd: cstruct.Cmd{ID: 1<<40 | 3, Key: "k"}, Client: 1, Req: 3},
+		msg.Propose{Cmd: cstruct.Cmd{ID: math.MaxUint64},
+			Client: math.MaxUint32, Req: math.MaxUint64},
+		msg.Propose{Cmd: cstruct.Cmd{ID: 1 << 40}, Client: 1, Req: 0},
+		msg.Propose{Cmd: cstruct.Cmd{ID: 1<<40 | 9, Key: "k"},
+			Seq: 42, HasSeq: true, Client: 1, Req: 9},
 		msg.P1a{Inst: 1, Rnd: b, Coord: 100, Shard: 3},
 		msg.P1b{Inst: 2, Rnd: b, Acc: 200, VRnd: b, VVal: sv},
 		msg.P1bMulti{Rnd: b, Acc: 201, Shard: 1, Votes: []msg.InstVote{
@@ -35,6 +44,7 @@ func fuzzSeeds() []msg.Message {
 			{ID: 9, Key: "k", Op: cstruct.OpWrite, Payload: []byte("p")},
 			{ID: 10, Key: "q"},
 		}},
+		msg.Fill{Inst: 17, Learner: 300},
 	}
 }
 

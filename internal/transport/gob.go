@@ -133,8 +133,11 @@ func (c Codec) decodeGob(data []byte) (msg.Message, error) {
 func toWire(m msg.Message) (wire, error) {
 	switch mm := m.(type) {
 	case msg.Propose:
+		// The (Client, Req) ingress key rides the dormant Coord/Epoch fields,
+		// keeping the frozen legacy frame layout unchanged (the same reuse
+		// CatchupReq applies to Acc/Inst/Shard).
 		return wire{Type: msg.TPropose, Inst: mm.Inst, Cmd: mm.Cmd, AccQuorum: mm.AccQuorum,
-			Seq: mm.Seq, HasSeq: mm.HasSeq}, nil
+			Seq: mm.Seq, HasSeq: mm.HasSeq, Coord: mm.Client, Epoch: mm.Req}, nil
 	case msg.P1a:
 		return wire{Type: msg.TP1a, Inst: mm.Inst, Rnd: mm.Rnd, Coord: mm.Coord, Shard: mm.Shard}, nil
 	case msg.P1b:
@@ -180,6 +183,8 @@ func toWire(m msg.Message) (wire, error) {
 			w.Val = mm.Cmds
 		}
 		return w, nil
+	case msg.Fill:
+		return wire{Type: msg.TFill, Inst: mm.Inst, Acc: mm.Learner}, nil
 	default:
 		return wire{}, fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -195,7 +200,7 @@ func (c Codec) fromWire(w wire) (msg.Message, error) {
 			w.Seq = 0
 		}
 		return msg.Propose{Inst: w.Inst, Cmd: w.Cmd, AccQuorum: w.AccQuorum,
-			Seq: w.Seq, HasSeq: w.HasSeq}, nil
+			Seq: w.Seq, HasSeq: w.HasSeq, Client: w.Coord, Req: w.Epoch}, nil
 	case msg.TP1a:
 		return msg.P1a{Inst: w.Inst, Rnd: w.Rnd, Coord: w.Coord, Shard: w.Shard}, nil
 	case msg.TP1b:
@@ -230,6 +235,8 @@ func (c Codec) fromWire(w wire) (msg.Message, error) {
 			out.Cmds = w.Val
 		}
 		return out, nil
+	case msg.TFill:
+		return msg.Fill{Inst: w.Inst, Learner: w.Acc}, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown wire type %d", w.Type)
 	}

@@ -104,12 +104,14 @@ func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveN
 	const horizonTicks = 2500 // ~2.5s of hostility at the default 1ms tick
 	// The live harness runs the full repertoire: learner kills exercise the
 	// catch-up rejoin, quorum partitions stall a shard until the heal, clock
-	// skew windows stretch and shrink every timeout, and a background loss
-	// floor keeps the discrete faults from ever running on a clean network.
+	// skew windows stretch and shrink every timeout, primary kills force the
+	// ingress stamping handoff mid-stream, and a background loss floor keeps
+	// the discrete faults from ever running on a clean network.
 	schedule := nemesis.ScheduleWith(seed, topo, horizonTicks, nemesis.Options{
 		KillLearners:    true,
 		QuorumPartition: true,
 		ClockSkew:       true,
+		KillPrimary:     true,
 		Background:      true,
 	})
 	res.FaultEvents = len(schedule)
