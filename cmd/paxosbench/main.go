@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paxosbench [-seed N] [-exp all|e1|...|e14|e15|live|nemesis] [-trials N] [-commands N]
+//	paxosbench [-seed N] [-exp all|e1|...|e14|e15|e16|live|nemesis] [-trials N] [-commands N]
 //
 // The live and nemesis experiments are the non-simulated modes: live stands
 // up the full batched, sharded, multicoordinated deployment on loopback TCP
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e14, e15, live or nemesis")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e14, e15, e16, live or nemesis")
 	trials := flag.Int("trials", 20, "trials per sample point (E7, E9)")
 	seeds := flag.Int("seeds", 50, "randomized seeds per nemesis sweep (E14)")
 	liveSeeds := flag.Int("liveseeds", 3, "live-TCP seeds per nemesis sweep (wall clock; capped by -seeds)")
@@ -36,6 +36,7 @@ func main() {
 	batchMax := flag.Int("batch", 8, "client batch size (live)")
 	clients := flag.Int("clients", 8, "max concurrent client processes in the E15 sweep")
 	workers := flag.Int("workers", 8, "closed-loop workers per client (E15)")
+	snapEvery := flag.Int("snapevery", 128, "learner snapshot interval in instances (E16)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -108,8 +109,12 @@ func main() {
 		nemesisExp(*seed, *seeds, *liveSeeds)
 		any = true
 	}
+	if *exp == "e16" {
+		e16(*commands, *snapEvery)
+		any = true
+	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1..e14, e15, live or nemesis)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, e1..e14, e15, e16, live or nemesis)\n", *exp)
 		os.Exit(2)
 	}
 }
@@ -313,14 +318,56 @@ func nemesisExp(seed int64, seeds, liveSeeds int) {
 		fmt.Printf("           net: dropped=%d dup=%d delayed=%d skewed=%d  client: retries=%d abandoned=%d probes=%d\n",
 			r.Net.Dropped, r.Net.Duplicated, r.Net.Delayed, r.Net.Skewed,
 			r.Client.Retries, r.Client.Abandoned, r.Client.ReplayProbes)
-		fmt.Printf("           recovery: replays=%d catchup-reqs=%d chunks=%d cmds=%d resyncs=%d probes=%d fallbacks=%d\n",
-			r.Replays, r.Catchup.Reqs, r.Catchup.Chunks, r.Catchup.Cmds, r.Catchup.Resyncs, r.Catchup.Probes, r.Catchup.Fallbacks)
+		fmt.Printf("           recovery: replays=%d catchup-reqs=%d chunks=%d cmds=%d resyncs=%d probes=%d fallbacks=%d snap-installs=%d\n",
+			r.Replays, r.Catchup.Reqs, r.Catchup.Chunks, r.Catchup.Cmds, r.Catchup.Resyncs, r.Catchup.Probes, r.Catchup.Fallbacks, r.Catchup.SnapInstalls)
+		fmt.Printf("           disk: wal-segs=%d wal-bytes=%d snap-files=%d snap-bytes=%d  compaction: saves=%d watermark=%d resident-log=%d\n",
+			r.WALSegs, r.WALBytes, r.Compaction.SnapFiles, r.Compaction.SnapBytes,
+			r.Compaction.Saves, r.Compaction.Watermark, r.Compaction.ResidentLog)
 		if !r.Ok {
 			os.Exit(1)
 		}
 	}
 	fmt.Println("  (convergence: every acked op applied on every learner, no learner ends")
 	fmt.Println("   stalled behind a gap, orders prefix-consistent and duplicate-free)")
+}
+
+func e16(commands, snapEvery int) {
+	header("E16: snapshot & log compaction — bounded storage under a long write stream")
+	fmt.Printf("  %d commands, 2 shards × group of 3, 3 WAL-backed acceptors; baseline vs\n", commands)
+	fmt.Printf("  SnapshotEvery=%d (retain %d); windowed disk/memory samples\n", snapEvery, snapEvery/2)
+	runArm := func(every int) mcpaxos.E16Run {
+		dir, err := os.MkdirTemp("", "e16-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "e16: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		r, err := mcpaxos.RunE16Compaction(commands, every, 8, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "e16: %v\n", err)
+			os.Exit(1)
+		}
+		return r
+	}
+	base := runArm(0)
+	comp := runArm(snapEvery)
+	print := func(name string, r mcpaxos.E16Run) {
+		fmt.Printf("  %s (SnapshotEvery=%d, %v):\n", name, r.SnapshotEvery, r.Elapsed.Round(time.Millisecond))
+		fmt.Println("    commands  wal-segs  wal-bytes  snap-bytes  resident-log  watermark  saves")
+		for _, s := range r.Samples {
+			fmt.Printf("    %-9d %-9d %-10d %-11d %-13d %-10d %d\n",
+				s.Commands, s.WALSegs, s.WALBytes, s.SnapBytes, s.ResidentLog, s.Watermark, s.Saves)
+		}
+	}
+	print("baseline", base)
+	print("compaction", comp)
+	if msg := mcpaxos.E16Bounded(base, comp); msg != "" {
+		fmt.Printf("  BOUNDED-STORAGE CHECK FAILED: %s\n", msg)
+		os.Exit(1)
+	}
+	fmt.Println("  (with compaction the learner resident log and the acceptors' WAL bytes")
+	fmt.Println("   plateau — the watermark truncates behind the snapshots — where the")
+	fmt.Println("   baseline grows monotonically with history size)")
 }
 
 func live(shards, coords, commands, batchMax int) {

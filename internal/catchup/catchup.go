@@ -20,6 +20,7 @@ import (
 	"mcpaxos/internal/cstruct"
 	"mcpaxos/internal/msg"
 	"mcpaxos/internal/node"
+	"mcpaxos/internal/snapshot"
 )
 
 // Timer tags the Fetcher consumes via OnTimer. Hosts embedding the fetcher
@@ -45,6 +46,11 @@ type Stats struct {
 	// Fallbacks counts acceptor re-announce rounds (resyncs with the
 	// durable-tier fallback configured).
 	Fallbacks uint64
+	// SnapReqs counts snapshot transfer requests (log pulls refused below a
+	// peer's retention floor escalate here); SnapChunks the chunks consumed;
+	// SnapInstalls completed installations; SnapAborts assemblies discarded
+	// for a CRC mismatch or a rejected install.
+	SnapReqs, SnapChunks, SnapInstalls, SnapAborts uint64
 }
 
 // Fetcher drives one learner's catch-up. Not safe for concurrent use: every
@@ -71,6 +77,19 @@ type Fetcher struct {
 	// shard went idle while its peers advanced — needs the group to fill
 	// the slot before anything can decide it.
 	OnStall func(frontier uint64)
+	// OnWatch, when set, fires on every watch tick. Hosts use it as the
+	// anti-entropy heartbeat of the compaction watermark protocol: the
+	// learner gossips its Done frontier (msg.Done) on the same cadence the
+	// fetcher probes peers.
+	OnWatch func()
+	// Install, when set, enables snapshot-shipping catch-up: a log pull
+	// refused below a peer's retention floor (CatchupResp.Floor > frontier)
+	// escalates to a SnapReq, and the reassembled, CRC-verified blob is
+	// handed here. Install returns whether the snapshot was applied (after
+	// which the local frontier must reflect it); a false return discards
+	// the blob and the pull rotates to another peer. Without Install the
+	// fetcher keeps retrying log pulls — pre-compaction behaviour.
+	Install func(frontier uint64, blob []byte) bool
 
 	// next reports the local merge frontier; buffered how many instances
 	// are held back by a gap; feed hands one decided (instance, command)
@@ -83,6 +102,14 @@ type Fetcher struct {
 	rr         int // peer rotation cursor
 	fetchArmed bool
 	watchArmed bool
+	// Snapshot pull state: chunks are keyed by (peer, frontier, crc, total)
+	// and reassembled in place; any mismatch restarts the assembly.
+	pullingSnap  bool
+	snapFrom     msg.NodeID
+	snapFrontier uint64
+	snapCrc      uint32
+	snapChunks   [][]byte
+	snapGot      uint32
 	// watchNext is the frontier seen by the previous watch tick; a stall is
 	// two consecutive ticks at the same frontier with instances buffered.
 	watchNext    uint64
@@ -174,6 +201,13 @@ func (f *Fetcher) OnResp(m msg.CatchupResp) {
 		}
 		f.synced = false
 	}
+	if m.Floor > cur {
+		// Refusal: the responder compacted the prefix we need below its
+		// retention floor. The log bytes no longer exist there — only a
+		// snapshot covering our gap can make progress.
+		f.escalate()
+		return
+	}
 	f.stats.Chunks++
 	for i, cmd := range m.Cmds {
 		inst := m.From + uint64(i)
@@ -188,10 +222,100 @@ func (f *Fetcher) OnResp(m msg.CatchupResp) {
 		// was itself behind undercounts; the gap watch re-probes if the
 		// live feed then stalls.
 		f.synced = true
+		// A log pull that completed obviates any snapshot transfer still
+		// in flight.
+		f.pullingSnap = false
+		f.resetSnap()
 		return
 	}
 	// More to pull: chain the next chunk immediately (same peer — it just
 	// proved it has the prefix).
+	f.request()
+}
+
+// escalate opens a snapshot pull (idempotent while one is in flight).
+func (f *Fetcher) escalate() {
+	if f.Install == nil || len(f.peers) == 0 || f.pullingSnap {
+		return
+	}
+	f.pullingSnap = true
+	f.resetSnap()
+	f.snapReq()
+}
+
+// snapReq asks the current peer for its newest snapshot and arms the retry.
+func (f *Fetcher) snapReq() {
+	peer := f.peers[f.rr%len(f.peers)]
+	f.env.Send(peer, msg.SnapReq{Learner: f.env.ID(), From: f.next()})
+	f.stats.SnapReqs++
+	if !f.fetchArmed {
+		f.fetchArmed = true
+		f.env.SetTimer(f.RetryTicks, TagFetch)
+	}
+}
+
+func (f *Fetcher) resetSnap() {
+	f.snapFrom, f.snapFrontier, f.snapCrc = 0, 0, 0
+	f.snapChunks, f.snapGot = nil, 0
+}
+
+// OnSnapResp consumes one snapshot chunk. Chunks are keyed by the
+// responder's (peer, frontier, crc, total) tuple; the blob installs only
+// when every chunk arrived and the whole-blob CRC matches — a corrupt or
+// truncated transfer can never install partially, it restarts against the
+// next peer.
+func (f *Fetcher) OnSnapResp(m msg.SnapResp) {
+	if !f.pullingSnap {
+		return
+	}
+	if m.Total == 0 {
+		return // the peer has no snapshot; the retry timer rotates
+	}
+	if m.Frontier <= f.next() {
+		// A snapshot at or below our frontier cannot help: abandon the
+		// transfer and re-open the log pull from another peer.
+		f.pullingSnap = false
+		f.resetSnap()
+		f.rr++
+		f.request()
+		return
+	}
+	if f.snapChunks == nil || m.Learner != f.snapFrom || m.Frontier != f.snapFrontier ||
+		m.Crc != f.snapCrc || uint64(m.Total) != uint64(len(f.snapChunks)) {
+		f.snapFrom, f.snapFrontier, f.snapCrc = m.Learner, m.Frontier, m.Crc
+		f.snapChunks, f.snapGot = make([][]byte, m.Total), 0
+	}
+	if m.Seq >= m.Total {
+		return
+	}
+	if f.snapChunks[m.Seq] == nil {
+		f.snapChunks[m.Seq] = m.Chunk
+		f.snapGot++
+		f.stats.SnapChunks++
+	}
+	if f.snapGot < uint32(len(f.snapChunks)) {
+		return
+	}
+	var blob []byte
+	for _, c := range f.snapChunks {
+		blob = append(blob, c...)
+	}
+	frontier := f.snapFrontier
+	if snapshot.Crc(blob) != f.snapCrc || !f.Install(frontier, blob) {
+		// Damaged in flight or rejected by the host: nothing was installed.
+		// Restart the transfer against the next peer.
+		f.stats.SnapAborts++
+		f.resetSnap()
+		f.rr++
+		f.snapReq()
+		return
+	}
+	f.stats.SnapInstalls++
+	f.pullingSnap = false
+	f.resetSnap()
+	// The snapshot closed the compacted prefix; pull the log suffix above
+	// the new frontier as an ordinary catch-up.
+	f.synced = false
 	f.request()
 }
 
@@ -207,6 +331,11 @@ func (f *Fetcher) OnTimer(tag int) bool {
 		// The outstanding request or its response was lost, or the peer is
 		// down: rotate and retry.
 		f.rr++
+		if f.pullingSnap {
+			f.resetSnap()
+			f.snapReq()
+			return true
+		}
 		f.request()
 		return true
 	case TagWatch:
@@ -231,8 +360,13 @@ func (f *Fetcher) OnTimer(tag int) bool {
 // fire — so only a peer's word that its frontier is higher reveals the
 // miss (OnResp re-opens the pull on that evidence).
 func (f *Fetcher) watchTick() {
+	if f.OnWatch != nil {
+		f.OnWatch()
+	}
 	n := f.next()
-	behind := f.buffered() > 0 || !f.synced
+	// A snapshot transfer in flight owns its own retry cadence (TagFetch
+	// rotation); the stall escalation would only thrash it.
+	behind := (f.buffered() > 0 || !f.synced) && !f.pullingSnap
 	stalled := behind && n == f.watchNext
 	if stalled && f.watchStalled {
 		f.stats.Resyncs++

@@ -5,6 +5,7 @@ import (
 
 	"mcpaxos/internal/cstruct"
 	"mcpaxos/internal/msg"
+	"mcpaxos/internal/snapshot"
 )
 
 // fakeEnv records sends and timers; time never advances on its own — the
@@ -151,5 +152,143 @@ func TestFrozenUnsyncedPullEscalatesToFallback(t *testing.T) {
 	}
 	if accReqs != 3 {
 		t.Fatalf("fallback reached %d acceptors, want 3", accReqs)
+	}
+}
+
+// chunksOf splits a snapshot blob into SnapResp messages from peer.
+func chunksOf(peer msg.NodeID, frontier uint64, blob []byte, size int) []msg.SnapResp {
+	total := (len(blob) + size - 1) / size
+	if total == 0 {
+		total = 1
+	}
+	crc := snapshot.Crc(blob)
+	out := make([]msg.SnapResp, 0, total)
+	for i := 0; i < total; i++ {
+		end := (i + 1) * size
+		if end > len(blob) {
+			end = len(blob)
+		}
+		out = append(out, msg.SnapResp{Learner: peer, Frontier: frontier,
+			Crc: crc, Seq: uint32(i), Total: uint32(total), Chunk: blob[i*size : end]})
+	}
+	return out
+}
+
+// A log pull refused below the responder's retention floor must escalate to
+// a snapshot transfer: the fetcher requests the snapshot, reassembles the
+// chunks (reordered and duplicated here), installs it atomically, and then
+// resumes the log pull above the installed frontier.
+func TestRefusedPullEscalatesToSnapshotTransfer(t *testing.T) {
+	f, env, ms := newUnderTest([]msg.NodeID{301}, nil)
+	var installed []uint64
+	f.Install = func(frontier uint64, blob []byte) bool {
+		if _, err := snapshot.Decode(blob); err != nil {
+			t.Fatalf("install handed a corrupt blob: %v", err)
+		}
+		installed = append(installed, frontier)
+		ms.next = frontier
+		return true
+	}
+	f.Start()
+	drainReqs(env)
+
+	// Peer refuses: everything below 64 is compacted away.
+	f.OnResp(msg.CatchupResp{Learner: 301, From: 0, Frontier: 96, Floor: 64})
+	var snapReqs int
+	for _, s := range env.sent {
+		if _, ok := s.m.(msg.SnapReq); ok {
+			snapReqs++
+		}
+	}
+	if snapReqs != 1 {
+		t.Fatalf("refusal sent %d SnapReqs, want 1", snapReqs)
+	}
+	env.sent = nil
+
+	blob := snapshot.Encode(snapshot.Snapshot{Frontier: 64, State: []byte("k=v;"),
+		Order: []uint64{9, 7, 5}})
+	chunks := chunksOf(301, 64, blob, 16)
+	// Deliver out of order with a duplicate: assembly must still be exact.
+	f.OnSnapResp(chunks[len(chunks)-1])
+	f.OnSnapResp(chunks[len(chunks)-1])
+	for i := len(chunks) - 2; i >= 0; i-- {
+		f.OnSnapResp(chunks[i])
+	}
+	if len(installed) != 1 || installed[0] != 64 {
+		t.Fatalf("installed = %v, want one install at frontier 64", installed)
+	}
+	if f.Stats().SnapInstalls != 1 {
+		t.Fatalf("SnapInstalls = %d, want 1", f.Stats().SnapInstalls)
+	}
+	// The pull resumed above the snapshot.
+	reqs := drainReqs(env)
+	if len(reqs) != 1 || reqs[0].m.(msg.CatchupReq).From != 64 {
+		t.Fatalf("post-install pull = %+v, want CatchupReq From=64", reqs)
+	}
+	// The suffix closes the gap and the fetcher syncs.
+	f.OnResp(msg.CatchupResp{Learner: 301, From: 64, Frontier: 66,
+		Cmds: []cstruct.Cmd{{ID: 1}, {ID: 2}}})
+	if !f.Synced() || ms.next != 66 {
+		t.Fatalf("after suffix: synced=%v next=%d, want synced at 66", f.Synced(), ms.next)
+	}
+}
+
+// A corrupt chunk stream must never install: the CRC gate rejects the
+// assembly and the transfer restarts against the next peer.
+func TestCorruptSnapshotTransferNeverInstalls(t *testing.T) {
+	f, env, _ := newUnderTest([]msg.NodeID{301, 302}, nil)
+	installs := 0
+	f.Install = func(uint64, []byte) bool { installs++; return true }
+	f.Start()
+	drainReqs(env)
+	f.OnResp(msg.CatchupResp{Learner: 301, From: 0, Frontier: 96, Floor: 64})
+
+	blob := snapshot.Encode(snapshot.Snapshot{Frontier: 64, State: []byte("k=v;")})
+	chunks := chunksOf(301, 64, blob, 16)
+	chunks[1].Chunk = append([]byte(nil), chunks[1].Chunk...)
+	chunks[1].Chunk[0] ^= 0xff
+	for _, c := range chunks {
+		f.OnSnapResp(c)
+	}
+	if installs != 0 {
+		t.Fatalf("corrupt transfer installed %d times", installs)
+	}
+	if f.Stats().SnapAborts != 1 {
+		t.Fatalf("SnapAborts = %d, want 1", f.Stats().SnapAborts)
+	}
+	// The retry rotated to the next peer.
+	var last msg.NodeID
+	for _, s := range env.sent {
+		if _, ok := s.m.(msg.SnapReq); ok {
+			last = s.to
+		}
+	}
+	if last != 302 {
+		t.Fatalf("retry went to %d, want rotation to 302", last)
+	}
+}
+
+// A peer with no snapshot answers Total == 0; the transfer waits for the
+// retry timer, which rotates to the next peer.
+func TestSnapshotRefusalRotatesOnRetry(t *testing.T) {
+	f, env, _ := newUnderTest([]msg.NodeID{301, 302}, nil)
+	f.Install = func(uint64, []byte) bool { return true }
+	f.Start()
+	drainReqs(env)
+	f.OnResp(msg.CatchupResp{Learner: 301, From: 0, Frontier: 96, Floor: 64})
+	env.sent = nil
+	f.OnSnapResp(msg.SnapResp{Learner: 301}) // no snapshot to serve
+	if len(env.sent) != 0 {
+		t.Fatalf("refusal triggered %d immediate sends, want none", len(env.sent))
+	}
+	f.OnTimer(TagFetch)
+	var reqs []msg.NodeID
+	for _, s := range env.sent {
+		if _, ok := s.m.(msg.SnapReq); ok {
+			reqs = append(reqs, s.to)
+		}
+	}
+	if len(reqs) != 1 || reqs[0] != 302 {
+		t.Fatalf("retry SnapReqs = %v, want one to 302", reqs)
 	}
 }

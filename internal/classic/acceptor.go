@@ -61,9 +61,25 @@ type Acceptor struct {
 	votes   map[uint64]vote
 	tallies map[uint64]*coordTally
 
+	// floor is the compaction floor (storage.KeyFloor): vote and tally
+	// records below it were durably truncated because the cluster watermark
+	// passed them. Catch-up requests below it are refused (the learner must
+	// escalate to snapshot transfer) and recovery scans start here.
+	floor uint64
+	// dropped counts records dropped since the last physical compaction;
+	// once it crosses compactAfterDrops the backend is asked to reclaim
+	// space (for a WAL: rewrite the live index and GC dead segments).
+	dropped int
+
 	// promotions counts collision-triggered round jumps, for experiments.
 	promotions int
 }
+
+// compactAfterDrops bounds how much tombstoned garbage may accumulate before
+// the stable store is physically compacted. Small enough that sustained
+// workloads plateau instead of growing; large enough that compaction cost
+// amortizes over many truncations.
+const compactAfterDrops = 256
 
 var _ node.Handler = (*Acceptor)(nil)
 var _ node.Recoverable = (*Acceptor)(nil)
@@ -132,6 +148,45 @@ func (a *Acceptor) OnMessage(from msg.NodeID, m msg.Message) {
 		a.onP2a(from, mm)
 	case msg.CatchupReq:
 		a.onCatchup(mm)
+	case msg.Done:
+		a.onDone(mm)
+	}
+}
+
+// Floor exposes the acceptor's compaction floor, for tests and accounting.
+func (a *Acceptor) Floor() uint64 { return a.floor }
+
+// onDone applies the cluster compaction watermark a learner gossiped:
+// everything below Watermark is covered by a snapshot some live learner can
+// serve, so the vote and tally history of those instances — kept only so the
+// durable-tier fallback could replay them — is dead weight. The records are
+// dropped durably (tombstones survive a crash; replay must not resurrect
+// them), the floor is persisted so recovery scans start past the hole, and
+// the backend is asked to physically reclaim space once enough has died.
+// The watermark only ratchets forward: a stale or reordered Done is a no-op.
+func (a *Acceptor) onDone(mm msg.Done) {
+	wm := mm.Watermark
+	if wm <= a.floor {
+		return
+	}
+	var keys []string
+	for inst := a.floor; inst < wm; inst++ {
+		if _, ok := a.votes[inst]; ok {
+			delete(a.votes, inst)
+			keys = append(keys, voteKey(inst))
+		}
+		if _, ok := a.tallies[inst]; ok {
+			delete(a.tallies, inst)
+			keys = append(keys, tallyRecKey(inst))
+		}
+	}
+	a.floor = wm
+	storage.DropKeys(a.disk, keys)
+	a.disk.Put(storage.KeyFloor, wm)
+	a.dropped += len(keys)
+	if a.dropped >= compactAfterDrops {
+		a.dropped = 0
+		storage.CompactStable(a.disk)
 	}
 }
 
@@ -143,6 +198,16 @@ func (a *Acceptor) OnMessage(from msg.NodeID, m msg.Message) {
 // its ordinary quorum rule, so the fallback adds no new trust: one
 // acceptor's vote proves nothing until a quorum matches.
 func (a *Acceptor) onCatchup(mm msg.CatchupReq) {
+	if mm.From < a.floor {
+		// The requested prefix was compacted away: the votes below the floor
+		// no longer exist, here or anywhere. Refuse with the floor so the
+		// learner escalates to snapshot transfer instead of waiting for
+		// re-announcements that can never come.
+		a.env.Send(mm.Learner, msg.CatchupResp{
+			Learner: a.env.ID(), From: mm.From, Frontier: a.floor, Floor: a.floor,
+		})
+		return
+	}
 	max := uint64(mm.Max)
 	if max == 0 {
 		max = 128
@@ -367,14 +432,19 @@ func (a *Acceptor) OnRecover() {
 
 // restore rebuilds the vote map — and each shard's round floor — from the
 // stable store, plus the in-flight coordinator tallies of multicoordinated
-// deployments. One scan covers every shard: the log is shared.
+// deployments. One scan covers every shard: the log is shared. The scan
+// starts at the persisted compaction floor: everything below it was
+// truncated, so probing those keys would only find tombstoned holes.
 func (a *Acceptor) restore() {
+	if rec, ok := a.disk.Get(storage.KeyFloor); ok {
+		a.floor = rec.(uint64)
+	}
 	rec, ok := a.disk.Get(storage.KeyMaxInst)
 	if !ok {
 		return
 	}
 	hi := rec.(uint64)
-	for inst := uint64(0); inst <= hi; inst++ {
+	for inst := a.floor; inst <= hi; inst++ {
 		if rec, ok := a.disk.Get(voteKey(inst)); ok {
 			vr := rec.(storage.VoteRec)
 			if len(vr.Cmds) > 0 {

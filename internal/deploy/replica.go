@@ -15,6 +15,7 @@ import (
 	"mcpaxos/internal/node"
 	"mcpaxos/internal/runtime"
 	"mcpaxos/internal/smr"
+	"mcpaxos/internal/snapshot"
 	"mcpaxos/internal/storage"
 	"mcpaxos/internal/transport"
 	"mcpaxos/internal/wal"
@@ -62,6 +63,119 @@ type learnerState struct {
 	catchup bool
 	// replayed counts replies re-elicited from the replay cache.
 	replayed uint64
+
+	// Compaction state (Spec.SnapshotEvery > 0). logBase is the instance
+	// log[0] holds: the retained prefix is [logBase, logBase+len(log)), and a
+	// peer pull below logBase is refused with the floor attached so the
+	// requester escalates to snapshot transfer. snaps holds this learner's
+	// snapshots (durable under Spec.SnapshotDir, else memory-only);
+	// snapFrontier is the frontier of the newest one — the Done frontier this
+	// learner gossips. peerDone records each peer's last gossiped frontier,
+	// and watermark is the monotone cluster minimum over all of them: the
+	// truncation gate.
+	logBase      uint64
+	snaps        *snapshot.Store
+	snapFrontier uint64
+	snapSaves    uint64
+	peerDone     map[msg.NodeID]uint64
+	watermark    uint64
+}
+
+// cutSnapshot encodes and saves a snapshot of the applied state at frontier
+// fr. Caller holds st.mu.
+func (st *learnerState) cutSnapshot(fr uint64) {
+	dm, ok := st.rep.Machine().(smr.DurableMachine)
+	if !ok {
+		return
+	}
+	ex := st.replay.Export()
+	replies := make([]snapshot.Reply, len(ex))
+	for i, e := range ex {
+		replies[i] = snapshot.Reply{CmdID: e.CmdID, Inst: e.Inst, Result: e.Result}
+	}
+	blob := snapshot.Encode(snapshot.Snapshot{
+		Frontier: fr,
+		State:    dm.MarshalState(),
+		Order:    append([]uint64(nil), st.order...),
+		Replies:  replies,
+	})
+	if st.snaps.Save(fr, blob) != nil {
+		return // save failed: keep gossiping the old frontier, retention stays safe
+	}
+	st.snapFrontier = fr
+	st.snapSaves++
+}
+
+// maybeSnapshot cuts a snapshot once the merge frontier is a full interval
+// past the last cut. Caller holds st.mu.
+func (st *learnerState) maybeSnapshot(every int) {
+	if every <= 0 || st.snaps == nil {
+		return
+	}
+	if fr := st.merger.Next(); fr >= st.snapFrontier+uint64(every) {
+		st.cutSnapshot(fr)
+	}
+}
+
+// install replaces the learner's applied state with a decoded snapshot:
+// machine state, apply order, dedup floor and reply cache all jump to the
+// snapshot's frontier, the retained log resets to empty at that base, and
+// the merger skips there so only the suffix replays. It reports false —
+// nothing installed — for a snapshot at or behind the current frontier or a
+// machine that cannot restore. Caller holds st.mu.
+func (st *learnerState) install(s snapshot.Snapshot, blob []byte) bool {
+	dm, ok := st.rep.Machine().(smr.DurableMachine)
+	if !ok || s.Frontier <= st.merger.Next() {
+		return false
+	}
+	if err := dm.RestoreState(s.State); err != nil {
+		return false
+	}
+	// Seed duplicate suppression with the snapshot's original results: a
+	// command applied below the frontier and later restamped (its client
+	// retried into a second instance) must re-elicit the result of its
+	// first application, not a recomputed one.
+	results := make(map[uint64]string, len(s.Replies))
+	exported := make([]smr.ExportedReply, len(s.Replies))
+	for i, rp := range s.Replies {
+		results[rp.CmdID] = rp.Result
+		exported[i] = smr.ExportedReply{CmdID: rp.CmdID, Inst: rp.Inst, Result: rp.Result}
+	}
+	for _, id := range s.Order {
+		st.rep.Seed(id, results[id])
+	}
+	st.order = append([]uint64(nil), s.Order...)
+	st.replay.Restore(exported)
+	st.log = nil
+	st.logBase = s.Frontier
+	if s.Frontier > st.snapFrontier {
+		st.snapFrontier = s.Frontier
+	}
+	// SkipTo flushes any buffered suffix through the deliver hook, which
+	// appends to the (now empty) log relative to the new base.
+	st.merger.SkipTo(s.Frontier)
+	if st.snaps != nil {
+		// The installed blob becomes this learner's own newest snapshot, so
+		// it can serve transfers (and survive restarts, if durable) without
+		// waiting for its next cut.
+		st.snaps.Save(s.Frontier, blob)
+	}
+	return true
+}
+
+// truncate drops the retained log and reply-cache records below floor.
+// Caller holds st.mu.
+func (st *learnerState) truncate(floor uint64) {
+	if floor <= st.logBase {
+		return
+	}
+	drop := floor - st.logBase
+	if drop > uint64(len(st.log)) {
+		drop = uint64(len(st.log))
+	}
+	st.log = append([]cstruct.Cmd(nil), st.log[drop:]...)
+	st.logBase += drop
+	st.replay.EvictBelow(st.logBase)
 }
 
 // Replica runs one process's share of a deployment: any subset of the
@@ -202,9 +316,21 @@ func (r *Replica) openNode(id msg.NodeID) error {
 			return classic.NewAcceptor(env, r.cfg, disk)
 		default: // learner
 			st := &learnerState{
-				rep:    smr.NewReplica(smr.NewKVStore()),
-				replay: smr.NewReplyCache(r.spec.replyCacheSize(), clientShift),
+				rep:      smr.NewReplica(smr.NewKVStore()),
+				replay:   smr.NewReplyCache(r.spec.replyCacheSize(), clientShift),
+				peerDone: make(map[msg.NodeID]uint64),
 			}
+			snapDir := ""
+			if r.spec.SnapshotDir != "" {
+				snapDir = filepath.Join(r.spec.SnapshotDir, fmt.Sprintf("learner-%d", uint32(id)))
+			}
+			snaps, err := snapshot.OpenStore(snapDir)
+			if err != nil {
+				buildErr = fmt.Errorf("deploy: learner %v snapshots: %w", id, err)
+				return nopHandler{}
+			}
+			st.snaps = snaps
+			every := r.spec.SnapshotEvery
 			st.merger = smr.NewMerger(func(inst uint64, cmd cstruct.Cmd) {
 				st.log = append(st.log, cmd)
 				inner, isBatch := batch.Unpack(cmd)
@@ -239,6 +365,7 @@ func (r *Replica) openNode(id msg.NodeID) error {
 			l := classic.NewLearner(env, r.cfg, func(inst uint64, cmd cstruct.Cmd) {
 				st.mu.Lock()
 				st.merger.Add(inst, cmd)
+				st.maybeSnapshot(every)
 				st.mu.Unlock()
 				// Quiesce the owning group's retransmission of this instance
 				// (the live counterpart of the simulator's MarkLearned hook).
@@ -254,6 +381,16 @@ func (r *Replica) openNode(id msg.NodeID) error {
 				node.Broadcast(env, r.cfg.ShardCoords(shard), msg.P2b{Inst: inst})
 			}
 			st.merger.OnRelease = l.Release
+			// A restarted learner reloads its newest durable snapshot before
+			// anything else: the merger jumps to the snapshot frontier, so
+			// the catch-up fetcher pulls only the log suffix above it.
+			if blob, fr, ok := snaps.Latest(); ok {
+				if s, err := snapshot.Decode(blob); err == nil && s.Frontier == fr {
+					st.mu.Lock()
+					st.install(s, blob)
+					st.mu.Unlock()
+				}
+			}
 			// Peer learners serve the decided prefix a rejoining learner
 			// missed; until the fetcher reaches a peer's frontier, replies
 			// for replayed history stay suppressed (st.catchup).
@@ -270,6 +407,7 @@ func (r *Replica) openNode(id msg.NodeID) error {
 				func(inst uint64, cmd cstruct.Cmd) {
 					st.mu.Lock()
 					st.merger.Add(inst, cmd)
+					st.maybeSnapshot(every)
 					st.mu.Unlock()
 				})
 			fetch.RetryTicks = r.spec.retryTicks()
@@ -285,6 +423,56 @@ func (r *Replica) openNode(id msg.NodeID) error {
 			fetch.OnStall = func(frontier uint64) {
 				shard := r.cfg.ShardOf(frontier)
 				node.Broadcast(env, r.cfg.ShardGroup(shard), msg.Fill{Inst: frontier, Learner: id})
+			}
+			// Snapshot-shipping escalation: when a log pull is refused below
+			// a peer's retention floor, the fetcher ships the peer's snapshot
+			// and hands the verified blob here; installing it moves the merge
+			// frontier so only the log suffix remains to pull.
+			fetch.Install = func(frontier uint64, blob []byte) bool {
+				s, err := snapshot.Decode(blob)
+				if err != nil || s.Frontier != frontier {
+					return false
+				}
+				st.mu.Lock()
+				defer st.mu.Unlock()
+				return st.install(s, blob)
+			}
+			if every > 0 {
+				// The compaction watermark protocol rides the gap-watch
+				// cadence: each tick recomputes the cluster minimum over the
+				// gossiped snapshot frontiers, ratchets the local watermark,
+				// truncates the retained log down to the retention floor, and
+				// re-gossips Done to the peer learners (their minimum) and
+				// the acceptors (their vote-history truncation gate). A peer
+				// that has never reported holds the minimum at zero, so
+				// truncation starts only once every learner has a snapshot.
+				retain := r.spec.retain()
+				accs := r.cfg.Acceptors
+				fetch.OnWatch = func() {
+					st.mu.Lock()
+					fr := st.snapFrontier
+					wm := fr
+					for _, p := range peers {
+						if pf := st.peerDone[p]; pf < wm {
+							wm = pf
+						}
+					}
+					if wm > st.watermark {
+						st.watermark = wm
+					}
+					wm = st.watermark
+					if wm > retain {
+						st.truncate(wm - retain)
+					}
+					st.mu.Unlock()
+					done := msg.Done{From: env.ID(), Frontier: fr, Watermark: wm}
+					for _, p := range peers {
+						env.Send(p, done)
+					}
+					for _, a := range accs {
+						env.Send(a, done)
+					}
+				}
 			}
 			r.mu.Lock()
 			r.learners[id] = st
@@ -361,6 +549,12 @@ func (h *learnerHandler) OnMessage(from msg.NodeID, m msg.Message) {
 			h.st.catchup = false
 			h.st.mu.Unlock()
 		}
+	case msg.Done:
+		h.onDone(mm)
+	case msg.SnapReq:
+		h.serveSnap(mm)
+	case msg.SnapResp:
+		h.fetch.OnSnapResp(mm)
 	default:
 		h.l.OnMessage(from, m)
 	}
@@ -407,18 +601,68 @@ func (h *learnerHandler) serve(mm msg.CatchupReq) {
 	}
 	h.st.mu.Lock()
 	frontier := h.st.merger.Next()
+	base := h.st.logBase
+	if mm.From < base {
+		// The requested prefix was compacted away: refuse with the floor so
+		// the requester escalates to snapshot transfer.
+		h.st.mu.Unlock()
+		h.env.Send(mm.Learner, msg.CatchupResp{
+			Learner: h.env.ID(), From: mm.From, Frontier: frontier, Floor: base,
+		})
+		return
+	}
+	rel := mm.From - base
 	var cmds []cstruct.Cmd
-	if mm.From < uint64(len(h.st.log)) {
-		end := mm.From + uint64(max)
+	if rel < uint64(len(h.st.log)) {
+		end := rel + uint64(max)
 		if end > uint64(len(h.st.log)) {
 			end = uint64(len(h.st.log))
 		}
-		cmds = append([]cstruct.Cmd(nil), h.st.log[mm.From:end]...)
+		cmds = append([]cstruct.Cmd(nil), h.st.log[rel:end]...)
 	}
 	h.st.mu.Unlock()
 	h.env.Send(mm.Learner, msg.CatchupResp{
 		Learner: h.env.ID(), From: mm.From, Frontier: frontier, Cmds: cmds,
 	})
+}
+
+// onDone records a peer learner's gossiped snapshot frontier. No ratchet: a
+// peer that restarted with volatile snapshots honestly reports a lower
+// frontier, and holding the cluster minimum down until it re-covers is
+// exactly the conservative behaviour the watermark needs (the watermark
+// itself never regresses — it only stops advancing).
+func (h *learnerHandler) onDone(mm msg.Done) {
+	h.st.mu.Lock()
+	h.st.peerDone[mm.From] = mm.Frontier
+	h.st.mu.Unlock()
+}
+
+// snapChunkBytes sizes SnapResp chunks: big enough to move a snapshot in a
+// handful of messages, comfortably under the transport's frame cap.
+const snapChunkBytes = 48 << 10
+
+// serveSnap streams this learner's newest snapshot to a peer whose log pull
+// was refused. No snapshot (or only one at or below the requester's own
+// frontier) answers Total 0 — a no-op the requester's retry rotates past.
+func (h *learnerHandler) serveSnap(mm msg.SnapReq) {
+	blob, fr, ok := h.st.snaps.Latest()
+	if !ok || fr <= mm.From {
+		h.env.Send(mm.Learner, msg.SnapResp{Learner: h.env.ID()})
+		return
+	}
+	crc := snapshot.Crc(blob)
+	total := uint32((len(blob) + snapChunkBytes - 1) / snapChunkBytes)
+	for seq := uint32(0); seq < total; seq++ {
+		lo := int(seq) * snapChunkBytes
+		hi := lo + snapChunkBytes
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		h.env.Send(mm.Learner, msg.SnapResp{
+			Learner: h.env.ID(), Frontier: fr, Crc: crc,
+			Seq: seq, Total: total, Chunk: blob[lo:hi],
+		})
+	}
 }
 
 // Hosted lists the node IDs this Replica runs (killed nodes excluded).
@@ -609,9 +853,103 @@ func (r *Replica) CatchupStats() catchup.Stats {
 			s.Resyncs += fs.Resyncs
 			s.Probes += fs.Probes
 			s.Fallbacks += fs.Fallbacks
+			s.SnapReqs += fs.SnapReqs
+			s.SnapChunks += fs.SnapChunks
+			s.SnapInstalls += fs.SnapInstalls
+			s.SnapAborts += fs.SnapAborts
 		})
 	}
 	return s
+}
+
+// CompactionStats aggregates the snapshot/compaction state across the hosted
+// learners: how many snapshots were cut, how far the watermark and the
+// truncation base have advanced, the largest retained (resident) log, and
+// the snapshot stores' footprint.
+type CompactionStats struct {
+	// Saves counts snapshots cut (not counting installed transfers).
+	Saves uint64
+	// Watermark is the highest compaction watermark any learner computed;
+	// LogBase the highest truncation base (first retained log instance).
+	Watermark, LogBase uint64
+	// ResidentLog is the largest retained log (instances) on any learner —
+	// the quantity compaction bounds.
+	ResidentLog int
+	// SnapFiles / SnapBytes sum the snapshot stores' footprint (on disk for
+	// durable stores, resident blob for memory-only ones).
+	SnapFiles int
+	SnapBytes int64
+}
+
+// CompactionStats reports the hosted learners' compaction state.
+func (r *Replica) CompactionStats() CompactionStats {
+	r.mu.Lock()
+	sts := make([]*learnerState, 0, len(r.learners))
+	for _, st := range r.learners {
+		sts = append(sts, st)
+	}
+	r.mu.Unlock()
+	var cs CompactionStats
+	for _, st := range sts {
+		st.mu.Lock()
+		cs.Saves += st.snapSaves
+		if st.watermark > cs.Watermark {
+			cs.Watermark = st.watermark
+		}
+		if st.logBase > cs.LogBase {
+			cs.LogBase = st.logBase
+		}
+		if len(st.log) > cs.ResidentLog {
+			cs.ResidentLog = len(st.log)
+		}
+		snaps := st.snaps
+		st.mu.Unlock()
+		if snaps != nil {
+			files, bytes := snaps.DiskStats()
+			cs.SnapFiles += files
+			cs.SnapBytes += bytes
+		}
+	}
+	return cs
+}
+
+// Compaction reports learner id's own compaction state: its newest snapshot
+// frontier, the cluster watermark it has computed, and the first log
+// instance it still retains.
+func (r *Replica) Compaction(id uint32) (frontier, watermark, logBase uint64, err error) {
+	st, err := r.learner(id)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.snapFrontier, st.watermark, st.logBase, nil
+}
+
+// AcceptorFloors reports each hosted acceptor's vote-history compaction
+// floor (instances below it were truncated on a gossiped watermark).
+func (r *Replica) AcceptorFloors() []uint64 {
+	var out []uint64
+	for _, h := range r.acceptorHosts() {
+		h.agent.Do(func(hd node.Handler) {
+			out = append(out, hd.(*classic.Acceptor).Floor())
+		})
+	}
+	return out
+}
+
+// WALDiskStats sums the hosted acceptors' on-disk WAL footprint: live
+// segments, index snapshots, and total bytes. All zeros without a WALDir.
+func (r *Replica) WALDiskStats() (segs, snaps int, bytes int64) {
+	for _, h := range r.acceptorHosts() {
+		if h.wal != nil {
+			s, n, b := h.wal.DiskStats()
+			segs += s
+			snaps += n
+			bytes += b
+		}
+	}
+	return
 }
 
 // CatchupSynced reports whether learner id's rejoin pull has reached a

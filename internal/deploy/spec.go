@@ -67,6 +67,33 @@ type ClusterSpec struct {
 	// WALDir/acc-<id>; empty keeps votes in process memory (demos, tests).
 	WALDir string
 
+	// SnapshotEvery, when > 0, turns on log compaction: each learner cuts a
+	// snapshot of its applied state every that-many merged instances and
+	// joins the cluster watermark protocol — learners gossip their snapshot
+	// frontiers (msg.Done) on the gap-watch cadence, the minimum over those
+	// frontiers becomes the compaction watermark, and everything below it is
+	// truncated in three layers (learner retained logs, acceptor vote
+	// history, reply-cache floors). A learner restarted below the watermark
+	// rejoins by installing a peer's snapshot and replaying only the log
+	// suffix. 0 disables compaction: everything is retained forever, the
+	// pre-snapshot behaviour.
+	SnapshotEvery int
+	// Retain is the retention floor slack: a learner keeps at least this
+	// many log instances below the watermark, so a peer pulling just behind
+	// it usually log-pulls instead of escalating to snapshot transfer. 0
+	// means SnapshotEvery.
+	Retain int
+	// SnapshotDir, when set, persists each learner's snapshots under
+	// SnapshotDir/learner-<id> (fsync-then-rename, crash artifacts swept on
+	// open), so a restarted learner reloads its newest local snapshot and
+	// pulls only the suffix. Empty keeps snapshots in process memory: they
+	// die with the node, and a restarted learner below the watermark must
+	// ship a snapshot from a peer. With compaction enabled, durable
+	// snapshots are what keeps acked state recoverable if every learner
+	// restarts in overlapping windows — memory-only snapshots trade that
+	// away for convenience in tests.
+	SnapshotDir string
+
 	// BatchMax is the per-shard ingress batch size at the stamping
 	// coordinator (client submissions packed into one consensus instance);
 	// 0 means 8. 1 disables batching.
@@ -318,6 +345,19 @@ func (s ClusterSpec) catchupChunk() uint32 {
 		return defaultCatchupChunk
 	}
 	return uint32(s.CatchupChunk)
+}
+
+// retain normalizes the retention slack below the compaction watermark: 0
+// means one snapshot interval, so a peer trailing by less than a full
+// interval log-pulls instead of shipping a snapshot.
+func (s ClusterSpec) retain() uint64 {
+	if s.Retain > 0 {
+		return uint64(s.Retain)
+	}
+	if s.SnapshotEvery > 0 {
+		return uint64(s.SnapshotEvery)
+	}
+	return 0
 }
 
 // fillTicks is the learner gap-watch period driving both catch-up resyncs

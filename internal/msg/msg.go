@@ -41,6 +41,9 @@ const (
 	TCatchupReq
 	TCatchupResp
 	TFill
+	TDone
+	TSnapReq
+	TSnapResp
 )
 
 // String renders the message type.
@@ -68,6 +71,12 @@ func (t Type) String() string {
 		return "catchup-resp"
 	case TFill:
 		return "fill"
+	case TDone:
+		return "done"
+	case TSnapReq:
+		return "snap-req"
+	case TSnapResp:
+		return "snap-resp"
 	default:
 		return "unknown"
 	}
@@ -259,6 +268,12 @@ type CatchupResp struct {
 	From uint64
 	// Frontier is the responder's next-undelivered instance.
 	Frontier uint64
+	// Floor is the responder's retention floor: the lowest instance it still
+	// holds in log (or vote-history) form. A response with Floor > From is a
+	// refusal — the requested prefix was compacted away, and the requester
+	// must escalate to snapshot transfer (SnapReq) before resuming the log
+	// pull. Zero means the full prefix is retained.
+	Floor uint64
 	// Cmds is the contiguous decided slice [From, From+len(Cmds)).
 	Cmds []cstruct.Cmd
 }
@@ -291,6 +306,75 @@ func (Fill) Type() Type { return TFill }
 
 // Instance implements Message.
 func (m Fill) Instance() uint64 { return m.Inst }
+
+// Done gossips a node's compaction frontier, the Min()/Done() watermark
+// protocol of the MIT paxos GC contract: each learner announces the
+// frontier its newest durable snapshot covers (everything below it is
+// replayable from the snapshot, so the learner no longer *needs* the log
+// prefix), plus the cluster-wide minimum it has computed over fresh peer
+// announcements. Learners truncate their retained logs below their own
+// computed minimum; acceptors — which never initiate — ratchet a monotone
+// watermark from the Watermark field and truncate vote history below it.
+type Done struct {
+	// From is the announcing learner.
+	From NodeID
+	// Frontier is the announcer's own durable snapshot frontier: instances
+	// [0, Frontier) are covered by a snapshot it can serve.
+	Frontier uint64
+	// Watermark is the announcer's current estimate of the cluster-wide
+	// compaction watermark (min over fresh learner frontiers, its own
+	// included). Truncating below it is safe because some live learner can
+	// ship a covering snapshot.
+	Watermark uint64
+}
+
+// Type implements Message.
+func (Done) Type() Type { return TDone }
+
+// Instance implements Message.
+func (m Done) Instance() uint64 { return m.Frontier }
+
+// SnapReq asks a peer learner for its newest state snapshot: the requester's
+// merge frontier From fell below the cluster's compaction watermark (a log
+// pull was refused with CatchupResp.Floor > From), so the log prefix it is
+// missing no longer exists anywhere — only a snapshot can close the gap.
+type SnapReq struct {
+	// Learner is the requesting learner, where the chunks go.
+	Learner NodeID
+	// From is the requester's merge frontier (telemetry; any snapshot with
+	// Frontier > From helps).
+	From uint64
+}
+
+// Type implements Message.
+func (SnapReq) Type() Type { return TSnapReq }
+
+// Instance implements Message.
+func (m SnapReq) Instance() uint64 { return m.From }
+
+// SnapResp carries one chunk of a serialized state snapshot. The requester
+// reassembles chunks 0..Total-1, verifies Crc over the whole blob, and
+// installs atomically — a missing or corrupt chunk aborts the install and
+// the pull is retried against another peer. Total == 0 means the responder
+// has no snapshot to serve.
+type SnapResp struct {
+	// Learner is the responding learner.
+	Learner NodeID
+	// Frontier is the snapshot's exclusive upper bound: it covers [0, Frontier).
+	Frontier uint64
+	// Crc is the checksum of the complete snapshot blob.
+	Crc uint32
+	// Seq is this chunk's index; Total the chunk count of the blob.
+	Seq, Total uint32
+	// Chunk is the blob slice [Seq·chunk, min((Seq+1)·chunk, len)).
+	Chunk []byte
+}
+
+// Type implements Message.
+func (SnapResp) Type() Type { return TSnapResp }
+
+// Instance implements Message.
+func (m SnapResp) Instance() uint64 { return m.Frontier }
 
 // Heartbeat is exchanged by coordinators for failure detection and leader
 // election.

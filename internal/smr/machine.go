@@ -7,6 +7,7 @@ package smr
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,6 +25,18 @@ type Machine interface {
 	// Snapshot renders the full state deterministically, for comparing
 	// replicas.
 	Snapshot() string
+}
+
+// DurableMachine extends Machine with binary state marshalling, the hook
+// the snapshot subsystem uses to cut and install state snapshots: a learner
+// restarted below the compaction watermark restores the marshalled state
+// and replays only the log suffix.
+type DurableMachine interface {
+	Machine
+	// MarshalState renders the full state as opaque bytes.
+	MarshalState() []byte
+	// RestoreState replaces the state with one produced by MarshalState.
+	RestoreState(data []byte) error
 }
 
 // KV op kinds, encoded in Cmd.Payload[0].
@@ -126,6 +139,41 @@ func (s *KVStore) Snapshot() string {
 	return b.String()
 }
 
+// MarshalState implements DurableMachine: sorted length-prefixed key/value
+// pairs, deterministic across replicas with equal contents.
+func (s *KVStore) MarshalState() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		out = appendLenPrefixed(out, k)
+		out = appendLenPrefixed(out, s.data[k])
+	}
+	return out
+}
+
+// RestoreState implements DurableMachine, replacing the store's contents.
+func (s *KVStore) RestoreState(data []byte) error {
+	pairs, err := parsePairs(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		s.data[p.k] = p.v
+	}
+	return nil
+}
+
+var _ DurableMachine = (*KVStore)(nil)
+
 // Bank op kinds, encoded in Cmd.Payload[0].
 const (
 	BankDeposit byte = iota + 1
@@ -210,4 +258,94 @@ func (b *Bank) Snapshot() string {
 		fmt.Fprintf(&sb, "%s=%d;", k, b.balances[k])
 	}
 	return sb.String()
+}
+
+// MarshalState implements DurableMachine.
+func (b *Bank) MarshalState() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keys := make([]string, 0, len(b.balances))
+	for k := range b.balances {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		out = appendLenPrefixed(out, k)
+		out = binary.AppendUvarint(out, uint64(b.balances[k]))
+	}
+	return out
+}
+
+// RestoreState implements DurableMachine.
+func (b *Bank) RestoreState(data []byte) error {
+	n, off := binary.Uvarint(data)
+	if off <= 0 {
+		return errBadState
+	}
+	data = data[off:]
+	balances := make(map[string]int64, n)
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var err error
+		if k, data, err = readLenPrefixed(data); err != nil {
+			return err
+		}
+		v, off := binary.Uvarint(data)
+		if off <= 0 {
+			return errBadState
+		}
+		data = data[off:]
+		balances[k] = int64(v)
+	}
+	if len(data) != 0 {
+		return errBadState
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.balances = balances
+	return nil
+}
+
+var _ DurableMachine = (*Bank)(nil)
+
+var errBadState = errors.New("smr: malformed machine state")
+
+func appendLenPrefixed(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readLenPrefixed(b []byte) (string, []byte, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 || n > uint64(len(b)-off) {
+		return "", nil, errBadState
+	}
+	return string(b[off : off+int(n)]), b[off+int(n):], nil
+}
+
+type kvPair struct{ k, v string }
+
+func parsePairs(data []byte) ([]kvPair, error) {
+	n, off := binary.Uvarint(data)
+	if off <= 0 {
+		return nil, errBadState
+	}
+	data = data[off:]
+	pairs := make([]kvPair, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var p kvPair
+		var err error
+		if p.k, data, err = readLenPrefixed(data); err != nil {
+			return nil, err
+		}
+		if p.v, data, err = readLenPrefixed(data); err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, p)
+	}
+	if len(data) != 0 {
+		return nil, errBadState
+	}
+	return pairs, nil
 }

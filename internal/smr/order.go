@@ -97,6 +97,39 @@ func (m *Merger) Add(inst uint64, cmd cstruct.Cmd) bool {
 	return true
 }
 
+// SkipTo advances the delivery frontier to inst without delivering: the
+// caller installed a snapshot covering [0, inst), so those instances are
+// already folded into the machine state. Buffered instances below inst are
+// dropped; the release hook fires so the learner GCs its vote history up to
+// the new frontier. A frontier at or past inst makes SkipTo a no-op.
+func (m *Merger) SkipTo(inst uint64) {
+	if inst <= m.next {
+		return
+	}
+	for i := range m.buf {
+		if i < inst {
+			delete(m.buf, i)
+		}
+	}
+	m.next = inst
+	// Anything buffered at the new frontier flushes immediately.
+	for {
+		c, ok := m.buf[m.next]
+		if !ok {
+			break
+		}
+		delete(m.buf, m.next)
+		if m.deliver != nil {
+			m.deliver(m.next, c)
+		}
+		m.next++
+		m.delivered++
+	}
+	if m.OnRelease != nil {
+		m.OnRelease(m.next)
+	}
+}
+
 // Next returns the next instance the total order is waiting for.
 func (m *Merger) Next() uint64 { return m.next }
 

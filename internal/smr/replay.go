@@ -124,6 +124,65 @@ func (c *ReplyCache) Len() int {
 	return n
 }
 
+// ExportedReply is one cache record in portable form, keyed by the full
+// command ID, for snapshot shipping.
+type ExportedReply struct {
+	CmdID  uint64
+	Inst   uint64
+	Result string
+}
+
+// Export returns every retained record, the reply-cache section of a state
+// snapshot: the installing learner restores them so retried proposals for
+// commands applied below the snapshot frontier still re-elicit replies.
+func (c *ReplyCache) Export() []ExportedReply {
+	if c == nil {
+		return nil
+	}
+	var out []ExportedReply
+	for client, w := range c.byClient {
+		for seq, r := range w.results {
+			out = append(out, ExportedReply{
+				CmdID: client<<c.shift | seq, Inst: r.Inst, Result: r.Result,
+			})
+		}
+	}
+	return out
+}
+
+// Restore re-admits exported records through the normal Put path, so the
+// per-client bound and watermark semantics hold on the importing side too.
+func (c *ReplyCache) Restore(entries []ExportedReply) {
+	for _, e := range entries {
+		c.Put(e.CmdID, e.Inst, e.Result)
+	}
+}
+
+// EvictBelow drops every record whose delivery instance is below floor —
+// the reply-cache layer of log compaction. A record below the compaction
+// watermark belongs to a command whose client call resolved (or was
+// abandoned) long before the cluster agreed everything below the watermark
+// was applied everywhere, so it can no longer draw a retransmission.
+// Returns how many records were dropped.
+func (c *ReplyCache) EvictBelow(floor uint64) int {
+	if c == nil {
+		return 0
+	}
+	dropped := 0
+	for client, w := range c.byClient {
+		for seq, r := range w.results {
+			if r.Inst < floor {
+				delete(w.results, seq)
+				dropped++
+			}
+		}
+		if len(w.results) == 0 && !w.hasHi {
+			delete(c.byClient, client)
+		}
+	}
+	return dropped
+}
+
 // ClientLen reports how many results are cached for one client (testing the
 // per-client bound).
 func (c *ReplyCache) ClientLen(client uint64) int {

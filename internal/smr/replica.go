@@ -19,6 +19,9 @@ type Replica struct {
 	machine Machine
 	applied map[uint64]string
 	order   []cstruct.Cmd
+	// seeded counts commands marked applied by snapshot installation: they
+	// are in applied (dedup) but not in order (they never ran here).
+	seeded int
 }
 
 // NewReplica builds a replica over machine.
@@ -55,9 +58,23 @@ func (r *Replica) ApplyOnce(c cstruct.Cmd) string {
 	return res
 }
 
-// Applied reports how many distinct commands reached the machine. Batch
-// wrappers are not counted — only the constituent commands they carry.
-func (r *Replica) Applied() int { return len(r.order) }
+// Seed marks cmdID as already applied with the given cached result, without
+// touching the machine or the apply order. Snapshot installation uses it:
+// the machine state already reflects these commands, so a later re-learn
+// above the frontier must deduplicate against them, not re-apply. Seeded
+// commands count toward Applied — they reached the machine, just on the
+// snapshotting node.
+func (r *Replica) Seed(cmdID uint64, result string) {
+	if _, ok := r.applied[cmdID]; !ok {
+		r.applied[cmdID] = result
+		r.seeded++
+	}
+}
+
+// Applied reports how many distinct commands are reflected in the machine
+// state, locally applied or seeded from a snapshot. Batch wrappers are not
+// counted — only the constituent commands they carry.
+func (r *Replica) Applied() int { return len(r.order) + r.seeded }
 
 // Order returns the application order, for checking replica agreement.
 func (r *Replica) Order() []cstruct.Cmd { return r.order }

@@ -1,0 +1,435 @@
+// Package snapshot implements durable state snapshots of the applied SMR
+// state at a merge frontier, the foundation of log compaction: once a
+// snapshot covering instances [0, Frontier) exists, the decided-command log
+// below Frontier is redundant for this node — any peer can be caught up by
+// shipping the snapshot and replaying only the log suffix.
+//
+// The wire/disk form is a sequence of CRC-framed chunks so a snapshot can be
+// streamed, stored, and verified incrementally; installation is atomic —
+// Decode either returns the complete snapshot or an error, never a partial
+// state. On disk the Store writes through a .tmp file and an fsync-then-
+// rename, sweeps orphaned .tmp files on open, and keeps the newest valid
+// snapshot loadable even if a later write was torn.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Reply is one exported reply-cache record: it seeds duplicate suppression
+// on the installing learner so retried proposals for commands applied below
+// the snapshot frontier still re-elicit their original replies.
+type Reply struct {
+	CmdID  uint64
+	Inst   uint64
+	Result string
+}
+
+// Snapshot is the complete applied state of a learner at a merge frontier.
+type Snapshot struct {
+	// Frontier is the exclusive upper bound: instances [0, Frontier) are
+	// folded into State and need never be replayed.
+	Frontier uint64
+	// State is the opaque machine state (smr.DurableMachine.MarshalState).
+	State []byte
+	// Order is the merged apply order (command IDs) up to Frontier. It keeps
+	// a snapshot-installed learner's history comparable to its peers' — the
+	// nemesis convergence judgment requires prefix-consistent orders — and
+	// doubles as the dedup floor for commands applied before the cut.
+	Order []uint64
+	// Replies is the reply-cache export at the cut.
+	Replies []Reply
+}
+
+const (
+	magic      = "MCSN"
+	version    = 0x01
+	chunkBytes = 32 << 10
+	// maxSection bounds any single length prefix inside the payload so a
+	// corrupt varint cannot drive a huge allocation before the CRC check
+	// has a chance to reject the frame.
+	maxSection = 1 << 30
+)
+
+var (
+	// ErrCorrupt reports a snapshot blob that failed structural or CRC
+	// validation. Nothing was installed.
+	ErrCorrupt = errors.New("snapshot: corrupt or truncated blob")
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// Encode renders s as a self-contained chunked blob: a CRC-framed header
+// carrying the frontier, total payload length and whole-payload CRC,
+// followed by CRC-framed payload chunks. The blob is what Store persists
+// and what SnapResp messages ship in slices.
+func Encode(s Snapshot) []byte {
+	payload := appendPayload(nil, s)
+
+	header := make([]byte, 0, 32)
+	header = append(header, magic...)
+	header = append(header, version)
+	header = binary.AppendUvarint(header, s.Frontier)
+	header = binary.AppendUvarint(header, uint64(len(payload)))
+	header = binary.LittleEndian.AppendUint32(header, crc32.Checksum(payload, castagnoli))
+
+	blob := appendFrame(nil, header)
+	for off := 0; off < len(payload); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(payload) {
+			end = len(payload)
+		}
+		blob = appendFrame(blob, payload[off:end])
+	}
+	return blob
+}
+
+// Decode parses a blob produced by Encode. It is all-or-nothing: any framing
+// damage, CRC mismatch, truncation or trailing garbage yields ErrCorrupt
+// (possibly wrapped) and a zero Snapshot.
+func Decode(blob []byte) (Snapshot, error) {
+	header, rest, err := readFrame(blob)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if len(header) < len(magic)+1 || string(header[:len(magic)]) != magic ||
+		header[len(magic)] != version {
+		return Snapshot{}, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	hr := header[len(magic)+1:]
+	frontier, n := binary.Uvarint(hr)
+	if n <= 0 {
+		return Snapshot{}, fmt.Errorf("%w: bad header frontier", ErrCorrupt)
+	}
+	hr = hr[n:]
+	payloadLen, n := binary.Uvarint(hr)
+	if n <= 0 || payloadLen > maxSection {
+		return Snapshot{}, fmt.Errorf("%w: bad header length", ErrCorrupt)
+	}
+	hr = hr[n:]
+	if len(hr) != 4 {
+		return Snapshot{}, fmt.Errorf("%w: bad header trailer", ErrCorrupt)
+	}
+	wantCRC := binary.LittleEndian.Uint32(hr)
+
+	payload := make([]byte, 0, payloadLen)
+	for len(rest) > 0 {
+		var chunk []byte
+		chunk, rest, err = readFrame(rest)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if uint64(len(payload))+uint64(len(chunk)) > payloadLen {
+			return Snapshot{}, fmt.Errorf("%w: payload overruns header length", ErrCorrupt)
+		}
+		payload = append(payload, chunk...)
+	}
+	if uint64(len(payload)) != payloadLen {
+		return Snapshot{}, fmt.Errorf("%w: payload short: %d of %d bytes", ErrCorrupt, len(payload), payloadLen)
+	}
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return Snapshot{}, fmt.Errorf("%w: payload CRC mismatch", ErrCorrupt)
+	}
+
+	s, err := parsePayload(payload)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s.Frontier = frontier
+	return s, nil
+}
+
+// appendPayload renders the snapshot body: state bytes, apply order, reply
+// records, each section length-prefixed.
+func appendPayload(b []byte, s Snapshot) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s.State)))
+	b = append(b, s.State...)
+	b = binary.AppendUvarint(b, uint64(len(s.Order)))
+	for _, id := range s.Order {
+		b = binary.AppendUvarint(b, id)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Replies)))
+	for _, r := range s.Replies {
+		b = binary.AppendUvarint(b, r.CmdID)
+		b = binary.AppendUvarint(b, r.Inst)
+		b = binary.AppendUvarint(b, uint64(len(r.Result)))
+		b = append(b, r.Result...)
+	}
+	return b
+}
+
+func parsePayload(p []byte) (Snapshot, error) {
+	var s Snapshot
+	bad := func(what string) (Snapshot, error) {
+		return Snapshot{}, fmt.Errorf("%w: payload %s", ErrCorrupt, what)
+	}
+	stateLen, n := binary.Uvarint(p)
+	if n <= 0 || stateLen > uint64(len(p)-n) {
+		return bad("state length")
+	}
+	p = p[n:]
+	if stateLen > 0 {
+		s.State = append([]byte(nil), p[:stateLen]...)
+	}
+	p = p[stateLen:]
+
+	orderLen, n := binary.Uvarint(p)
+	if n <= 0 || orderLen > uint64(len(p)-n) {
+		return bad("order length")
+	}
+	p = p[n:]
+	if orderLen > 0 {
+		s.Order = make([]uint64, 0, orderLen)
+	}
+	for i := uint64(0); i < orderLen; i++ {
+		id, n := binary.Uvarint(p)
+		if n <= 0 {
+			return bad("order entry")
+		}
+		p = p[n:]
+		s.Order = append(s.Order, id)
+	}
+
+	nReplies, n := binary.Uvarint(p)
+	if n <= 0 || nReplies > uint64(len(p)-n) {
+		return bad("reply count")
+	}
+	p = p[n:]
+	if nReplies > 0 {
+		s.Replies = make([]Reply, 0, nReplies)
+	}
+	for i := uint64(0); i < nReplies; i++ {
+		var r Reply
+		if r.CmdID, n = binary.Uvarint(p); n <= 0 {
+			return bad("reply cmd id")
+		}
+		p = p[n:]
+		if r.Inst, n = binary.Uvarint(p); n <= 0 {
+			return bad("reply instance")
+		}
+		p = p[n:]
+		resLen, n := binary.Uvarint(p)
+		if n <= 0 || resLen > uint64(len(p)-n) {
+			return bad("reply result length")
+		}
+		p = p[n:]
+		r.Result = string(p[:resLen])
+		p = p[resLen:]
+		s.Replies = append(s.Replies, r)
+	}
+	if len(p) != 0 {
+		return bad("trailing bytes")
+	}
+	return s, nil
+}
+
+// appendFrame writes one CRC frame: u32 length, u32 CRC32-C, body.
+func appendFrame(b, body []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(body)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(body, castagnoli))
+	return append(b, body...)
+}
+
+func readFrame(b []byte) (body, rest []byte, err error) {
+	if len(b) < 8 {
+		return nil, nil, fmt.Errorf("%w: short frame header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if n > maxSection || uint64(len(b)-8) < uint64(n) {
+		return nil, nil, fmt.Errorf("%w: frame overruns blob", ErrCorrupt)
+	}
+	body = b[8 : 8+n]
+	if crc32.Checksum(body, castagnoli) != crc {
+		return nil, nil, fmt.Errorf("%w: frame CRC mismatch", ErrCorrupt)
+	}
+	return body, b[8+n:], nil
+}
+
+// Crc returns the checksum of the whole blob, carried in SnapResp chunks so
+// a receiver can cheaply pre-verify reassembly before the full Decode.
+func Crc(blob []byte) uint32 { return crc32.Checksum(blob, castagnoli) }
+
+// Store persists snapshot blobs in a directory, newest-wins. With an empty
+// dir it is memory-only (the simulator and WAL-less deployments), which
+// still bounds the learner's retained log — only durability across process
+// restart is lost.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	blob     []byte // newest valid blob, always resident for cheap serving
+	frontier uint64
+	have     bool
+	saves    uint64
+	swept    int
+}
+
+// OpenStore opens (creating if needed) a snapshot directory. Orphaned .tmp
+// files from a crash mid-save are swept, then the newest structurally valid
+// snapshot is loaded; older snapshots are kept as fallback until a newer
+// save succeeds. dir == "" yields a memory-only store.
+func OpenStore(dir string) (*Store, error) {
+	s := &Store{dir: dir}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []string
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A crash between create and rename left this orphan; it was
+			// never the live snapshot, so removal is always safe.
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, err
+			}
+			s.swept++
+		case strings.HasSuffix(name, ".snap"):
+			snaps = append(snaps, name)
+		}
+	}
+	sort.Strings(snaps)
+	// Newest valid wins; torn or corrupt files fall through to older ones.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		blob, err := os.ReadFile(filepath.Join(dir, snaps[i]))
+		if err != nil {
+			continue
+		}
+		snap, err := Decode(blob)
+		if err != nil {
+			continue
+		}
+		s.blob, s.frontier, s.have = blob, snap.Frontier, true
+		break
+	}
+	return s, nil
+}
+
+// Save persists a blob covering [0, frontier). Durable stores write
+// name.tmp, fsync, rename, fsync the directory, then garbage-collect older
+// snapshot files; the previous snapshot survives any crash before the
+// rename lands.
+func (s *Store) Save(frontier uint64, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.have && frontier <= s.frontier {
+		return nil
+	}
+	if s.dir != "" {
+		final := filepath.Join(s.dir, fmt.Sprintf("%016d.snap", frontier))
+		tmp := final + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(blob); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, final); err != nil {
+			return err
+		}
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+		// GC older snapshots only after the new one is durable.
+		ents, err := os.ReadDir(s.dir)
+		if err == nil {
+			base := filepath.Base(final)
+			for _, e := range ents {
+				name := e.Name()
+				if strings.HasSuffix(name, ".snap") && name < base {
+					os.Remove(filepath.Join(s.dir, name))
+				}
+			}
+		}
+	}
+	s.blob = append([]byte(nil), blob...)
+	s.frontier = frontier
+	s.have = true
+	s.saves++
+	return nil
+}
+
+// Latest returns the newest snapshot blob and its frontier.
+func (s *Store) Latest() (blob []byte, frontier uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blob, s.frontier, s.have
+}
+
+// Saves reports how many snapshots this store has accepted since open.
+func (s *Store) Saves() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saves
+}
+
+// Swept reports how many orphaned .tmp files OpenStore removed.
+func (s *Store) Swept() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.swept
+}
+
+// DiskStats reports the on-disk footprint: snapshot file count and bytes.
+// Memory-only stores report the resident blob instead.
+func (s *Store) DiskStats() (files int, bytes int64) {
+	s.mu.Lock()
+	dir, have, resident := s.dir, s.have, int64(len(s.blob))
+	s.mu.Unlock()
+	if dir == "" {
+		if have {
+			return 1, resident
+		}
+		return 0, 0
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		files++
+		if info, err := e.Info(); err == nil {
+			bytes += info.Size()
+		}
+	}
+	return files, bytes
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -61,6 +61,41 @@ func PutAllSharded(st Stable, shard int, records map[string]any) {
 	st.PutAll(records)
 }
 
+// Compacter is an optional extension of Stable for log compaction: once the
+// cluster-wide watermark passes an instance range, the acceptor drops the
+// range's vote records durably and asks the backend to reclaim the physical
+// space. Backends without compaction support simply retain everything —
+// correct, just unbounded — so callers go through DropKeys/CompactStable.
+type Compacter interface {
+	// Drop durably deletes the records under keys, counting one synchronous
+	// write for the batch (a deletion must survive a crash exactly like a
+	// Put, or the keys would resurrect on replay).
+	Drop(keys []string)
+	// Compact reclaims the space of dropped and superseded records (for a
+	// WAL: rewrite the live index and GC dead segments). It may be a no-op
+	// for backends whose Drop already frees space.
+	Compact() error
+}
+
+// DropKeys durably deletes keys from st when the backend supports
+// compaction; it reports whether anything could be dropped.
+func DropKeys(st Stable, keys []string) bool {
+	c, ok := st.(Compacter)
+	if !ok || len(keys) == 0 {
+		return ok
+	}
+	c.Drop(keys)
+	return true
+}
+
+// CompactStable asks st to reclaim dead space, if it can.
+func CompactStable(st Stable) error {
+	if c, ok := st.(Compacter); ok {
+		return c.Compact()
+	}
+	return nil
+}
+
 var _ Stable = (*Disk)(nil)
 
 // VoteRec is the stable accept record every acceptor variant persists: the
@@ -112,6 +147,10 @@ const (
 	KeyVote = "vote"
 	// KeyRnd holds the persisted round of the PersistRnd ablation.
 	KeyRnd = "rnd"
+	// KeyFloor holds the uint64 compaction floor: vote and tally records
+	// below it were truncated (the cluster watermark passed them), so
+	// recovery scans start here and catch-up requests below it are refused.
+	KeyFloor = "floor"
 )
 
 // The record vocabulary is registered with gob so the WAL backend can

@@ -83,3 +83,16 @@ func (d *Disk) Len() int {
 	defer d.mu.Unlock()
 	return len(d.recs)
 }
+
+// Drop implements Compacter: the records vanish durably with one write.
+func (d *Disk) Drop(keys []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, k := range keys {
+		delete(d.recs, k)
+	}
+	d.writes++
+}
+
+// Compact implements Compacter. A map holds no dead space: no-op.
+func (d *Disk) Compact() error { return nil }

@@ -55,6 +55,9 @@ const (
 	// awaiting a server-side Seq stamp, or a stamped single-command proposal
 	// whose key rides along for ingress failover.
 	flagHasClient = 1 << 4
+	// flagHasFloor marks a catch-up response carrying the responder's
+	// nonzero retention floor (log compaction: a refusal when Floor > From).
+	flagHasFloor = 1 << 5
 )
 
 // Codec encodes protocol messages for the TCP transport. It needs the
@@ -107,7 +110,7 @@ func encodable(m msg.Message) bool {
 	switch m.(type) {
 	case msg.Propose, msg.P1a, msg.P1b, msg.P1bMulti, msg.P2a, msg.P2b,
 		msg.Stale, msg.Heartbeat, msg.Reply, msg.CatchupReq, msg.CatchupResp,
-		msg.Fill:
+		msg.Fill, msg.Done, msg.SnapReq, msg.SnapResp:
 		return true
 	}
 	return false
@@ -289,15 +292,40 @@ func appendEncodeBinary(dst []byte, m msg.Message) ([]byte, error) {
 		dst = appendUvarint(dst, mm.From)
 		return appendUvarint(dst, uint64(mm.Max)), nil
 	case msg.CatchupResp:
-		dst = append(dst, verBinary, byte(msg.TCatchupResp), 0)
+		var flags byte
+		if mm.Floor != 0 {
+			flags |= flagHasFloor
+		}
+		dst = append(dst, verBinary, byte(msg.TCatchupResp), flags)
 		dst = appendUvarint(dst, uint64(mm.Learner))
 		dst = appendUvarint(dst, mm.From)
 		dst = appendUvarint(dst, mm.Frontier)
+		if mm.Floor != 0 {
+			dst = appendUvarint(dst, mm.Floor)
+		}
 		return appendCmds(dst, mm.Cmds), nil
 	case msg.Fill:
 		dst = append(dst, verBinary, byte(msg.TFill), 0)
 		dst = appendUvarint(dst, mm.Inst)
 		return appendUvarint(dst, uint64(mm.Learner)), nil
+	case msg.Done:
+		dst = append(dst, verBinary, byte(msg.TDone), 0)
+		dst = appendUvarint(dst, uint64(mm.From))
+		dst = appendUvarint(dst, mm.Frontier)
+		return appendUvarint(dst, mm.Watermark), nil
+	case msg.SnapReq:
+		dst = append(dst, verBinary, byte(msg.TSnapReq), 0)
+		dst = appendUvarint(dst, uint64(mm.Learner))
+		return appendUvarint(dst, mm.From), nil
+	case msg.SnapResp:
+		dst = append(dst, verBinary, byte(msg.TSnapResp), 0)
+		dst = appendUvarint(dst, uint64(mm.Learner))
+		dst = appendUvarint(dst, mm.Frontier)
+		dst = appendUvarint(dst, uint64(mm.Crc))
+		dst = appendUvarint(dst, uint64(mm.Seq))
+		dst = appendUvarint(dst, uint64(mm.Total))
+		dst = appendUvarint(dst, uint64(len(mm.Chunk)))
+		return append(dst, mm.Chunk...), nil
 	default:
 		return nil, fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -371,6 +399,25 @@ func (r *binReader) ballot() ballot.Ballot {
 		ID:       r.u32("ballot"),
 		RType:    r.u32("ballot"),
 	}
+}
+
+// bytesVal copies a length-prefixed byte section out of the frame (the
+// frame buffer is pooled scratch, reused after Decode).
+func (r *binReader) bytesVal(what string) []byte {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail(what)
+		return nil
+	}
+	var out []byte
+	if n > 0 {
+		out = append([]byte(nil), r.b[:n]...)
+	}
+	r.b = r.b[n:]
+	return out
 }
 
 // stringVal copies a length-prefixed string out of the frame.
@@ -601,15 +648,23 @@ func (c Codec) decodeBinary(data []byte) (msg.Message, error) {
 			Max:     r.u32("max"),
 		}
 	case msg.TCatchupResp:
-		if flags != 0 {
+		if flags&^flagHasFloor != 0 {
 			return nil, fmt.Errorf("transport: decode: bad catchup-resp flags %#x", flags)
 		}
-		m = msg.CatchupResp{
+		mm := msg.CatchupResp{
 			Learner:  msg.NodeID(r.u32("learner")),
 			From:     r.uvarint("from"),
 			Frontier: r.uvarint("frontier"),
-			Cmds:     r.cmds(),
 		}
+		if flags&flagHasFloor != 0 {
+			mm.Floor = r.uvarint("floor")
+			if r.err == nil && mm.Floor == 0 {
+				// Canonical encoding: the flag is set iff Floor is non-zero.
+				r.fail("floor")
+			}
+		}
+		mm.Cmds = r.cmds()
+		m = mm
 	case msg.TFill:
 		if flags != 0 {
 			return nil, fmt.Errorf("transport: decode: bad fill flags %#x", flags)
@@ -617,6 +672,35 @@ func (c Codec) decodeBinary(data []byte) (msg.Message, error) {
 		m = msg.Fill{
 			Inst:    r.uvarint("inst"),
 			Learner: msg.NodeID(r.u32("learner")),
+		}
+	case msg.TDone:
+		if flags != 0 {
+			return nil, fmt.Errorf("transport: decode: bad done flags %#x", flags)
+		}
+		m = msg.Done{
+			From:      msg.NodeID(r.u32("from")),
+			Frontier:  r.uvarint("frontier"),
+			Watermark: r.uvarint("watermark"),
+		}
+	case msg.TSnapReq:
+		if flags != 0 {
+			return nil, fmt.Errorf("transport: decode: bad snap-req flags %#x", flags)
+		}
+		m = msg.SnapReq{
+			Learner: msg.NodeID(r.u32("learner")),
+			From:    r.uvarint("from"),
+		}
+	case msg.TSnapResp:
+		if flags != 0 {
+			return nil, fmt.Errorf("transport: decode: bad snap-resp flags %#x", flags)
+		}
+		m = msg.SnapResp{
+			Learner:  msg.NodeID(r.u32("learner")),
+			Frontier: r.uvarint("frontier"),
+			Crc:      r.u32("crc"),
+			Seq:      r.u32("seq"),
+			Total:    r.u32("total"),
+			Chunk:    r.bytesVal("chunk"),
 		}
 	default:
 		return nil, fmt.Errorf("transport: decode: unknown wire type %d", typ)

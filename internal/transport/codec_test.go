@@ -114,10 +114,21 @@ func msgEq(a, b msg.Message) bool {
 	case msg.CatchupResp:
 		bm, ok := b.(msg.CatchupResp)
 		return ok && am.Learner == bm.Learner && am.From == bm.From &&
-			am.Frontier == bm.Frontier && cmdsEq(am.Cmds, bm.Cmds)
+			am.Frontier == bm.Frontier && am.Floor == bm.Floor && cmdsEq(am.Cmds, bm.Cmds)
 	case msg.Fill:
 		bm, ok := b.(msg.Fill)
 		return ok && am == bm
+	case msg.Done:
+		bm, ok := b.(msg.Done)
+		return ok && am == bm
+	case msg.SnapReq:
+		bm, ok := b.(msg.SnapReq)
+		return ok && am == bm
+	case msg.SnapResp:
+		bm, ok := b.(msg.SnapResp)
+		return ok && am.Learner == bm.Learner && am.Frontier == bm.Frontier &&
+			am.Crc == bm.Crc && am.Seq == bm.Seq && am.Total == bm.Total &&
+			bytes.Equal(am.Chunk, bm.Chunk)
 	default:
 		return false
 	}
@@ -180,6 +191,17 @@ func codecCases(set cstruct.Set) []struct {
 		}}},
 		{"fill", msg.Fill{Inst: 17, Learner: 300}},
 		{"fill-max", msg.Fill{Inst: math.MaxUint64, Learner: math.MaxUint32}},
+		{"catchup-resp-floor", msg.CatchupResp{Learner: 301, From: 3, Frontier: 96, Floor: 64}},
+		{"done", msg.Done{From: 300, Frontier: 128, Watermark: 96}},
+		{"done-zero", msg.Done{From: 301}},
+		{"done-max", msg.Done{From: math.MaxUint32, Frontier: math.MaxUint64, Watermark: math.MaxUint64}},
+		{"snap-req", msg.SnapReq{Learner: 300, From: 12}},
+		{"snap-req-max", msg.SnapReq{Learner: math.MaxUint32, From: math.MaxUint64}},
+		{"snap-resp", msg.SnapResp{Learner: 301, Frontier: 128, Crc: 0xdeadbeef,
+			Seq: 1, Total: 3, Chunk: []byte{0x00, 0x41, 0xff}}},
+		{"snap-resp-refusal", msg.SnapResp{Learner: 301}},
+		{"snap-resp-max", msg.SnapResp{Learner: math.MaxUint32, Frontier: math.MaxUint64,
+			Crc: math.MaxUint32, Seq: math.MaxUint32, Total: math.MaxUint32}},
 	}
 }
 

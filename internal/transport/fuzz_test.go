@@ -44,7 +44,12 @@ func fuzzSeeds() []msg.Message {
 			{ID: 9, Key: "k", Op: cstruct.OpWrite, Payload: []byte("p")},
 			{ID: 10, Key: "q"},
 		}},
+		msg.CatchupResp{Learner: 301, From: 3, Frontier: 96, Floor: 64},
 		msg.Fill{Inst: 17, Learner: 300},
+		msg.Done{From: 300, Frontier: 128, Watermark: 96},
+		msg.SnapReq{Learner: 300, From: 12},
+		msg.SnapResp{Learner: 301, Frontier: 128, Crc: 0xdeadbeef,
+			Seq: 1, Total: 3, Chunk: []byte{0, 0x41, 0xff}},
 	}
 }
 

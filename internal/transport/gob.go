@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"sync"
 
 	"mcpaxos/internal/ballot"
@@ -177,7 +178,9 @@ func toWire(m msg.Message) (wire, error) {
 	case msg.CatchupReq:
 		return wire{Type: msg.TCatchupReq, Acc: mm.Learner, Inst: mm.From, Shard: mm.Max}, nil
 	case msg.CatchupResp:
-		w := wire{Type: msg.TCatchupResp, Acc: mm.Learner, Inst: mm.From, Epoch: mm.Frontier}
+		// The retention floor rides the dormant Seq field.
+		w := wire{Type: msg.TCatchupResp, Acc: mm.Learner, Inst: mm.From,
+			Epoch: mm.Frontier, Seq: mm.Floor}
 		// Normalize an empty chunk to nil so both formats decode identically.
 		if len(mm.Cmds) > 0 {
 			w.Val = mm.Cmds
@@ -185,6 +188,16 @@ func toWire(m msg.Message) (wire, error) {
 		return w, nil
 	case msg.Fill:
 		return wire{Type: msg.TFill, Inst: mm.Inst, Acc: mm.Learner}, nil
+	case msg.Done:
+		return wire{Type: msg.TDone, Coord: mm.From, Inst: mm.Frontier, Epoch: mm.Watermark}, nil
+	case msg.SnapReq:
+		return wire{Type: msg.TSnapReq, Acc: mm.Learner, Inst: mm.From}, nil
+	case msg.SnapResp:
+		// Crc rides Shard, Seq rides Seq, Total rides Epoch, and the chunk
+		// bytes ride the dormant Cmd's payload.
+		return wire{Type: msg.TSnapResp, Acc: mm.Learner, Inst: mm.Frontier,
+			Shard: mm.Crc, Seq: uint64(mm.Seq), Epoch: uint64(mm.Total),
+			Cmd: cstruct.Cmd{Payload: mm.Chunk}}, nil
 	default:
 		return wire{}, fmt.Errorf("transport: unknown message type %T", m)
 	}
@@ -230,13 +243,29 @@ func (c Codec) fromWire(w wire) (msg.Message, error) {
 	case msg.TCatchupReq:
 		return msg.CatchupReq{Learner: w.Acc, From: w.Inst, Max: w.Shard}, nil
 	case msg.TCatchupResp:
-		out := msg.CatchupResp{Learner: w.Acc, From: w.Inst, Frontier: w.Epoch}
+		out := msg.CatchupResp{Learner: w.Acc, From: w.Inst, Frontier: w.Epoch, Floor: w.Seq}
 		if len(w.Val) > 0 {
 			out.Cmds = w.Val
 		}
 		return out, nil
 	case msg.TFill:
 		return msg.Fill{Inst: w.Inst, Learner: w.Acc}, nil
+	case msg.TDone:
+		return msg.Done{From: w.Coord, Frontier: w.Inst, Watermark: w.Epoch}, nil
+	case msg.TSnapReq:
+		return msg.SnapReq{Learner: w.Acc, From: w.Inst}, nil
+	case msg.TSnapResp:
+		if w.Seq > math.MaxUint32 || w.Epoch > math.MaxUint32 {
+			// The binary format carries Seq/Total as u32; reject wider values
+			// so the two formats stay decode-identical.
+			return nil, fmt.Errorf("transport: decode: snap-resp counters out of range")
+		}
+		out := msg.SnapResp{Learner: w.Acc, Frontier: w.Inst, Crc: w.Shard,
+			Seq: uint32(w.Seq), Total: uint32(w.Epoch)}
+		if len(w.Cmd.Payload) > 0 {
+			out.Chunk = w.Cmd.Payload
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("transport: unknown wire type %d", w.Type)
 	}

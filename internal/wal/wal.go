@@ -43,6 +43,15 @@ type Rec struct {
 	Val any
 }
 
+// tombstone marks a durably deleted key. A deletion must survive a crash
+// exactly like a Put — replay applies it by removing the key from the index
+// — so Drop appends tombstone records through the same group-commit path.
+// Tombstones never appear in the index and thus vanish from the next
+// snapshot, which is what reclaims their space.
+type tombstone struct{}
+
+func init() { gob.Register(tombstone{}) }
+
 // snapshot is the payload of a snapshot file: the full key index as of all
 // segments with index < Since.
 type snapshot struct {
@@ -108,6 +117,7 @@ type WAL struct {
 
 	writes atomic.Uint64 // logical synchronous writes (commit batches)
 	fsyncs atomic.Uint64 // physical data-file fsyncs
+	swept  int           // orphaned .tmp files removed by Open
 
 	// streams holds the per-shard commit streams (stream.go).
 	streams streams
@@ -188,6 +198,30 @@ func (w *WAL) PutAll(records map[string]any) {
 	}
 }
 
+// Drop durably deletes the records under keys as one atomic batch: one
+// logical synchronous write of tombstone records, so the deletion survives a
+// crash (replaying a tombstone removes the key instead of resurrecting it).
+// It implements storage.Compacter and panics if durability cannot be
+// provided, exactly like Put: forgetting that a vote range was truncated
+// would let recovery serve stale history the cluster already compacted.
+func (w *WAL) Drop(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	recs := make([]Rec, len(keys))
+	for i, k := range keys {
+		recs[i] = Rec{Key: k, Val: tombstone{}}
+	}
+	if err := w.Append(recs); err != nil {
+		panic(fmt.Sprintf("wal: stable storage lost: %v", err))
+	}
+}
+
+// Compact reclaims the space of dropped and superseded records by writing
+// the live index as a snapshot and GC'ing the segments (and tombstones) it
+// covers. It implements storage.Compacter.
+func (w *WAL) Compact() error { return w.Snapshot() }
+
 // Append durably stores one batch of records and returns once they are on
 // disk. Concurrent Appends are group-committed: the first appender becomes
 // the flush leader and drains everything queued behind it with a single
@@ -217,7 +251,11 @@ func (w *WAL) Append(recs []Rec) error {
 	// concurrent Snapshot folds queued records in, so nothing covered by
 	// segment GC can be lost.
 	for _, r := range recs {
-		w.index[r.Key] = r.Val
+		if _, dead := r.Val.(tombstone); dead {
+			delete(w.index, r.Key)
+		} else {
+			w.index[r.Key] = r.Val
+		}
 	}
 	w.writes.Add(1)
 	w.queue = append(w.queue, b)
@@ -411,6 +449,38 @@ func (w *WAL) SegmentCount() int {
 	return len(segs)
 }
 
+// Swept reports how many orphaned .tmp files Open removed — crash artifacts
+// of an interrupted Snapshot.
+func (w *WAL) Swept() int { return w.swept }
+
+// DiskStats reports the log's on-disk footprint: live segment files,
+// snapshot files, and total bytes across both. It feeds the disk-accounting
+// experiments (E16) and the nemesis per-seed disk report.
+func (w *WAL) DiskStats() (segs, snaps int, bytes int64) {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return 0, 0, 0
+	}
+	for _, e := range ents {
+		name := e.Name()
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, ".wal"):
+			segs++
+			bytes += info.Size()
+		case strings.HasSuffix(name, ".snap"):
+			snaps++
+			bytes += info.Size()
+		}
+	}
+	return segs, snaps, bytes
+}
+
 // Close waits for any in-flight group commit, seals the segment and closes
 // the file. The log cannot be used afterwards.
 func (w *WAL) Close() error {
@@ -463,9 +533,32 @@ func (w *WAL) scanDir() (segs, snaps []uint64, err error) {
 	return segs, snaps, nil
 }
 
+// sweepTmp removes orphaned .tmp files — the crash artifact of a Snapshot
+// interrupted between creating its temp file and the rename. They were never
+// part of the durable state (the rename is the commit point), so sweeping
+// them is always safe; leaving them would leak disk forever.
+func (w *WAL) sweepTmp() error {
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(w.dir, e.Name())); err != nil {
+				return fmt.Errorf("wal: sweep tmp: %w", err)
+			}
+			w.swept++
+		}
+	}
+	return nil
+}
+
 // replay rebuilds the index: newest valid snapshot first, then every
 // surviving segment in order, truncating a torn tail on the last one.
 func (w *WAL) replay() error {
+	if err := w.sweepTmp(); err != nil {
+		return err
+	}
 	segs, snaps, err := w.scanDir()
 	if err != nil {
 		return err
@@ -550,7 +643,11 @@ func (w *WAL) replaySegment(idx uint64, last bool) error {
 			break // undecodable payload: treat like a CRC failure
 		}
 		for _, r := range recs {
-			w.index[r.Key] = r.Val
+			if _, dead := r.Val.(tombstone); dead {
+				delete(w.index, r.Key)
+			} else {
+				w.index[r.Key] = r.Val
+			}
 		}
 		off += n
 	}

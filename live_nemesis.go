@@ -2,11 +2,13 @@ package mcpaxos
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"mcpaxos/internal/catchup"
+	"mcpaxos/internal/deploy"
 	"mcpaxos/internal/faults"
 	"mcpaxos/internal/linearize"
 	"mcpaxos/internal/msg"
@@ -40,8 +42,17 @@ type LiveNemesisResult struct {
 	Client ClientStats
 	// Replays counts replies the learners served from their replay caches.
 	Replays uint64
-	// Catchup sums the learners' catch-up fetcher activity.
+	// Catchup sums the learners' catch-up fetcher activity (including
+	// snapshot-shipping escalations).
 	Catchup catchup.Stats
+	// Compaction is the learners' snapshot/watermark state at the end of the
+	// run: how many snapshots were cut, how far truncation advanced, and the
+	// largest retained log.
+	Compaction deploy.CompactionStats
+	// WALSegs / WALSnaps / WALBytes sum the acceptors' on-disk footprint at
+	// the end of the run — the quantity the watermark protocol bounds.
+	WALSegs, WALSnaps int
+	WALBytes          int64
 	// Elapsed is the wall time of the whole run.
 	Elapsed time.Duration
 	// Ok reports a clean run; Failure says what broke otherwise.
@@ -70,6 +81,17 @@ func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveN
 	// timeout only trims the stall tail, never a recoverable op.
 	spec.RequestTimeout = 6 * time.Second
 	spec.WALDir = walDir
+	// Compaction runs throughout, tuned aggressively enough (relative to the
+	// bounded op counts of a nemesis seed) that the watermark actually
+	// advances mid-schedule: learners snapshot every 16 merged instances,
+	// keep 8 below the watermark pullable, and persist their snapshots next
+	// to the WALs — so a learner killed and restarted below the watermark
+	// rejoins through its own durable snapshot or, when it trails further, a
+	// peer's shipped one, and the acceptors' vote history is truncated live
+	// while the adversary runs.
+	spec.SnapshotEvery = 16
+	spec.Retain = 8
+	spec.SnapshotDir = filepath.Join(walDir, "snaps")
 	spec.Faults = inj
 	spec, err := spec.ResolveEphemeral()
 	if err != nil {
@@ -297,6 +319,8 @@ func RunLiveNemesis(seed int64, clients, opsPerClient int, walDir string) (LiveN
 	res.Client = cli.Stats()
 	res.Replays = rep.Replays()
 	res.Catchup = rep.CatchupStats()
+	res.Compaction = rep.CompactionStats()
+	res.WALSegs, res.WALSnaps, res.WALBytes = rep.WALDiskStats()
 
 	if r := linearize.Check(hist.Ops()); !r.Ok {
 		fail("history not linearizable (key %s): %s", r.Key, r.Info)
